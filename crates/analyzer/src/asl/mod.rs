@@ -1,0 +1,135 @@
+//! ASL — a compact APART Specification Language for performance
+//! properties.
+//!
+//! The ATS paper builds on APART's first-phase result: "ASL, a
+//! specification language for describing performance properties was
+//! developed \[7\] ... The ASL report also includes a catalog of typical
+//! performance properties for MPI, OpenMP and HPF programs. These typical
+//! properties can form the basis for the ATS framework."
+//!
+//! This module implements an executable subset of that idea: performance
+//! properties are *declared* as small programs over the analyzer's
+//! compound-event records, instead of being hard-coded detectors. A
+//! property names a context (a matched message pair, a collective
+//! instance, a critical-section visit, an init/finalize occupation),
+//! computes a waiting time, guards it with a condition, and says where to
+//! locate the finding:
+//!
+//! ```text
+//! PROPERTY LateSender OVER p2p_pair {
+//!     LET blocked = clamp(send_post, recv_posted, recv_completion);
+//!     WAIT blocked - recv_posted;
+//!     CONDITION wait > 0;
+//!     LOCATE receiver;
+//! }
+//! ```
+//!
+//! [`default_property_set`] ships declarations equivalent to the built-in
+//! detectors in [`crate::patterns`]; the test suite proves the equivalence.
+//! Tool developers can load their own sets with [`parse`] and evaluate
+//! them with [`evaluate`], giving the suite a second, *configurable*
+//! reference tool.
+
+mod ast;
+mod eval;
+mod parse;
+
+pub use ast::{AslError, Context, Expr, Locate, Property, PropertySet};
+pub use eval::{evaluate, totals, AslFinding};
+pub use parse::parse;
+
+/// The default ASL property set: the ASL-catalog core, equivalent to the
+/// built-in pattern detectors.
+pub const DEFAULT_PROPERTY_SET: &str = r#"
+// MPI point-to-point ---------------------------------------------------
+
+PROPERTY LateSender OVER p2p_pair {
+    LET blocked = clamp(send_post, recv_posted, recv_completion);
+    WAIT blocked - recv_posted;
+    CONDITION wait > 0;
+    LOCATE receiver;
+}
+
+PROPERTY LateReceiver OVER p2p_pair {
+    LET blocked = clamp(recv_posted, send_post, send_exit);
+    WAIT blocked - send_post;
+    CONDITION wait > 0;
+    LOCATE sender;
+}
+
+// MPI collectives ------------------------------------------------------
+
+PROPERTY WaitAtBarrier OVER collective(Barrier) {
+    WAIT max_entry - entered;
+    CONDITION wait > 0;
+    LOCATE member;
+}
+
+PROPERTY WaitAtNxN OVER collective(Alltoall, Alltoallv, Allreduce, Allgather) {
+    WAIT max_entry - entered;
+    CONDITION wait > 0;
+    LOCATE member;
+}
+
+PROPERTY LateBroadcast OVER collective(Bcast) {
+    WAIT root_entry - entered;
+    CONDITION wait > 0;
+    CONDITION is_root == 0;
+    LOCATE member;
+}
+
+PROPERTY LateScatter OVER collective(Scatter, Scatterv) {
+    WAIT root_entry - entered;
+    CONDITION wait > 0;
+    CONDITION is_root == 0;
+    LOCATE member;
+}
+
+PROPERTY EarlyReduce OVER collective(Reduce) {
+    WAIT max_nonroot_entry - entered;
+    CONDITION is_root == 1;
+    CONDITION wait > 0;
+    LOCATE member;
+}
+
+PROPERTY EarlyGather OVER collective(Gather, Gatherv) {
+    WAIT max_nonroot_entry - entered;
+    CONDITION is_root == 1;
+    CONDITION wait > 0;
+    LOCATE member;
+}
+
+// OpenMP ----------------------------------------------------------------
+
+PROPERTY OmpWaitAtBarrier OVER collective(OmpBarrier) {
+    WAIT max_entry - entered;
+    CONDITION wait > 0;
+    LOCATE member;
+}
+
+PROPERTY OmpImbalanceInRegion OVER collective(OmpJoin) {
+    WAIT exit - entered;
+    CONDITION wait > 0;
+    LOCATE member;
+}
+
+PROPERTY OmpCriticalContention OVER critical {
+    WAIT acquired - arrive;
+    CONDITION wait > 0;
+    LOCATE self;
+}
+
+// Environment -----------------------------------------------------------
+
+PROPERTY MpiSetupOverhead OVER setup {
+    WAIT time;
+    CONDITION wait > 0;
+    LOCATE self;
+}
+"#;
+
+/// Parse the bundled default property set (panics only if the embedded
+/// text is broken, which the tests rule out).
+pub fn default_property_set() -> PropertySet {
+    parse(DEFAULT_PROPERTY_SET).expect("bundled ASL set parses")
+}

@@ -1,0 +1,469 @@
+//! A hand-rolled recursive-descent parser for the ASL subset.
+
+use super::ast::{AslError, BinOp, Context, Expr, Locate, Property, PropertySet};
+use ats_trace::CollOp;
+
+/// Parse a property-set source text.
+pub fn parse(src: &str) -> Result<PropertySet, AslError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut properties = Vec::new();
+    while !p.at_end() {
+        properties.push(p.property()?);
+    }
+    let set = PropertySet { properties };
+    // Reject duplicate names early.
+    for (i, a) in set.properties.iter().enumerate() {
+        if set.properties[..i].iter().any(|b| b.name == a.name) {
+            return Err(AslError::new(format!("duplicate property `{}`", a.name)));
+        }
+    }
+    Ok(set)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Sym(char),
+    // two-char comparison operators
+    Ge,
+    Le,
+    EqEq,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, AslError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(bytes[start..i].iter().collect()));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n = text
+                    .parse::<f64>()
+                    .map_err(|_| AslError::new(format!("bad number `{text}`")))?;
+                out.push(Tok::Num(n));
+            }
+            '>' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Ge);
+                i += 2;
+            }
+            '<' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Le);
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Tok::EqEq);
+                i += 2;
+            }
+            '{' | '}' | '(' | ')' | ';' | ',' | '=' | '+' | '-' | '*' | '/' | '>' | '<' => {
+                out.push(Tok::Sym(c));
+                i += 1;
+            }
+            other => return Err(AslError::new(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok, AslError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| AslError::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), AslError> {
+        match self.next()? {
+            Tok::Sym(s) if s == c => Ok(()),
+            other => Err(AslError::new(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), AslError> {
+        match self.next()? {
+            Tok::Ident(w) if w == kw => Ok(()),
+            other => Err(AslError::new(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, AslError> {
+        match self.next()? {
+            Tok::Ident(w) => Ok(w),
+            other => Err(AslError::new(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn property(&mut self) -> Result<Property, AslError> {
+        self.expect_kw("PROPERTY")?;
+        let name = self.ident()?;
+        self.expect_kw("OVER")?;
+        let context = self.context()?;
+        self.expect_sym('{')?;
+        let mut lets = Vec::new();
+        let mut wait = None;
+        let mut conditions = Vec::new();
+        let mut locate = None;
+        loop {
+            match self.peek() {
+                Some(Tok::Sym('}')) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::Ident(kw)) => match kw.as_str() {
+                    "LET" => {
+                        self.pos += 1;
+                        let name = self.ident()?;
+                        self.expect_sym('=')?;
+                        let e = self.expr()?;
+                        self.expect_sym(';')?;
+                        lets.push((name, e));
+                    }
+                    "WAIT" => {
+                        self.pos += 1;
+                        let e = self.expr()?;
+                        self.expect_sym(';')?;
+                        if wait.replace(e).is_some() {
+                            return Err(AslError::new(format!("{name}: duplicate WAIT")));
+                        }
+                    }
+                    "CONDITION" => {
+                        self.pos += 1;
+                        let e = self.expr()?;
+                        self.expect_sym(';')?;
+                        conditions.push(e);
+                    }
+                    "LOCATE" => {
+                        self.pos += 1;
+                        let target = self.ident()?;
+                        self.expect_sym(';')?;
+                        let l = match target.as_str() {
+                            "sender" => Locate::Sender,
+                            "receiver" => Locate::Receiver,
+                            "member" => Locate::Member,
+                            "root" => Locate::Member,
+                            "self" => Locate::SelfLoc,
+                            other => {
+                                return Err(AslError::new(format!(
+                                    "{name}: unknown LOCATE target `{other}`"
+                                )))
+                            }
+                        };
+                        if locate.replace(l).is_some() {
+                            return Err(AslError::new(format!("{name}: duplicate LOCATE")));
+                        }
+                    }
+                    other => {
+                        return Err(AslError::new(format!(
+                            "{name}: unknown statement `{other}`"
+                        )))
+                    }
+                },
+                other => return Err(AslError::new(format!("{name}: unexpected {other:?}"))),
+            }
+        }
+        let wait = wait.ok_or_else(|| AslError::new(format!("{name}: missing WAIT")))?;
+        let locate = locate.ok_or_else(|| AslError::new(format!("{name}: missing LOCATE")))?;
+        // Locate must fit the context.
+        let ok = matches!(
+            (&context, locate),
+            (Context::P2pPair, Locate::Sender | Locate::Receiver)
+                | (Context::Collective(_), Locate::Member)
+                | (Context::Critical, Locate::SelfLoc)
+                | (Context::Setup, Locate::SelfLoc)
+        );
+        if !ok {
+            return Err(AslError::new(format!(
+                "{name}: LOCATE target does not fit context {context:?}"
+            )));
+        }
+        Ok(Property {
+            name,
+            context,
+            lets,
+            wait,
+            conditions,
+            locate,
+        })
+    }
+
+    fn context(&mut self) -> Result<Context, AslError> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "p2p_pair" => Ok(Context::P2pPair),
+            "critical" => Ok(Context::Critical),
+            "setup" => Ok(Context::Setup),
+            "collective" => {
+                let mut ops = Vec::new();
+                if self.peek() == Some(&Tok::Sym('(')) {
+                    self.pos += 1;
+                    loop {
+                        let op = self.ident()?;
+                        ops.push(coll_op(&op)?);
+                        match self.next()? {
+                            Tok::Sym(',') => continue,
+                            Tok::Sym(')') => break,
+                            other => {
+                                return Err(AslError::new(format!(
+                                    "expected `,` or `)`, found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                Ok(Context::Collective(ops))
+            }
+            other => Err(AslError::new(format!("unknown context `{other}`"))),
+        }
+    }
+
+    // expr := cmp ; cmp := sum ((>|<|>=|<=|==) sum)? ; sum := term ((+|-) term)* ;
+    // term := factor ((*|/) factor)* ; factor := NUM | IDENT | call | (expr) | -factor
+    fn expr(&mut self) -> Result<Expr, AslError> {
+        let lhs = self.sum()?;
+        let op = match self.peek() {
+            Some(Tok::Sym('>')) => Some(BinOp::Gt),
+            Some(Tok::Sym('<')) => Some(BinOp::Lt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::EqEq) => Some(BinOp::Eq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.sum()?;
+            Ok(Expr::Bin(Box::new(lhs), op, Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn sum(&mut self) -> Result<Expr, AslError> {
+        let mut e = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym('+')) => BinOp::Add,
+                Some(Tok::Sym('-')) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            e = Expr::Bin(Box::new(e), op, Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn term(&mut self) -> Result<Expr, AslError> {
+        let mut e = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym('*')) => BinOp::Mul,
+                Some(Tok::Sym('/')) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            e = Expr::Bin(Box::new(e), op, Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn factor(&mut self) -> Result<Expr, AslError> {
+        match self.next()? {
+            Tok::Num(n) => Ok(Expr::Num(n)),
+            Tok::Sym('-') => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Tok::Sym('(') => {
+                let e = self.expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.peek() == Some(&Tok::Sym('(')) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.expr()?);
+                        match self.next()? {
+                            Tok::Sym(',') => continue,
+                            Tok::Sym(')') => break,
+                            other => {
+                                return Err(AslError::new(format!(
+                                    "expected `,` or `)`, found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    match (name.as_str(), args.len()) {
+                        ("max", 2) => {
+                            let mut it = args.into_iter();
+                            Ok(Expr::Max(
+                                Box::new(it.next().expect("len 2")),
+                                Box::new(it.next().expect("len 2")),
+                            ))
+                        }
+                        ("min", 2) => {
+                            let mut it = args.into_iter();
+                            Ok(Expr::Min(
+                                Box::new(it.next().expect("len 2")),
+                                Box::new(it.next().expect("len 2")),
+                            ))
+                        }
+                        ("clamp", 3) => {
+                            let mut it = args.into_iter();
+                            Ok(Expr::Clamp(
+                                Box::new(it.next().expect("len 3")),
+                                Box::new(it.next().expect("len 3")),
+                                Box::new(it.next().expect("len 3")),
+                            ))
+                        }
+                        (other, n) => Err(AslError::new(format!(
+                            "unknown function `{other}` with {n} arguments"
+                        ))),
+                    }
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(AslError::new(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn coll_op(name: &str) -> Result<CollOp, AslError> {
+    Ok(match name {
+        "Barrier" => CollOp::Barrier,
+        "Bcast" => CollOp::Bcast,
+        "Scatter" => CollOp::Scatter,
+        "Scatterv" => CollOp::Scatterv,
+        "Gather" => CollOp::Gather,
+        "Gatherv" => CollOp::Gatherv,
+        "Reduce" => CollOp::Reduce,
+        "Allreduce" => CollOp::Allreduce,
+        "Allgather" => CollOp::Allgather,
+        "Alltoall" => CollOp::Alltoall,
+        "Alltoallv" => CollOp::Alltoallv,
+        "Scan" => CollOp::Scan,
+        "OmpBarrier" => CollOp::OmpBarrier,
+        "OmpFork" => CollOp::OmpFork,
+        "OmpJoin" => CollOp::OmpJoin,
+        other => return Err(AslError::new(format!("unknown collective op `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_default_set() {
+        let set = parse(super::super::DEFAULT_PROPERTY_SET).unwrap();
+        assert!(set.properties.len() >= 12);
+        let ls = set.find("LateSender").unwrap();
+        assert_eq!(ls.context, Context::P2pPair);
+        assert_eq!(ls.locate, Locate::Receiver);
+        assert_eq!(ls.lets.len(), 1);
+        assert_eq!(ls.conditions.len(), 1);
+    }
+
+    #[test]
+    fn collective_op_filters_parse() {
+        let set = parse(
+            "PROPERTY X OVER collective(Barrier, OmpBarrier) { WAIT max_entry - entered; LOCATE member; }",
+        )
+        .unwrap();
+        match &set.properties[0].context {
+            Context::Collective(ops) => {
+                assert_eq!(ops, &vec![CollOp::Barrier, CollOp::OmpBarrier])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let set = parse("PROPERTY X OVER setup { WAIT 1 + 2 * 3; LOCATE self; }").unwrap();
+        // 1 + (2*3), not (1+2)*3.
+        match &set.properties[0].wait {
+            Expr::Bin(_, BinOp::Add, rhs) => {
+                assert!(matches!(**rhs, Expr::Bin(_, BinOp::Mul, _)))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_wait() {
+        let err = parse("PROPERTY X OVER setup { LOCATE self; }").unwrap_err();
+        assert!(err.message.contains("missing WAIT"));
+    }
+
+    #[test]
+    fn rejects_bad_locate_for_context() {
+        let err = parse("PROPERTY X OVER setup { WAIT time; LOCATE sender; }").unwrap_err();
+        assert!(err.message.contains("does not fit"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_unknowns() {
+        assert!(parse("PROPERTY X OVER bogus { WAIT 1; LOCATE self; }").is_err());
+        assert!(parse(
+            "PROPERTY X OVER setup { WAIT 1; LOCATE self; } PROPERTY X OVER setup { WAIT 1; LOCATE self; }"
+        )
+        .is_err());
+        assert!(parse("PROPERTY X OVER collective(Bogus) { WAIT 1; LOCATE member; }").is_err());
+    }
+
+    #[test]
+    fn default_set_roundtrips_through_display() {
+        let set = parse(super::super::DEFAULT_PROPERTY_SET).unwrap();
+        let printed = set.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        assert_eq!(set, reparsed);
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let set =
+            parse("// a comment\nPROPERTY X OVER setup { // inner\n WAIT time; LOCATE self; }\n")
+                .unwrap();
+        assert_eq!(set.properties.len(), 1);
+    }
+}

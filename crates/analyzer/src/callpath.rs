@@ -1,0 +1,137 @@
+//! Call-path reconstruction and interning.
+//!
+//! A call path is the stack of open regions at the moment of an event.
+//! The analyzer locates every finding at a call path — the middle pane of
+//! the paper's Figure 3.5 ("the call graph pane shows that it located it
+//! correctly at the MPI_Bcast() function call inside the performance
+//! property function late_broadcast()").
+
+use ats_trace::{RegionId, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of an interned call path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathId(pub u32);
+
+/// Interning table for call paths.
+#[derive(Debug, Default, Clone)]
+pub struct PathTable {
+    paths: Vec<Vec<RegionId>>,
+    index: HashMap<Vec<RegionId>, PathId>,
+}
+
+impl PathTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a path (a region stack, outermost first).
+    pub fn intern(&mut self, path: &[RegionId]) -> PathId {
+        if let Some(&id) = self.index.get(path) {
+            return id;
+        }
+        let id = PathId(self.paths.len() as u32);
+        self.paths.push(path.to_vec());
+        self.index.insert(path.to_vec(), id);
+        id
+    }
+
+    /// The region stack of a path.
+    pub fn regions(&self, id: PathId) -> &[RegionId] {
+        &self.paths[id.0 as usize]
+    }
+
+    /// Number of interned paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if no paths are interned.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Render a path as `a/b/c` using the trace's region names. The empty
+    /// path renders as `<program>`.
+    pub fn display(&self, id: PathId, trace: &Trace) -> String {
+        let regions = self.regions(id);
+        if regions.is_empty() {
+            return "<program>".to_owned();
+        }
+        regions
+            .iter()
+            .map(|r| trace.region_name(*r))
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+
+    /// True if the path contains a region with the given name.
+    pub fn contains_region(&self, id: PathId, trace: &Trace, name: &str) -> bool {
+        self.regions(id)
+            .iter()
+            .any(|r| trace.region_name(*r) == name)
+    }
+
+    /// The innermost region name of a path (`<program>` if empty).
+    pub fn leaf_name<'t>(&self, id: PathId, trace: &'t Trace) -> &'t str {
+        self.regions(id)
+            .last()
+            .map(|r| trace.region_name(*r))
+            .unwrap_or("<program>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_trace::{RegionKind, RegionMeta};
+
+    fn trace_with_regions(names: &[&str]) -> Trace {
+        Trace::new(
+            names
+                .iter()
+                .map(|n| RegionMeta {
+                    name: (*n).to_owned(),
+                    kind: RegionKind::User,
+                })
+                .collect(),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn intern_dedupes() {
+        let mut t = PathTable::new();
+        let a = t.intern(&[RegionId(0), RegionId(1)]);
+        let b = t.intern(&[RegionId(0), RegionId(1)]);
+        let c = t.intern(&[RegionId(0)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn display_joins_names() {
+        let trace = trace_with_regions(&["main", "late_broadcast", "MPI_Bcast"]);
+        let mut t = PathTable::new();
+        let p = t.intern(&[RegionId(1), RegionId(2)]);
+        assert_eq!(t.display(p, &trace), "late_broadcast/MPI_Bcast");
+        let root = t.intern(&[]);
+        assert_eq!(t.display(root, &trace), "<program>");
+    }
+
+    #[test]
+    fn contains_and_leaf() {
+        let trace = trace_with_regions(&["a", "b", "c"]);
+        let mut t = PathTable::new();
+        let p = t.intern(&[RegionId(0), RegionId(2)]);
+        assert!(t.contains_region(p, &trace, "a"));
+        assert!(t.contains_region(p, &trace, "c"));
+        assert!(!t.contains_region(p, &trace, "b"));
+        assert_eq!(t.leaf_name(p, &trace), "c");
+        let root = t.intern(&[]);
+        assert_eq!(t.leaf_name(root, &trace), "<program>");
+    }
+}

@@ -1,0 +1,459 @@
+//! First analysis pass: scan every location's event stream once and
+//! extract the typed operation records the pattern detectors consume.
+
+use crate::callpath::{PathId, PathTable};
+use ats_runtime::{VDur, VTime};
+use ats_trace::{CollOp, EventKind, LocationId, RegionId, Trace};
+use std::collections::HashMap;
+
+/// A completed send call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendRec {
+    /// Sending location.
+    pub loc: LocationId,
+    /// Call path of the send call.
+    pub path: PathId,
+    /// Entry into the send call.
+    pub enter: VTime,
+    /// Exit from the send call (equals `post + overhead` for eager sends,
+    /// later for blocked synchronous sends).
+    pub exit: VTime,
+    /// When the message was posted.
+    pub post: VTime,
+    /// Destination (global rank).
+    pub to: u32,
+    /// Communicator id.
+    pub comm: u32,
+    /// Tag.
+    pub tag: i32,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// A completed receive (blocking recv or irecv+wait).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecvRec {
+    /// Receiving location.
+    pub loc: LocationId,
+    /// Call path of the call in which delivery completed (`MPI_Recv` or
+    /// `MPI_Wait`).
+    pub path: PathId,
+    /// Entry into that call.
+    pub enter: VTime,
+    /// Exit from that call.
+    pub exit: VTime,
+    /// When the receive was posted.
+    pub posted: VTime,
+    /// Delivery completion time.
+    pub completion: VTime,
+    /// Source (global rank).
+    pub from: u32,
+    /// Communicator id.
+    pub comm: u32,
+    /// Tag.
+    pub tag: i32,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// One member's record of a collective instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollMember {
+    /// Member location.
+    pub loc: LocationId,
+    /// Call path of the collective call.
+    pub path: PathId,
+    /// Entry time.
+    pub entered: VTime,
+    /// Completion time.
+    pub exit: VTime,
+    /// Payload bytes contributed.
+    pub bytes: u64,
+}
+
+/// A reassembled collective operation instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollInstance {
+    /// Operation.
+    pub op: CollOp,
+    /// Communicator / team id.
+    pub comm: u32,
+    /// Root, communicator-local, for rooted operations.
+    pub root: Option<u32>,
+    /// Per-communicator sequence number.
+    pub seq: u64,
+    /// Member records, sorted by location.
+    pub members: Vec<CollMember>,
+}
+
+impl CollInstance {
+    /// The latest entry among members.
+    pub fn last_entry(&self) -> VTime {
+        self.members
+            .iter()
+            .map(|m| m.entered)
+            .max()
+            .unwrap_or(VTime::ZERO)
+    }
+
+    /// The member record belonging to the root, resolved through the
+    /// trace's communicator definitions.
+    pub fn root_member<'a>(&'a self, trace: &Trace) -> Option<&'a CollMember> {
+        let root_local = self.root? as usize;
+        let members = trace.comm_members(self.comm)?;
+        let root_global = *members.get(root_local)?;
+        self.members
+            .iter()
+            .find(|m| m.loc.rank == root_global && m.loc.thread == 0)
+    }
+}
+
+/// One visit to a named critical section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalVisit {
+    /// Visiting location.
+    pub loc: LocationId,
+    /// Call path of the critical construct.
+    pub path: PathId,
+    /// Arrival at the construct.
+    pub arrive: VTime,
+    /// Acquisition (body entry).
+    pub acquired: VTime,
+    /// Release.
+    pub released: VTime,
+}
+
+/// Time spent in MPI_Init/MPI_Finalize at one location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetupRec {
+    /// Location.
+    pub loc: LocationId,
+    /// Path of the setup call.
+    pub path: PathId,
+    /// Inclusive duration.
+    pub time: VDur,
+}
+
+/// Everything the detectors need, extracted in one pass.
+#[derive(Debug, Default)]
+pub struct Extract {
+    /// All send calls.
+    pub sends: Vec<SendRec>,
+    /// All completed receives.
+    pub recvs: Vec<RecvRec>,
+    /// All collective instances (MPI and OpenMP pseudo-collectives).
+    pub colls: Vec<CollInstance>,
+    /// All critical-section visits.
+    pub criticals: Vec<CriticalVisit>,
+    /// All init/finalize occupations.
+    pub setup: Vec<SetupRec>,
+    /// The interned call paths.
+    pub paths: PathTable,
+}
+
+/// Scan the trace and build the [`Extract`].
+pub fn extract(trace: &Trace) -> Extract {
+    let mut ex = Extract::default();
+    let mut coll_groups: HashMap<(u32, u64, CollOp), CollInstance> = HashMap::new();
+
+    let r_init = trace.find_region("MPI_Init");
+    let r_fin = trace.find_region("MPI_Finalize");
+    // Critical sections and explicit locks share the visit shape; track
+    // both (construct region, body region) pairs.
+    let crit_pairs = [
+        (
+            trace.find_region("omp_critical"),
+            trace.find_region("omp_critical_body"),
+        ),
+        (
+            trace.find_region("omp_lock"),
+            trace.find_region("omp_lock_body"),
+        ),
+    ];
+    let is_crit = |r: ats_trace::RegionId| crit_pairs.iter().any(|(c, _)| *c == Some(r));
+    let is_crit_body = |r: ats_trace::RegionId| crit_pairs.iter().any(|(_, b)| *b == Some(r));
+
+    for lt in &trace.locations {
+        let loc = lt.location;
+        let mut stack: Vec<(RegionId, VTime)> = Vec::new();
+        // Sends posted in a still-open frame, waiting for the frame's exit
+        // time: (depth of owning frame, partially-filled record).
+        let mut open_sends: Vec<(usize, SendRec)> = Vec::new();
+        // Receives completed in a still-open frame.
+        let mut open_recvs: Vec<(usize, RecvRec)> = Vec::new();
+        // Critical visits awaiting body entry/exit.
+        let mut open_criticals: Vec<(usize, CriticalVisit)> = Vec::new();
+
+        for ev in &lt.events {
+            match ev.kind {
+                EventKind::Enter { region } => {
+                    stack.push((region, ev.time));
+                    if is_crit_body(region) {
+                        if let Some((_, visit)) = open_criticals.last_mut() {
+                            visit.acquired = ev.time;
+                        }
+                    }
+                    if is_crit(region) {
+                        let path_regions: Vec<RegionId> = stack.iter().map(|(r, _)| *r).collect();
+                        let path = ex.paths.intern(&path_regions);
+                        open_criticals.push((
+                            stack.len(),
+                            CriticalVisit {
+                                loc,
+                                path,
+                                arrive: ev.time,
+                                acquired: ev.time,
+                                released: ev.time,
+                            },
+                        ));
+                    }
+                }
+                EventKind::Exit { region } => {
+                    let depth = stack.len();
+                    let (top, entered) = stack.pop().expect("wellformed trace");
+                    debug_assert_eq!(top, region);
+                    // Flush operations owned by this frame.
+                    while open_sends.last().is_some_and(|(d, _)| *d == depth) {
+                        let (_, mut s) = open_sends.pop().expect("just checked");
+                        s.enter = entered;
+                        s.exit = ev.time;
+                        ex.sends.push(s);
+                    }
+                    while open_recvs.last().is_some_and(|(d, _)| *d == depth) {
+                        let (_, mut r) = open_recvs.pop().expect("just checked");
+                        r.enter = entered;
+                        r.exit = ev.time;
+                        ex.recvs.push(r);
+                    }
+                    if is_crit(region) {
+                        if let Some((d, mut visit)) = open_criticals.pop() {
+                            debug_assert_eq!(d, depth);
+                            visit.released = ev.time;
+                            ex.criticals.push(visit);
+                        }
+                    }
+                    if r_init == Some(region) || r_fin == Some(region) {
+                        let path_regions: Vec<RegionId> = stack
+                            .iter()
+                            .map(|(r, _)| *r)
+                            .chain(std::iter::once(region))
+                            .collect();
+                        let path = ex.paths.intern(&path_regions);
+                        ex.setup.push(SetupRec {
+                            loc,
+                            path,
+                            time: ev.time - entered,
+                        });
+                    }
+                }
+                EventKind::Send {
+                    to,
+                    comm,
+                    tag,
+                    bytes,
+                } => {
+                    let path_regions: Vec<RegionId> = stack.iter().map(|(r, _)| *r).collect();
+                    let path = ex.paths.intern(&path_regions);
+                    open_sends.push((
+                        stack.len(),
+                        SendRec {
+                            loc,
+                            path,
+                            enter: ev.time,
+                            exit: ev.time,
+                            post: ev.time,
+                            to,
+                            comm,
+                            tag,
+                            bytes,
+                        },
+                    ));
+                }
+                EventKind::Recv {
+                    from,
+                    comm,
+                    tag,
+                    bytes,
+                    posted,
+                } => {
+                    let path_regions: Vec<RegionId> = stack.iter().map(|(r, _)| *r).collect();
+                    let path = ex.paths.intern(&path_regions);
+                    open_recvs.push((
+                        stack.len(),
+                        RecvRec {
+                            loc,
+                            path,
+                            enter: ev.time,
+                            exit: ev.time,
+                            posted,
+                            completion: ev.time,
+                            from,
+                            comm,
+                            tag,
+                            bytes,
+                        },
+                    ));
+                }
+                EventKind::CollEnd {
+                    op,
+                    comm,
+                    root,
+                    seq,
+                    bytes,
+                    entered,
+                } => {
+                    let path_regions: Vec<RegionId> = stack.iter().map(|(r, _)| *r).collect();
+                    let path = ex.paths.intern(&path_regions);
+                    let inst = coll_groups
+                        .entry((comm, seq, op))
+                        .or_insert_with(|| CollInstance {
+                            op,
+                            comm,
+                            root,
+                            seq,
+                            members: Vec::new(),
+                        });
+                    inst.members.push(CollMember {
+                        loc,
+                        path,
+                        entered,
+                        exit: ev.time,
+                        bytes,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut colls: Vec<CollInstance> = coll_groups.into_values().collect();
+    for c in &mut colls {
+        c.members.sort_by_key(|m| m.loc);
+    }
+    colls.sort_by_key(|c| (c.comm, c.seq));
+    ex.colls = colls;
+    ex.sends
+        .sort_by_key(|s| (s.comm, s.loc, s.to, s.tag, s.post));
+    ex.recvs
+        .sort_by_key(|r| (r.comm, r.from, r.loc, r.tag, r.posted));
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_core::{properties::mpi_coll, properties::mpi_p2p, BaseComm, Distr};
+    use ats_mpi::SimConfig;
+    use ats_runtime::{MachineModel, VDur};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            nprocs: n,
+            model: MachineModel::zero(),
+            init_time: VDur::ZERO,
+            finalize_time: VDur::ZERO,
+            ..Default::default()
+        }
+    }
+
+    fn cfg_with_setup(n: usize) -> SimConfig {
+        SimConfig {
+            init_time: VDur::from_millis(2),
+            finalize_time: VDur::from_millis(1),
+            ..cfg(n)
+        }
+    }
+
+    #[test]
+    fn extracts_sends_and_recvs_with_frames() {
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            mpi_p2p::late_sender(p, &BaseComm::default(), 0.0, 0.030, 1, &c);
+        });
+        let ex = extract(&trace);
+        assert_eq!(ex.sends.len(), 1);
+        assert_eq!(ex.recvs.len(), 1);
+        let s = &ex.sends[0];
+        let r = &ex.recvs[0];
+        assert_eq!(s.loc.rank, 0);
+        assert_eq!(r.loc.rank, 1);
+        assert_eq!(s.to, 1);
+        assert_eq!(r.from, 0);
+        // The recv blocked from 0 to 30ms.
+        assert_eq!(r.posted, VTime::ZERO);
+        assert_eq!(r.completion, VTime::from_secs(0.030));
+        // Paths end at the MPI call inside the property frame.
+        assert_eq!(ex.paths.leaf_name(s.path, &trace), "MPI_Send");
+        assert!(ex.paths.contains_region(r.path, &trace, "late_sender"));
+    }
+
+    #[test]
+    fn extracts_collective_instances_grouped() {
+        let df = Distr::linear(0.001, 0.004);
+        let trace = ats_mpi::run(cfg(4), move |p| {
+            let c = p.comm_world();
+            mpi_coll::imbalance_at_mpi_barrier(p, &df, 3, &c);
+        });
+        let ex = extract(&trace);
+        let barriers: Vec<_> = ex
+            .colls
+            .iter()
+            .filter(|c| c.op == ats_trace::CollOp::Barrier)
+            .collect();
+        assert_eq!(barriers.len(), 3, "3 repetitions = 3 instances");
+        for b in barriers {
+            assert_eq!(b.members.len(), 4);
+        }
+    }
+
+    #[test]
+    fn root_member_resolution_uses_comm_defs() {
+        let trace = ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            mpi_coll::late_broadcast(p, &BaseComm::default(), 0.001, 0.010, 2, 1, &c);
+        });
+        let ex = extract(&trace);
+        let bcast = ex
+            .colls
+            .iter()
+            .find(|c| c.op == ats_trace::CollOp::Bcast)
+            .unwrap();
+        let root = bcast.root_member(&trace).expect("root resolvable");
+        assert_eq!(root.loc.rank, 2);
+    }
+
+    #[test]
+    fn setup_times_extracted_per_location() {
+        let trace = ats_mpi::run(cfg_with_setup(2), |p| {
+            p.do_work(VDur::from_millis(1));
+        });
+        let ex = extract(&trace);
+        // 2 ranks x (init + finalize).
+        assert_eq!(ex.setup.len(), 4);
+        let total: VDur = ex.setup.iter().map(|s| s.time).sum();
+        assert_eq!(total, VDur::from_millis(2 * (2 + 1)));
+    }
+
+    #[test]
+    fn critical_visits_extracted() {
+        use ats_omp::{parallel, run_omp, OmpConfig};
+        let trace = run_omp(
+            OmpConfig {
+                model: MachineModel::zero(),
+                ..Default::default()
+            },
+            |m| {
+                parallel(m, 3, |th| {
+                    th.critical("c", |th| th.do_work(VDur::from_millis(5)));
+                });
+            },
+        );
+        let ex = extract(&trace);
+        assert_eq!(ex.criticals.len(), 3);
+        let total_wait: VDur = ex.criticals.iter().map(|v| v.acquired - v.arrive).sum();
+        // Waits 0 + 5 + 10 = 15ms.
+        assert_eq!(total_wait, VDur::from_millis(15));
+        for v in &ex.criticals {
+            assert!(v.released >= v.acquired);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Analysis results: findings, ranking, and the EXPERT-style text view.
+
+use crate::callpath::PathTable;
+use crate::property::PropertyKind;
+use crate::severity::SeverityCube;
+use ats_runtime::VDur;
+use ats_trace::{LocationId, Trace};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One reported finding: a property at a call path, with its severity and
+/// per-location breakdown.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// The diagnosed property.
+    pub property: String,
+    /// The call path, rendered `a/b/c`.
+    pub call_path: String,
+    /// Accumulated waiting time.
+    pub wait: VDur,
+    /// Waiting time / total allocation time.
+    pub severity: f64,
+    /// Per-location waiting times, sorted by location.
+    pub locations: Vec<(String, VDur)>,
+}
+
+/// The complete result of analyzing one trace.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// The severity cube.
+    pub cube: SeverityCube,
+    /// Interned call paths.
+    pub paths: PathTable,
+    /// Findings at or above the configured threshold, ranked by severity
+    /// (most severe first).
+    pub findings: Vec<Finding>,
+    /// The threshold used.
+    pub threshold: f64,
+    pub(crate) property_order: Vec<PropertyKind>,
+}
+
+impl AnalysisReport {
+    pub(crate) fn build(
+        cube: SeverityCube,
+        paths: PathTable,
+        trace: &Trace,
+        threshold: f64,
+    ) -> Self {
+        let mut ranked: Vec<(PropertyKind, crate::callpath::PathId, VDur)> = cube
+            .by_property_path()
+            .into_iter()
+            .map(|((p, path), w)| (p, path, w))
+            .collect();
+        ranked.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        let findings = ranked
+            .into_iter()
+            .filter(|(_, _, w)| cube.fraction(*w) >= threshold)
+            .map(|(p, path, w)| Finding {
+                property: p.name().to_owned(),
+                call_path: paths.display(path, trace),
+                wait: w,
+                severity: cube.fraction(w),
+                locations: cube
+                    .locations_of(p, path)
+                    .into_iter()
+                    .map(|(loc, w)| (loc.to_string(), w))
+                    .collect(),
+            })
+            .collect();
+        let mut property_order: Vec<PropertyKind> = PropertyKind::leaves().to_vec();
+        property_order.sort();
+        AnalysisReport {
+            cube,
+            paths,
+            findings,
+            threshold,
+            property_order,
+        }
+    }
+
+    /// True if nothing exceeded the threshold — what a correct tool must
+    /// report for every negative test case.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The findings diagnosing `property` (by name).
+    pub fn findings_for(&self, property: &str) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.property == property)
+            .collect()
+    }
+
+    /// Total severity of a property across all call paths.
+    pub fn severity_of(&self, property: &str) -> f64 {
+        property
+            .parse::<PropertyKind>()
+            .map(|p| self.cube.fraction(self.cube.by_property(p)))
+            .unwrap_or(0.0)
+    }
+
+    /// The locations (as `LocationId`s) blamed for `property`, across
+    /// paths, sorted and deduplicated.
+    pub fn locations_for(&self, property: &str) -> Vec<LocationId> {
+        let Ok(p) = property.parse::<PropertyKind>() else {
+            return Vec::new();
+        };
+        let mut locs: Vec<LocationId> = self
+            .cube
+            .cells()
+            .filter(|((prop, _, _), w)| *prop == p && !w.is_zero())
+            .map(|((_, _, loc), _)| *loc)
+            .collect();
+        locs.sort();
+        locs.dedup();
+        locs
+    }
+
+    /// Serialize the findings (with run totals) as a JSON document — the
+    /// machine-readable form EXPERIMENTS.md and external tools consume.
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Doc<'a> {
+            total_alloc_secs: f64,
+            threshold: f64,
+            findings: &'a [Finding],
+        }
+        serde_json::to_string_pretty(&Doc {
+            total_alloc_secs: self.cube.total_alloc().as_secs(),
+            threshold: self.threshold,
+            findings: &self.findings,
+        })
+        .expect("findings serialize")
+    }
+
+    /// Render the EXPERT-like tri-pane text view: property tree with
+    /// severities, then per-property call paths and location breakdowns.
+    pub fn render(&self, trace: &Trace) -> String {
+        let mut out = String::new();
+        let total = self.cube.total_alloc();
+        let _ = writeln!(out, "=== ATS-RS automatic analysis ===");
+        let _ = writeln!(
+            out,
+            "total allocation time: {total}   threshold: {:.2}%",
+            self.threshold * 100.0
+        );
+        let _ = writeln!(out, "\n-- performance properties --");
+        // Interior nodes first, in tree order.
+        for node in [
+            PropertyKind::Time,
+            PropertyKind::MpiTime,
+            PropertyKind::MpiCommunication,
+            PropertyKind::OmpTime,
+        ] {
+            let w = self.cube.subtree_total(node);
+            let _ = writeln!(
+                out,
+                "{:indent$}{:<24} {:>8.3}%  {}",
+                "",
+                node.name(),
+                self.cube.fraction(w) * 100.0,
+                w,
+                indent = node.depth() * 2
+            );
+        }
+        for leaf in &self.property_order {
+            let w = self.cube.by_property(*leaf);
+            if w.is_zero() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:indent$}{:<24} {:>8.3}%  {}",
+                "",
+                leaf.name(),
+                self.cube.fraction(w) * 100.0,
+                w,
+                indent = leaf.depth() * 2
+            );
+        }
+        let _ = writeln!(out, "\n-- findings (ranked) --");
+        if self.findings.is_empty() {
+            let _ = writeln!(out, "(none above threshold)");
+        }
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{:>8.3}%  {:<22} at {}",
+                f.severity * 100.0,
+                f.property,
+                f.call_path
+            );
+            for (loc, w) in &f.locations {
+                let _ = writeln!(out, "            rank/thread {loc:<8} {w}");
+            }
+        }
+        let _ = write!(out, "\n({} locations analyzed)", trace.num_locations());
+        out
+    }
+}
+
+/// One difference between two analysis results.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum DiffEntry {
+    /// A property reported by `new` but not by `old`.
+    Appeared {
+        /// Property name.
+        property: String,
+        /// Its severity in the new report.
+        severity: f64,
+    },
+    /// A property reported by `old` but not by `new`.
+    Vanished {
+        /// Property name.
+        property: String,
+        /// Its severity in the old report.
+        severity: f64,
+    },
+    /// Severity moved by more than the tolerance.
+    Changed {
+        /// Property name.
+        property: String,
+        /// Old severity.
+        old: f64,
+        /// New severity.
+        new: f64,
+    },
+}
+
+/// Compare two reports property-by-property — the regression check a tool
+/// team runs between tool versions over the same recorded traces.
+/// `tolerance` is the allowed absolute severity drift.
+pub fn diff(old: &AnalysisReport, new: &AnalysisReport, tolerance: f64) -> Vec<DiffEntry> {
+    let mut out = Vec::new();
+    let names = |r: &AnalysisReport| -> Vec<String> {
+        let mut v: Vec<String> = r.findings.iter().map(|f| f.property.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let old_names = names(old);
+    let new_names = names(new);
+    for p in &new_names {
+        if !old_names.contains(p) {
+            out.push(DiffEntry::Appeared {
+                property: p.clone(),
+                severity: new.severity_of(p),
+            });
+        }
+    }
+    for p in &old_names {
+        if !new_names.contains(p) {
+            out.push(DiffEntry::Vanished {
+                property: p.clone(),
+                severity: old.severity_of(p),
+            });
+        }
+    }
+    for p in &old_names {
+        if new_names.contains(p) {
+            let (o, n) = (old.severity_of(p), new.severity_of(p));
+            if (o - n).abs() > tolerance {
+                out.push(DiffEntry::Changed {
+                    property: p.clone(),
+                    old: o,
+                    new: n,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{analyze, AnalyzerConfig};
+    use ats_core::{properties::mpi_p2p, BaseComm};
+    use ats_mpi::SimConfig;
+    use ats_runtime::MachineModel;
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            nprocs: n,
+            model: MachineModel::zero(),
+            init_time: VDur::ZERO,
+            finalize_time: VDur::ZERO,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn findings_are_ranked_and_rendered() {
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            mpi_p2p::late_sender(p, &BaseComm::default(), 0.001, 0.050, 2, &c);
+        });
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        assert!(!report.is_clean());
+        let top = &report.findings[0];
+        assert_eq!(top.property, "LateSender");
+        assert!(top.call_path.contains("late_sender"));
+        assert!(top.severity > 0.0);
+        let text = report.render(&trace);
+        assert!(text.contains("LateSender"));
+        assert!(text.contains("findings"));
+    }
+
+    #[test]
+    fn json_export_carries_findings() {
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            mpi_p2p::late_sender(p, &BaseComm::default(), 0.001, 0.040, 1, &c);
+        });
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        let json = report.to_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(doc["total_alloc_secs"].as_f64().unwrap() > 0.0);
+        assert_eq!(doc["findings"][0]["property"], "LateSender");
+        assert!(doc["findings"][0]["severity"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn diff_flags_regressions() {
+        let mk = |extra: f64| {
+            let trace = ats_mpi::run(cfg(2), move |p| {
+                let c = p.comm_world();
+                mpi_p2p::late_sender(p, &BaseComm::default(), 0.002, extra, 2, &c);
+            });
+            analyze(&trace, &AnalyzerConfig::default())
+        };
+        let a = mk(0.03);
+        let b = mk(0.03);
+        assert!(diff(&a, &b, 1e-9).is_empty(), "identical runs diff clean");
+        let c = mk(0.09);
+        let d = diff(&a, &c, 0.01);
+        assert!(
+            d.iter().any(
+                |e| matches!(e, DiffEntry::Changed { property, .. } if property == "LateSender")
+            ),
+            "{d:?}"
+        );
+        // A vanished property: compare against a clean run.
+        let clean_trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            ats_core::properties::negative::balanced_mpi_barrier(p, 0.01, 2, &c);
+        });
+        let clean = analyze(&clean_trace, &AnalyzerConfig::default());
+        let d2 = diff(&a, &clean, 0.01);
+        assert!(
+            d2.iter().any(|e| matches!(e, DiffEntry::Vanished { .. })),
+            "{d2:?}"
+        );
+    }
+
+    #[test]
+    fn severity_accessors() {
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            mpi_p2p::late_sender(p, &BaseComm::default(), 0.001, 0.040, 1, &c);
+        });
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        assert!(report.severity_of("LateSender") > 0.1);
+        assert_eq!(report.severity_of("LateReceiver"), 0.0);
+        assert_eq!(report.severity_of("NoSuchThing"), 0.0);
+        assert_eq!(
+            report.locations_for("LateSender"),
+            vec![LocationId::rank(1)]
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! A hybrid MPI × OpenMP stencil: the SR-8000-style programming model the
+//! paper's hybrid property catalog targets.
+//!
+//! Each rank owns a slab of rows; per sweep, a thread team relaxes the
+//! slab in a worksharing loop, then the rank exchanges boundary rows with
+//! its neighbours and synchronizes globally. The thread-level schedule is
+//! the knob: static chunks over uniform rows are clean; static chunks over
+//! cost-skewed rows idle most of the team at the loop barrier, and the
+//! slowest rank's team drags everyone into the MPI barrier.
+
+use crate::AppSpec;
+use ats_core::{with_omp, Distr};
+use ats_mpi::{Proc, SimConfig};
+use ats_omp::{parallel, Schedule};
+use ats_runtime::VDur;
+use ats_trace::{RegionKind, Trace};
+
+/// Standardized description (paper ch. 4).
+pub static SPEC: AppSpec = AppSpec {
+    name: "hybrid_stencil",
+    description: "MPI slab decomposition with an OpenMP worksharing loop per sweep",
+    structure: "per sweep: omp for over rows -> halo sendrecv -> MPI_Barrier",
+    balanced_behavior: "uniform rows: loop barrier and MPI barrier are both wait-free",
+    imbalanced_properties: &["OmpWaitAtBarrier", "WaitAtBarrier"],
+};
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Ranks.
+    pub nprocs: usize,
+    /// Threads per rank.
+    pub nthreads: usize,
+    /// Sweeps.
+    pub sweeps: usize,
+    /// Rows per rank.
+    pub rows: usize,
+    /// Per-row cost distribution over row indices (uniform = clean;
+    /// skewed = the pathological mode). The distribution is evaluated
+    /// over the row index within the rank.
+    pub row_cost: Distr,
+    /// Whether the rank-level slabs are also skewed (adds the MPI-level
+    /// imbalance on top of the thread-level one).
+    pub rank_skew: f64,
+}
+
+impl HybridConfig {
+    /// The documented clean configuration.
+    pub fn balanced(nprocs: usize, nthreads: usize) -> Self {
+        HybridConfig {
+            nprocs,
+            nthreads,
+            sweeps: 3,
+            rows: nthreads * 4,
+            row_cost: Distr::same(0.002),
+            rank_skew: 0.0,
+        }
+    }
+
+    /// The documented pathological configuration: the first rows of each
+    /// slab are 6x as expensive (boundary physics), and rank `r` carries
+    /// `1 + rank_skew·r` times the work.
+    pub fn skewed(nprocs: usize, nthreads: usize) -> Self {
+        HybridConfig {
+            row_cost: Distr::block2(0.006, 0.001),
+            rank_skew: 0.4,
+            ..Self::balanced(nprocs, nthreads)
+        }
+    }
+}
+
+/// Per-rank output: checksum over the slab after all sweeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridOutput {
+    /// Sum of the slab values.
+    pub checksum: i64,
+}
+
+/// Run the stencil.
+pub fn run(config: &HybridConfig) -> (Trace, Vec<HybridOutput>) {
+    let cfg = SimConfig {
+        nprocs: config.nprocs,
+        model: ats_runtime::MachineModel::zero(),
+        init_time: VDur::ZERO,
+        finalize_time: VDur::ZERO,
+        ..Default::default()
+    };
+    let config = config.clone();
+    ats_mpi::run_collect(cfg, move |p| rank_body(p, &config))
+}
+
+fn rank_body(p: &mut Proc, config: &HybridConfig) -> HybridOutput {
+    let world = p.comm_world();
+    let me = world.rank();
+    let sz = world.size();
+    let rank_scale = 1.0 + config.rank_skew * me as f64;
+    p.enter_region("hybrid_sweeps", RegionKind::User);
+    // The slab: rows x 1 values (costs are virtual; data is a checksum
+    // carrier).
+    let slab: Vec<std::sync::atomic::AtomicI64> = (0..config.rows)
+        .map(|r| std::sync::atomic::AtomicI64::new((me * 100 + r) as i64))
+        .collect();
+    for sweep in 0..config.sweeps {
+        // Thread-parallel row relaxation with static scheduling.
+        let rows = config.rows;
+        let row_cost = config.row_cost.clone();
+        let slab_ref = &slab;
+        with_omp(p, |m| {
+            parallel(m, config.nthreads, |th| {
+                th.for_loop(rows, Schedule::Static(None), |th, row| {
+                    th.do_work(row_cost.work(row, rows, rank_scale));
+                    slab_ref[row].fetch_add(sweep as i64 + 1, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        });
+        // Halo exchange (first/last row values) with neighbours.
+        let first = slab[0].load(std::sync::atomic::Ordering::Relaxed);
+        let last = slab[config.rows - 1].load(std::sync::atomic::Ordering::Relaxed);
+        let mut reqs = Vec::new();
+        if me > 0 {
+            reqs.push(p.isend(&first.to_le_bytes(), me - 1, 0, &world));
+        }
+        if me + 1 < sz {
+            reqs.push(p.isend(&last.to_le_bytes(), me + 1, 1, &world));
+        }
+        if me + 1 < sz {
+            let (data, _) = p.recv(me + 1, 0, &world);
+            let v = i64::from_le_bytes(data.try_into().expect("one i64"));
+            slab[config.rows - 1].fetch_add(v % 7, std::sync::atomic::Ordering::Relaxed);
+        }
+        if me > 0 {
+            let (data, _) = p.recv(me - 1, 1, &world);
+            let v = i64::from_le_bytes(data.try_into().expect("one i64"));
+            slab[0].fetch_add(v % 7, std::sync::atomic::Ordering::Relaxed);
+        }
+        for r in &mut reqs {
+            p.wait(r);
+        }
+        p.barrier(&world);
+    }
+    p.exit_region("hybrid_sweeps");
+    let checksum = slab
+        .iter()
+        .map(|v| v.load(std::sync::atomic::Ordering::Relaxed))
+        .sum();
+    HybridOutput { checksum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_analyzer::{analyze, AnalyzerConfig};
+    use ats_trace::check_wellformed;
+
+    #[test]
+    fn hybrid_stencil_is_deterministic_and_wellformed() {
+        let config = HybridConfig::balanced(2, 3);
+        let (trace, out1) = run(&config);
+        let (_, out2) = run(&config);
+        assert_eq!(out1, out2, "numerics are schedule-independent");
+        assert!(check_wellformed(&trace).is_empty());
+        // Thread locations exist.
+        assert!(trace.locations.iter().any(|l| l.location.thread > 0));
+    }
+
+    #[test]
+    fn balanced_configuration_is_clean() {
+        let (trace, _) = run(&HybridConfig::balanced(2, 4));
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        assert!(
+            report.is_clean(),
+            "balanced hybrid stencil produced findings: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn skewed_configuration_shows_both_levels() {
+        let (trace, _) = run(&HybridConfig::skewed(3, 4));
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        for prop in SPEC.imbalanced_properties {
+            assert!(
+                report.severity_of(prop) > 0.0,
+                "expected {prop}: {:?}",
+                report.findings
+            );
+        }
+        // The OpenMP-level wait is localized inside the sweep frame.
+        assert!(report
+            .findings_for("OmpWaitAtBarrier")
+            .iter()
+            .any(|f| f.call_path.contains("hybrid_sweeps")));
+    }
+
+    #[test]
+    fn rank_skew_alone_creates_only_mpi_level_waits() {
+        let config = HybridConfig {
+            rank_skew: 0.5,
+            ..HybridConfig::balanced(3, 4)
+        };
+        let (trace, _) = run(&config);
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        assert!(
+            report.severity_of("WaitAtBarrier") > 0.0,
+            "{:?}",
+            report.findings
+        );
+        assert_eq!(
+            report.severity_of("OmpWaitAtBarrier"),
+            0.0,
+            "uniform rows keep the thread level clean"
+        );
+    }
+}

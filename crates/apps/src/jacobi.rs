@@ -1,0 +1,224 @@
+//! 1-D Jacobi heat diffusion with halo exchange.
+//!
+//! The classic SPMD stencil: the domain is block-partitioned over ranks;
+//! each sweep exchanges boundary cells with both neighbours, relaxes the
+//! interior, and periodically allreduces the residual. Decomposition
+//! controls the performance behavior: equal blocks are clean; skewed
+//! blocks make light ranks wait for heavy neighbours in the halo exchange
+//! (Late Sender) and everyone wait at the residual reduction (Wait at
+//! N×N).
+
+use crate::AppSpec;
+use ats_core::Distr;
+use ats_mpi::datatype::{bytes_to_f64s, f64s_to_bytes};
+use ats_mpi::{Proc, SimConfig};
+use ats_runtime::VDur;
+use ats_trace::{RegionKind, Trace};
+
+/// Standardized description (paper ch. 4).
+pub static SPEC: AppSpec = AppSpec {
+    name: "jacobi",
+    description: "1-D Jacobi heat diffusion with nearest-neighbour halo exchange",
+    structure: "block decomposition; per sweep: isend/recv halos, relax interior, \
+                every 4th sweep allreduce(residual)",
+    balanced_behavior: "equal blocks: no waiting anywhere; runtime = sweeps x per-cell cost",
+    imbalanced_properties: &["LateSender", "WaitAtNxN"],
+};
+
+/// Configuration of one Jacobi run.
+#[derive(Debug, Clone)]
+pub struct JacobiConfig {
+    /// Ranks.
+    pub nprocs: usize,
+    /// Sweeps to run.
+    pub sweeps: usize,
+    /// Interior cells per rank, as a distribution over ranks (equal =
+    /// balanced; skewed = the pathological configuration).
+    pub cells: Distr,
+    /// Virtual compute cost per cell per sweep (seconds).
+    pub cost_per_cell: f64,
+    /// Allreduce the residual every `k` sweeps.
+    pub residual_every: usize,
+}
+
+impl JacobiConfig {
+    /// The documented balanced configuration.
+    pub fn balanced(nprocs: usize) -> Self {
+        JacobiConfig {
+            nprocs,
+            sweeps: 8,
+            cells: Distr::same(200.0),
+            cost_per_cell: 20e-6,
+            residual_every: 4,
+        }
+    }
+
+    /// The documented pathological configuration: the last rank owns 4x
+    /// the cells of the first.
+    pub fn imbalanced(nprocs: usize) -> Self {
+        JacobiConfig {
+            cells: Distr::linear(100.0, 400.0),
+            ..Self::balanced(nprocs)
+        }
+    }
+}
+
+/// Result of one rank's run: its final interior average and residual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JacobiOutput {
+    /// Mean of the rank's interior cells after the final sweep.
+    pub local_mean: f64,
+    /// Global residual after the final sweep (identical on all ranks).
+    pub residual: f64,
+}
+
+/// Run the app, returning the trace and per-rank outputs.
+pub fn run(config: &JacobiConfig) -> (Trace, Vec<JacobiOutput>) {
+    let cfg = SimConfig {
+        nprocs: config.nprocs,
+        model: ats_runtime::MachineModel::zero(),
+        init_time: VDur::ZERO,
+        finalize_time: VDur::ZERO,
+        ..Default::default()
+    };
+    let config = config.clone();
+    ats_mpi::run_collect(cfg, move |p| rank_body(p, &config))
+}
+
+fn rank_body(p: &mut Proc, config: &JacobiConfig) -> JacobiOutput {
+    let world = p.comm_world();
+    let me = world.rank();
+    let sz = world.size();
+    let n = config.cells.count(me, sz, 1.0).max(2);
+    p.enter_region("jacobi_sweep_loop", RegionKind::User);
+
+    // Fixed boundary conditions: 1.0 on the far left, 0.0 on the far right.
+    let mut cells = vec![0.0f64; n + 2]; // with ghost cells
+    if me == 0 {
+        cells[0] = 1.0;
+    }
+    let mut residual = f64::INFINITY;
+    for sweep in 0..config.sweeps {
+        // Halo exchange with both neighbours (boundary ranks skip one side).
+        let mut reqs = Vec::new();
+        if me > 0 {
+            reqs.push(p.isend(&cells[1].to_le_bytes(), me - 1, 0, &world));
+        }
+        if me + 1 < sz {
+            reqs.push(p.isend(&cells[n].to_le_bytes(), me + 1, 1, &world));
+        }
+        if me + 1 < sz {
+            let (data, _) = p.recv(me + 1, 0, &world);
+            cells[n + 1] = f64::from_le_bytes(data.try_into().expect("one f64"));
+        }
+        if me > 0 {
+            let (data, _) = p.recv(me - 1, 1, &world);
+            cells[0] = f64::from_le_bytes(data.try_into().expect("one f64"));
+        }
+        for r in &mut reqs {
+            p.wait(r);
+        }
+        // Relax the interior; the compute cost is cells x per-cell cost.
+        let old = cells.clone();
+        let mut local_res = 0.0f64;
+        for i in 1..=n {
+            cells[i] = 0.5 * (old[i - 1] + old[i + 1]);
+            local_res += (cells[i] - old[i]).abs();
+        }
+        p.do_work(VDur::from_secs(n as f64 * config.cost_per_cell));
+        // Periodic global residual.
+        if (sweep + 1) % config.residual_every == 0 || sweep + 1 == config.sweeps {
+            let summed = p.allreduce(
+                &f64s_to_bytes(&[local_res]),
+                ats_mpi::ReduceOp::Sum,
+                ats_mpi::Datatype::Float64,
+                &world,
+            );
+            residual = bytes_to_f64s(&summed)[0];
+        }
+    }
+    p.exit_region("jacobi_sweep_loop");
+    JacobiOutput {
+        local_mean: cells[1..=n].iter().sum::<f64>() / n as f64,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_analyzer::{analyze, AnalyzerConfig};
+    use ats_trace::check_wellformed;
+
+    #[test]
+    fn computes_a_sane_diffusion_profile() {
+        let (_, out) = run(&JacobiConfig::balanced(4));
+        // Heat flows from the left boundary: means must decrease with rank.
+        for w in out.windows(2) {
+            assert!(
+                w[0].local_mean >= w[1].local_mean,
+                "means not monotone: {out:?}"
+            );
+        }
+        assert!(out[0].local_mean > 0.0);
+        // Residual is global: all ranks agree.
+        for o in &out {
+            assert_eq!(o.residual, out[0].residual);
+        }
+        assert!(out[0].residual.is_finite());
+    }
+
+    #[test]
+    fn balanced_configuration_is_clean() {
+        let (trace, _) = run(&JacobiConfig::balanced(4));
+        assert!(check_wellformed(&trace).is_empty());
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        assert!(
+            report.is_clean(),
+            "balanced jacobi produced findings: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn imbalanced_configuration_shows_documented_properties() {
+        let (trace, _) = run(&JacobiConfig::imbalanced(4));
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        for prop in SPEC.imbalanced_properties {
+            assert!(
+                report.severity_of(prop) > 0.0,
+                "expected {prop}, report: {:?}",
+                report.findings
+            );
+        }
+        // And the wait is located inside the sweep loop.
+        assert!(report
+            .findings_for("LateSender")
+            .iter()
+            .any(|f| f.call_path.contains("jacobi_sweep_loop")));
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_the_numerics() {
+        let config = JacobiConfig::imbalanced(4);
+        let (_, a) = run(&config);
+        let sim = SimConfig {
+            nprocs: config.nprocs,
+            model: ats_runtime::MachineModel::zero(),
+            init_time: VDur::ZERO,
+            finalize_time: VDur::ZERO,
+            ..Default::default()
+        }
+        .uninstrumented();
+        let config2 = config.clone();
+        let (_, b) = ats_mpi::run_collect(sim, move |p| rank_body(p, &config2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_rank_minimum_works() {
+        let (trace, out) = run(&JacobiConfig::balanced(2));
+        assert_eq!(out.len(), 2);
+        assert!(check_wellformed(&trace).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Master/worker task farm (the Grindstone suite's classic shape).
+//!
+//! Rank 0 hands out independent tasks on demand; workers request, compute,
+//! and return results until the pool drains. With a *fast* master the farm
+//! self-balances; with a *slow* master (per-task dispatch overhead) the
+//! workers starve in `MPI_Recv` waiting for work — a pure Late Sender
+//! bottleneck localized at the master.
+
+use crate::AppSpec;
+use ats_mpi::{Proc, SimConfig};
+use ats_runtime::VDur;
+use ats_trace::{RegionKind, Trace};
+
+/// Standardized description (paper ch. 4).
+pub static SPEC: AppSpec = AppSpec {
+    name: "taskfarm",
+    description: "self-scheduling master/worker farm over independent tasks",
+    structure: "workers loop: send request -> recv task -> compute -> send result; \
+                master loop: recv request (any source) -> send task / poison pill",
+    balanced_behavior: "dispatch cost << task cost: workers stay busy, farm self-balances",
+    imbalanced_properties: &["LateSender"],
+};
+
+const TAG_REQUEST: i32 = 1;
+const TAG_TASK: i32 = 2;
+const TAG_RESULT: i32 = 3;
+
+/// Farm configuration.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Total ranks (1 master + n-1 workers).
+    pub nprocs: usize,
+    /// Number of tasks in the pool.
+    pub tasks: usize,
+    /// Compute cost per task on a worker (seconds).
+    pub task_cost: f64,
+    /// Master-side dispatch cost per task (seconds) — the severity knob:
+    /// `0` = instant master (balanced); `>= task_cost/(n-1)` = the master
+    /// becomes the bottleneck and workers starve.
+    pub dispatch_cost: f64,
+}
+
+impl FarmConfig {
+    /// The documented healthy configuration.
+    pub fn balanced(nprocs: usize) -> Self {
+        FarmConfig {
+            nprocs,
+            tasks: 3 * (nprocs - 1),
+            task_cost: 0.010,
+            dispatch_cost: 0.0,
+        }
+    }
+
+    /// The documented bottlenecked configuration.
+    pub fn starved(nprocs: usize) -> Self {
+        FarmConfig {
+            dispatch_cost: 0.012,
+            ..Self::balanced(nprocs)
+        }
+    }
+}
+
+/// Per-rank output: the master returns the checksum of all results, the
+/// workers return how many tasks they completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarmOutput {
+    /// Master: sum of all task results.
+    Master { checksum: u64, results: usize },
+    /// Worker: tasks completed.
+    Worker { completed: usize },
+}
+
+/// Run the farm.
+pub fn run(config: &FarmConfig) -> (Trace, Vec<FarmOutput>) {
+    assert!(config.nprocs >= 2, "a farm needs a master and a worker");
+    let cfg = SimConfig {
+        nprocs: config.nprocs,
+        model: ats_runtime::MachineModel::zero(),
+        init_time: VDur::ZERO,
+        finalize_time: VDur::ZERO,
+        ..Default::default()
+    };
+    let config = config.clone();
+    ats_mpi::run_collect(cfg, move |p| {
+        if p.rank() == 0 {
+            master(p, &config)
+        } else {
+            worker(p, &config)
+        }
+    })
+}
+
+fn master(p: &mut Proc, config: &FarmConfig) -> FarmOutput {
+    let world = p.comm_world();
+    p.enter_region("farm_master", RegionKind::User);
+    let mut next_task = 0u64;
+    let mut checksum = 0u64;
+    let mut results = 0usize;
+    let mut active_workers = world.size() - 1;
+    while active_workers > 0 {
+        let (_, st) = p.recv_select(None, Some(TAG_REQUEST), &world);
+        if next_task < config.tasks as u64 {
+            // The dispatch overhead is the bottleneck knob.
+            p.do_work(VDur::from_secs(config.dispatch_cost));
+            p.send(&next_task.to_le_bytes(), st.source, TAG_TASK, &world);
+            next_task += 1;
+        } else {
+            // Poison pill: u64::MAX.
+            p.send(&u64::MAX.to_le_bytes(), st.source, TAG_TASK, &world);
+            active_workers -= 1;
+        }
+    }
+    // Collect all results (workers send them eagerly as they finish).
+    for _ in 0..config.tasks {
+        let (data, _) = p.recv_select(None, Some(TAG_RESULT), &world);
+        checksum += u64::from_le_bytes(data.try_into().expect("one u64"));
+        results += 1;
+    }
+    p.exit_region("farm_master");
+    FarmOutput::Master { checksum, results }
+}
+
+fn worker(p: &mut Proc, config: &FarmConfig) -> FarmOutput {
+    let world = p.comm_world();
+    p.enter_region("farm_worker", RegionKind::User);
+    let mut completed = 0usize;
+    loop {
+        p.send(&[], 0, TAG_REQUEST, &world);
+        let (data, _) = p.recv(0, TAG_TASK, &world);
+        let task = u64::from_le_bytes(data.try_into().expect("one u64"));
+        if task == u64::MAX {
+            break;
+        }
+        p.do_work(VDur::from_secs(config.task_cost));
+        let result = task * task + 1;
+        p.send(&result.to_le_bytes(), 0, TAG_RESULT, &world);
+        completed += 1;
+    }
+    p.exit_region("farm_worker");
+    FarmOutput::Worker { completed }
+}
+
+/// Closed form for the farm's checksum: Σ (t² + 1) over the task pool.
+pub fn expected_checksum(tasks: usize) -> u64 {
+    (0..tasks as u64).map(|t| t * t + 1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_analyzer::{analyze, AnalyzerConfig};
+    use ats_trace::check_wellformed;
+
+    #[test]
+    fn farm_computes_the_checksum_and_drains_the_pool() {
+        for nprocs in [2, 4, 5] {
+            let config = FarmConfig::balanced(nprocs);
+            let (trace, out) = run(&config);
+            assert!(check_wellformed(&trace).is_empty());
+            match &out[0] {
+                FarmOutput::Master { checksum, results } => {
+                    assert_eq!(*checksum, expected_checksum(config.tasks));
+                    assert_eq!(*results, config.tasks);
+                }
+                _ => panic!("rank 0 is the master"),
+            }
+            let total: usize = out[1..]
+                .iter()
+                .map(|o| match o {
+                    FarmOutput::Worker { completed } => *completed,
+                    _ => panic!("workers after rank 0"),
+                })
+                .sum();
+            assert_eq!(total, config.tasks, "every task done exactly once");
+        }
+    }
+
+    fn worker_starvation(config: &FarmConfig) -> f64 {
+        let (trace, _) = run(config);
+        let report = analyze(&trace, &AnalyzerConfig::default().threshold(0.0));
+        report
+            .findings_for("LateSender")
+            .iter()
+            .filter(|f| f.call_path.contains("farm_worker"))
+            .map(|f| f.severity)
+            .sum()
+    }
+
+    #[test]
+    fn instant_master_keeps_workers_busier_than_a_slow_one() {
+        // Self-scheduling farms are inherently arrival-order dependent
+        // (the master's wildcard receive), so the robust contract is
+        // relative: a slow master starves workers far harder than an
+        // instant one, across repeated runs.
+        let balanced: f64 = (0..3)
+            .map(|_| worker_starvation(&FarmConfig::balanced(4)))
+            .fold(f64::INFINITY, f64::min);
+        let starved: f64 = (0..3)
+            .map(|_| worker_starvation(&FarmConfig::starved(4)))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            starved > balanced * 2.0 && starved > 0.1,
+            "starved {starved} vs balanced {balanced}"
+        );
+    }
+
+    #[test]
+    fn slow_master_starves_workers_with_late_sender_at_the_task_recv() {
+        let (trace, out) = run(&FarmConfig::starved(4));
+        // Numerics unchanged by the bottleneck.
+        match &out[0] {
+            FarmOutput::Master { checksum, .. } => {
+                assert_eq!(*checksum, expected_checksum(FarmConfig::starved(4).tasks));
+            }
+            _ => unreachable!(),
+        }
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        let worker_starve: f64 = report
+            .findings_for("LateSender")
+            .iter()
+            .filter(|f| f.call_path.contains("farm_worker"))
+            .map(|f| f.severity)
+            .sum();
+        assert!(
+            worker_starve > 0.05,
+            "starved farm must show worker-side LateSender: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn starvation_grows_with_dispatch_cost() {
+        let mut severities = Vec::new();
+        for dispatch in [0.0, 0.006, 0.012, 0.024] {
+            let config = FarmConfig {
+                dispatch_cost: dispatch,
+                ..FarmConfig::balanced(4)
+            };
+            let (trace, _) = run(&config);
+            let report = analyze(&trace, &AnalyzerConfig::default().threshold(0.0));
+            severities.push(report.severity_of("LateSender"));
+        }
+        for w in severities.windows(2) {
+            assert!(w[0] <= w[1], "not monotone: {severities:?}");
+        }
+        assert!(severities.last().unwrap() > &0.1);
+    }
+}

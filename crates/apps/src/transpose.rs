@@ -1,0 +1,214 @@
+//! A spectral-method-style distributed matrix transpose.
+//!
+//! The communication skeleton of 2-D FFTs and spectral solvers: compute on
+//! row blocks, `MPI_Alltoall` to transpose, compute on column blocks.
+//! Balanced row work streams cleanly; skewed row work turns every
+//! transpose into a full-synchronization stall (Wait at N×N) — the
+//! pathology that dominates real spectral codes at scale.
+
+use crate::AppSpec;
+use ats_core::Distr;
+use ats_mpi::{Proc, SimConfig};
+use ats_runtime::VDur;
+use ats_trace::{RegionKind, Trace};
+
+/// Standardized description (paper ch. 4).
+pub static SPEC: AppSpec = AppSpec {
+    name: "transpose",
+    description: "spectral-solver skeleton: compute / alltoall transpose / compute",
+    structure: "per step: row-block compute, MPI_Alltoall (block transpose), column-block compute",
+    balanced_behavior: "equal row blocks: the alltoall costs only transport",
+    imbalanced_properties: &["WaitAtNxN"],
+};
+
+/// Transpose-benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct TransposeConfig {
+    /// Ranks (the matrix is `nprocs x nprocs` blocks).
+    pub nprocs: usize,
+    /// Transpose steps.
+    pub steps: usize,
+    /// Elements (i64) per block.
+    pub block_elems: usize,
+    /// Row-phase compute cost per rank, as a distribution.
+    pub row_cost: Distr,
+}
+
+impl TransposeConfig {
+    /// The documented balanced configuration.
+    pub fn balanced(nprocs: usize) -> Self {
+        TransposeConfig {
+            nprocs,
+            steps: 4,
+            block_elems: 16,
+            row_cost: Distr::same(0.010),
+        }
+    }
+
+    /// The documented skewed configuration: a linear compute ramp.
+    pub fn skewed(nprocs: usize) -> Self {
+        TransposeConfig {
+            row_cost: Distr::linear(0.005, 0.030),
+            ..Self::balanced(nprocs)
+        }
+    }
+}
+
+/// Per-rank output: a checksum proving the transposes happened correctly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransposeOutput {
+    /// Checksum over the rank's final blocks.
+    pub checksum: i64,
+}
+
+/// Run the benchmark.
+pub fn run(config: &TransposeConfig) -> (Trace, Vec<TransposeOutput>) {
+    let cfg = SimConfig {
+        nprocs: config.nprocs,
+        model: ats_runtime::MachineModel::zero(),
+        init_time: VDur::ZERO,
+        finalize_time: VDur::ZERO,
+        ..Default::default()
+    };
+    let config = config.clone();
+    ats_mpi::run_collect(cfg, move |p| rank_body(p, &config))
+}
+
+fn rank_body(p: &mut Proc, config: &TransposeConfig) -> TransposeOutput {
+    let world = p.comm_world();
+    let me = world.rank() as i64;
+    let sz = world.size();
+    let cost = config.row_cost.work(world.rank(), sz, 1.0);
+    p.enter_region("transpose_steps", RegionKind::User);
+    // Row of blocks: block (me, j) holds values me*1000 + j initially.
+    let mut blocks: Vec<Vec<i64>> = (0..sz)
+        .map(|j| vec![me * 1000 + j as i64; config.block_elems])
+        .collect();
+    for step in 0..config.steps {
+        // Row-phase compute (the imbalance knob).
+        p.do_work(cost);
+        for b in &mut blocks {
+            for v in b.iter_mut() {
+                *v = v.wrapping_add(step as i64);
+            }
+        }
+        // Block transpose via alltoall: send block j to rank j.
+        let send: Vec<u8> = blocks
+            .iter()
+            .flat_map(|b| b.iter().flat_map(|v| v.to_le_bytes()))
+            .collect();
+        let recv = p.alltoall(&send, &world);
+        let block_bytes = config.block_elems * 8;
+        blocks = (0..sz)
+            .map(|j| {
+                recv[j * block_bytes..(j + 1) * block_bytes]
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect()
+            })
+            .collect();
+        // Column-phase compute: fixed small cost.
+        p.do_work(VDur::from_millis(2));
+    }
+    p.exit_region("transpose_steps");
+    let checksum = blocks
+        .iter()
+        .flat_map(|b| b.iter())
+        .fold(0i64, |a, v| a.wrapping_add(*v));
+    TransposeOutput { checksum }
+}
+
+/// Sequential reference: simulate the block dance without MPI.
+pub fn expected_checksums(config: &TransposeConfig) -> Vec<i64> {
+    let sz = config.nprocs;
+    // matrix[owner][j] = the block value (all elements are equal).
+    let mut value: Vec<Vec<i64>> = (0..sz)
+        .map(|r| (0..sz).map(|j| r as i64 * 1000 + j as i64).collect())
+        .collect();
+    for step in 0..config.steps {
+        for row in &mut value {
+            for v in row.iter_mut() {
+                *v = v.wrapping_add(step as i64);
+            }
+        }
+        // Transpose: new[r][j] = old[j][r].
+        let old = value.clone();
+        for (r, row) in value.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = old[j][r];
+            }
+        }
+    }
+    value
+        .iter()
+        .map(|row| {
+            row.iter()
+                .fold(0i64, |a, v| a.wrapping_add(v * config.block_elems as i64))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_analyzer::{analyze, AnalyzerConfig};
+    use ats_trace::check_wellformed;
+
+    #[test]
+    fn transpose_matches_the_sequential_reference() {
+        for nprocs in [2, 3, 4] {
+            let config = TransposeConfig::balanced(nprocs);
+            let (trace, out) = run(&config);
+            assert!(check_wellformed(&trace).is_empty());
+            let expect = expected_checksums(&config);
+            for (rank, o) in out.iter().enumerate() {
+                assert_eq!(o.checksum, expect[rank], "rank {rank} of {nprocs}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_rows_keep_the_alltoall_clean() {
+        let (trace, _) = run(&TransposeConfig::balanced(4));
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        assert!(
+            report.is_clean(),
+            "balanced transpose produced findings: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn skewed_rows_stall_the_alltoall() {
+        let config = TransposeConfig::skewed(4);
+        let (trace, out) = run(&config);
+        // Numerics unchanged.
+        assert_eq!(
+            out.iter().map(|o| o.checksum).collect::<Vec<_>>(),
+            expected_checksums(&config)
+        );
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        assert!(report.severity_of("WaitAtNxN") > 0.05);
+        assert!(report
+            .findings_for("WaitAtNxN")
+            .iter()
+            .any(
+                |f| f.call_path.contains("transpose_steps") && f.call_path.contains("MPI_Alltoall")
+            ));
+    }
+
+    #[test]
+    fn stall_severity_tracks_the_skew() {
+        let mut severities = Vec::new();
+        for high in [0.010, 0.020, 0.040] {
+            let config = TransposeConfig {
+                row_cost: Distr::linear(0.010, high),
+                ..TransposeConfig::balanced(4)
+            };
+            let (trace, _) = run(&config);
+            let report = analyze(&trace, &AnalyzerConfig::default().threshold(0.0));
+            severities.push(report.severity_of("WaitAtNxN"));
+        }
+        assert!(severities[0] < severities[1] && severities[1] < severities[2]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion benches over the application tier (paper ch. 4): end-to-end
+//! cost of running + analyzing each mini-app in its pathological
+//! configuration — the suite's "applicability" workload.
+
+use ats_analyzer::{analyze, AnalyzerConfig};
+use ats_apps as apps;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("applications");
+    g.sample_size(10);
+    g.bench_function("jacobi_imbalanced_run_and_analyze", |b| {
+        b.iter(|| {
+            let (trace, _) = apps::jacobi::run(&apps::jacobi::JacobiConfig::imbalanced(4));
+            black_box(analyze(&trace, &AnalyzerConfig::default()))
+        })
+    });
+    g.bench_function("heat2d_refined_run_and_analyze", |b| {
+        b.iter(|| {
+            let (trace, _) = apps::heat2d::run(&apps::heat2d::Heat2dConfig::refined_corner(4));
+            black_box(analyze(&trace, &AnalyzerConfig::default()))
+        })
+    });
+    g.bench_function("taskfarm_starved_run_and_analyze", |b| {
+        b.iter(|| {
+            let (trace, _) = apps::taskfarm::run(&apps::taskfarm::FarmConfig::starved(4));
+            black_box(analyze(&trace, &AnalyzerConfig::default()))
+        })
+    });
+    g.bench_function("transpose_skewed_run_and_analyze", |b| {
+        b.iter(|| {
+            let (trace, _) = apps::transpose::run(&apps::transpose::TransposeConfig::skewed(4));
+            black_box(analyze(&trace, &AnalyzerConfig::default()))
+        })
+    });
+    g.bench_function("hybrid_stencil_skewed_run_and_analyze", |b| {
+        b.iter(|| {
+            let (trace, _) =
+                apps::hybrid_stencil::run(&apps::hybrid_stencil::HybridConfig::skewed(2, 4));
+            black_box(analyze(&trace, &AnalyzerConfig::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(app_benches, bench_apps);
+criterion_main!(app_benches);

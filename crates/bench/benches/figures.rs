@@ -1,0 +1,88 @@
+//! Criterion benches regenerating the paper's figure workloads.
+//!
+//! One group per evaluation artifact (Figures 3.2-3.5): each bench
+//! constructs the figure's synthetic program, executes it on the
+//! virtual-time substrate, and (for Figure 3.5) runs the automatic
+//! analysis. Timing these end-to-end runs tracks the suite's own cost —
+//! how long it takes a tool developer to regenerate the paper.
+
+use ats_analyzer::{analyze, AnalyzerConfig};
+use ats_bench::{figure32_runs, figure33_trace, figure34_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig32_single_property(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure32");
+    g.sample_size(10);
+    g.bench_function("two_parameterizations_8_ranks", |b| {
+        b.iter(|| black_box(figure32_runs(8)))
+    });
+    g.finish();
+}
+
+fn fig33_composite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure33");
+    g.sample_size(10);
+    g.bench_function("all_mpi_properties_8_ranks", |b| {
+        b.iter(|| black_box(figure33_trace(8)))
+    });
+    g.finish();
+}
+
+fn fig34_two_comms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure34");
+    g.sample_size(10);
+    g.bench_function("two_communicators_16_ranks", |b| {
+        b.iter(|| black_box(figure34_trace(16)))
+    });
+    g.finish();
+}
+
+fn fig35_analysis(c: &mut Criterion) {
+    let trace = figure34_trace(16);
+    let mut g = c.benchmark_group("figure35");
+    g.sample_size(10);
+    g.bench_function("expert_analysis_of_figure34", |b| {
+        b.iter(|| black_box(analyze(&trace, &AnalyzerConfig::default())))
+    });
+    g.bench_function("timeline_render_figure34", |b| {
+        b.iter(|| black_box(ats_harness::timeline::render_text(&trace, 120)))
+    });
+    g.finish();
+}
+
+fn sweeps(c: &mut Criterion) {
+    use ats_harness::experiment::{Experiment, Sweep};
+    use ats_harness::RunOpts;
+    let mut g = c.benchmark_group("correctness_sweeps");
+    g.sample_size(10);
+    g.bench_function("late_sender_severity_sweep", |b| {
+        b.iter(|| {
+            Experiment::new("late_sender")
+                .sweep(Sweep::seconds("extrawork", [0.01, 0.02, 0.04]))
+                .opts(RunOpts::default().procs(4))
+                .run()
+                .expect("runnable")
+        })
+    });
+    g.bench_function("negative_suite_scan", |b| {
+        b.iter(|| {
+            Experiment::new("balanced_mpi_barrier")
+                .sweep(Sweep::seconds("work", [0.005, 0.01]))
+                .opts(RunOpts::default().procs(4))
+                .run()
+                .expect("runnable")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig32_single_property,
+    fig33_composite,
+    fig34_two_comms,
+    fig35_analysis,
+    sweeps
+);
+criterion_main!(figures);

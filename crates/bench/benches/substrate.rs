@@ -1,0 +1,161 @@
+//! Criterion microbenchmarks of the ATS-RS machinery itself: substrate
+//! operation throughput, trace recording, and analysis scaling. These are
+//! the ablation numbers DESIGN.md calls out (virtual-time execution must
+//! stay cheap enough that suite runs are interactive).
+
+use ats_analyzer::{analyze, AnalyzerConfig};
+use ats_core::{properties::mpi_coll, properties::mpi_p2p, BaseComm, Distr};
+use ats_mpi::SimConfig;
+use ats_omp::{parallel, run_omp, OmpConfig};
+use ats_runtime::{MachineModel, SplitMix64, VDur};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn cfg(n: usize) -> SimConfig {
+    SimConfig {
+        nprocs: n,
+        model: MachineModel::zero(),
+        init_time: VDur::ZERO,
+        finalize_time: VDur::ZERO,
+        ..Default::default()
+    }
+}
+
+fn rng_throughput(c: &mut Criterion) {
+    c.bench_function("splitmix64_1k_draws", |b| {
+        let mut g = SplitMix64::new(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(g.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn barrier_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpi_barrier_100x");
+    g.sample_size(10);
+    for procs in [2, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            b.iter(|| {
+                ats_mpi::run(cfg(procs), |p| {
+                    let c = p.comm_world();
+                    for _ in 0..100 {
+                        p.barrier(&c);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn p2p_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p_pingpong_1000x");
+    g.sample_size(10);
+    g.bench_function("eager_2k", |b| {
+        b.iter(|| {
+            ats_mpi::run(cfg(2), |p| {
+                let c = p.comm_world();
+                let buf = vec![0u8; 2048];
+                for i in 0..1000 {
+                    if p.rank() == 0 {
+                        p.send(&buf, 1, i, &c);
+                        let _ = p.recv(1, i, &c);
+                    } else {
+                        let _ = p.recv(0, i, &c);
+                        p.send(&buf, 0, i, &c);
+                    }
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn omp_fork_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("omp_fork_join_50x");
+    g.sample_size(10);
+    for threads in [2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                run_omp(
+                    OmpConfig {
+                        model: MachineModel::zero(),
+                        ..Default::default()
+                    },
+                    |m| {
+                        for _ in 0..50 {
+                            parallel(m, t, |th| th.do_work(VDur::from_micros(1)));
+                        }
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn analyzer_scaling(c: &mut Criterion) {
+    // Traces of growing event counts from repeated property bodies.
+    let mut g = c.benchmark_group("analyzer_events");
+    g.sample_size(10);
+    for reps in [10usize, 50, 200] {
+        let trace = ats_mpi::run(cfg(8), move |p| {
+            let c = p.comm_world();
+            mpi_p2p::late_sender(p, &BaseComm::default(), 0.0001, 0.0002, reps, &c);
+            mpi_coll::imbalance_at_mpi_barrier(p, &Distr::cyclic2(0.0001, 0.0003), reps, &c);
+        });
+        let events = trace.num_events();
+        g.bench_with_input(BenchmarkId::from_parameter(events), &trace, |b, trace| {
+            b.iter(|| black_box(analyze(trace, &AnalyzerConfig::default())))
+        });
+    }
+    g.finish();
+}
+
+fn trace_io(c: &mut Criterion) {
+    let trace = ats_mpi::run(cfg(8), |p| {
+        let c = p.comm_world();
+        mpi_coll::imbalance_at_mpi_barrier(p, &Distr::linear(0.0001, 0.0005), 50, &c);
+    });
+    let mut g = c.benchmark_group("trace_io");
+    g.sample_size(10);
+    g.bench_function("jsonl_write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            ats_trace::io::write_jsonl(&trace, &mut buf).expect("serialize");
+            black_box(buf)
+        })
+    });
+    let mut serialized = Vec::new();
+    ats_trace::io::write_jsonl(&trace, &mut serialized).expect("serialize");
+    g.bench_function("jsonl_read", |b| {
+        b.iter(|| black_box(ats_trace::io::read_jsonl(serialized.as_slice()).expect("parse")))
+    });
+    g.finish();
+}
+
+fn real_work_calibration(c: &mut Criterion) {
+    use ats_runtime::{WorkEngine, WorkMode};
+    let rate = ats_runtime::work::calibrate();
+    c.bench_function("real_do_work_1ms", |b| {
+        let mut engine = WorkEngine::new(WorkMode::Real, 7, 0);
+        engine.set_calibration(rate);
+        b.iter(|| engine.do_work(VDur::from_millis(1)))
+    });
+}
+
+criterion_group!(
+    substrate,
+    rng_throughput,
+    barrier_scaling,
+    p2p_throughput,
+    omp_fork_join,
+    analyzer_scaling,
+    trace_io,
+    real_work_calibration
+);
+criterion_main!(substrate);

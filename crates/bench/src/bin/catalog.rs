@@ -1,0 +1,54 @@
+//! Prints the ATS property-function catalog (the paper's §3.1.5 list plus
+//! the ASL-catalog extensions), with parameters and expectations.
+//!
+//! Usage: `catalog [--generate DIR]` — with `--generate`, also writes the
+//! auto-generated single-property test programs to DIR.
+
+use ats_core::catalog::CATALOG;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!(
+        "{:<32} {:<14} {:<22} {:<14} paper?",
+        "property function", "paradigm", "expected property", "localized at"
+    );
+    println!("{}", "-".repeat(100));
+    for spec in CATALOG {
+        println!(
+            "{:<32} {:<14} {:<22} {:<14} {}",
+            spec.name,
+            format!("{:?}", spec.paradigm),
+            spec.expected_property.unwrap_or("(none)"),
+            spec.localized_at,
+            if spec.in_paper_prototype {
+                "yes"
+            } else {
+                "ext"
+            }
+        );
+    }
+    println!(
+        "\n{} property functions ({} from the paper's prototype)",
+        CATALOG.len(),
+        CATALOG.iter().filter(|s| s.in_paper_prototype).count()
+    );
+
+    if let Some(i) = args.iter().position(|a| a == "--generate") {
+        let dir = args.get(i + 1).expect("--generate needs a directory");
+        std::fs::create_dir_all(dir).expect("create dir");
+        for (name, src) in ats_harness::generate::generate_all() {
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, src).expect("write generated program");
+            println!("generated {path}");
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--fortran") {
+        let dir = args.get(i + 1).expect("--fortran needs a directory");
+        std::fs::create_dir_all(dir).expect("create dir");
+        for (name, src) in ats_harness::generate::generate_all_fortran() {
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, src).expect("write generated program");
+            println!("generated {path}");
+        }
+    }
+}

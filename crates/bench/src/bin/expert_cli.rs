@@ -1,0 +1,47 @@
+//! A standalone EXPERT-like analysis CLI: reads a JSONL trace produced by
+//! the suite (or runs a named property function) and prints the analysis.
+//!
+//! Usage:
+//!   expert_cli --trace FILE.jsonl
+//!   expert_cli --run PROPERTY [key=value ...] [--procs N]
+
+use ats_analyzer::{analyze, AnalyzerConfig};
+use ats_harness::{run_single, ParamValues, RunOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let path = args.get(i + 1).expect("--trace needs a file");
+        let file = std::fs::File::open(path).expect("open trace");
+        ats_trace::io::read_jsonl(std::io::BufReader::new(file)).expect("parse trace")
+    } else if let Some(i) = args.iter().position(|a| a == "--run") {
+        let name = args.get(i + 1).expect("--run needs a property").clone();
+        let spec = ats_core::catalog::find(&name).unwrap_or_else(|| {
+            eprintln!("unknown property `{name}`; see the `catalog` binary");
+            std::process::exit(2);
+        });
+        let procs = args
+            .iter()
+            .position(|a| a == "--procs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8);
+        let kv: Vec<&str> = args[i + 2..]
+            .iter()
+            .map(String::as_str)
+            .filter(|a| a.contains('='))
+            .collect();
+        let params = ParamValues::from_args(spec, &kv).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        run_single(&name, &params, &RunOpts::default().procs(procs)).expect("in catalog")
+    } else {
+        eprintln!(
+            "usage: expert_cli --trace FILE.jsonl | --run PROPERTY [key=value ...] [--procs N]"
+        );
+        std::process::exit(2);
+    };
+    let report = analyze(&trace, &AnalyzerConfig::default());
+    println!("{}", report.render(&trace));
+}

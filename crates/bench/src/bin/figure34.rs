@@ -1,0 +1,38 @@
+//! Regenerates the paper's Figure 3.4: two collections of MPI property
+//! functions executing in parallel in different communicators (lower half:
+//! point-to-point set; upper half: collective set).
+//!
+//! Usage: `figure34 [nprocs] [--svg DIR]`
+
+use ats_harness::timeline;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nprocs = args.first().and_then(|a| a.parse().ok()).unwrap_or(16usize);
+    let svg_dir = args
+        .iter()
+        .position(|a| a == "--svg")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    println!("=== Figure 3.4: two communicators, different property sets in parallel ===");
+    println!(
+        "(lower ranks 0..{}: late_sender + late_receiver;",
+        nprocs / 2
+    );
+    println!(
+        " upper ranks {}..{nprocs}: late_broadcast(root 1) + early_reduce + barrier imbalance)\n",
+        nprocs / 2
+    );
+    let trace = ats_bench::figure34_trace(nprocs);
+    print!("{}", timeline::render_text(&trace, 120));
+    println!("\ncommunicators recorded in the trace:");
+    for c in &trace.comms {
+        println!("  comm {:>2}: members {:?}", c.id, c.members);
+    }
+    if let Some(dir) = &svg_dir {
+        let path = format!("{dir}/figure34.svg");
+        std::fs::write(&path, timeline::render_svg(&trace, 500)).expect("write svg");
+        println!("wrote {path}");
+    }
+}

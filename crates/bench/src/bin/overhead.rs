@@ -1,0 +1,51 @@
+//! Extended experiment E-over: the paper's Chapter 2 procedure — run the
+//! validation suite with and without instrumentation (results must match)
+//! and measure the tool-side overhead with calibrated real work.
+//!
+//! Usage: `overhead [nprocs]`
+
+use ats_harness::validation;
+use ats_runtime::VDur;
+
+fn main() {
+    let nprocs = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4usize);
+    println!("=== E-over: semantics preservation + instrumentation overhead ===\n");
+    println!("validation suite ({nprocs} procs):");
+    let mut all = true;
+    for r in validation::run_validation(nprocs) {
+        all &= r.passed();
+        println!(
+            "  {:<18} plain={} instrumented={} outputs-equal={}  [{}]",
+            r.name,
+            r.correct_plain,
+            r.correct_instrumented,
+            r.outputs_equal,
+            if r.passed() { "ok" } else { "FAIL" }
+        );
+    }
+    println!("\nOpenMP validation suite (4 threads):");
+    for r in validation::run_omp_validation(4) {
+        all &= r.passed();
+        println!(
+            "  {:<18} plain={} instrumented={} outputs-equal={}  [{}]",
+            r.name,
+            r.correct_plain,
+            r.correct_instrumented,
+            r.outputs_equal,
+            if r.passed() { "ok" } else { "FAIL" }
+        );
+    }
+    println!("\noverhead (real calibrated work, 50 x 2ms steps):");
+    let o = validation::measure_overhead(nprocs, VDur::from_millis(2), 50);
+    println!(
+        "  uninstrumented {:.3}s, instrumented {:.3}s, slowdown {:.3}x, {} events",
+        o.plain_secs,
+        o.instrumented_secs,
+        o.slowdown(),
+        o.events
+    );
+    std::process::exit(if all { 0 } else { 1 });
+}

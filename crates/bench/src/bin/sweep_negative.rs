@@ -1,0 +1,40 @@
+//! Extended experiment E-neg: negative correctness. Every balanced
+//! (negative) property function across work amounts, repetitions and
+//! scales must produce zero findings.
+//!
+//! Usage: `sweep_negative`
+
+use ats_harness::experiment::{Experiment, Sweep};
+use ats_harness::RunOpts;
+
+fn main() {
+    println!("=== E-neg: false-positive scan over the negative catalog ===\n");
+    let mut all_ok = true;
+    for spec in ats_core::CATALOG {
+        if spec.expected_property.is_some() {
+            continue;
+        }
+        for nprocs in [2, 4, 8] {
+            let rows = Experiment::new(spec.name)
+                .sweep(Sweep::seconds("work", [0.001, 0.01, 0.05]))
+                .sweep(Sweep::counts("r", [1, 4]))
+                .opts(RunOpts::default().procs(nprocs))
+                .run()
+                .expect("runnable");
+            let fps: usize = rows.iter().map(|r| r.unexpected_findings).sum();
+            let ok = fps == 0;
+            all_ok &= ok;
+            println!(
+                "{:<28} procs={nprocs} configs={} false positives={fps} [{}]",
+                spec.name,
+                rows.len(),
+                if ok { "ok" } else { "FAIL" }
+            );
+        }
+    }
+    println!(
+        "\nnegative correctness sweep: {}",
+        if all_ok { "ALL OK" } else { "FAILURES" }
+    );
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

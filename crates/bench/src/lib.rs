@@ -1,0 +1,105 @@
+//! # ats-bench
+//!
+//! Regeneration of every figure in the ATS paper's evaluation, plus the
+//! extended experiments DESIGN.md defines. The paper contains no numeric
+//! tables; its evaluation artifacts are four figures:
+//!
+//! | id   | paper artifact | binary |
+//! |------|----------------|--------|
+//! | F3.2 | Vampir timelines of two single-property runs of `imbalance_at_mpi_barrier` with different parameters | `figure32` |
+//! | F3.3 | timeline of a composite program calling all MPI property functions | `figure33` |
+//! | F3.4 | timeline of two communicators running different property sets in parallel | `figure34` |
+//! | F3.5 | EXPERT's analysis of the F3.4 program (property/call/location panes) | `figure35` |
+//!
+//! Extended experiments: `sweep_positive` (severity-tracking curves),
+//! `sweep_negative` (false-positive scan), `overhead` (instrumentation
+//! cost), `catalog` (the property-function inventory).
+//!
+//! Criterion benches (`cargo bench -p ats-bench`) time the suite's own
+//! machinery: substrate operation costs, property-program construction,
+//! and analysis throughput.
+
+use ats_core::CompositeParams;
+use ats_harness::registry::{run_composite_all_mpi, run_composite_two_comms};
+use ats_harness::RunOpts;
+use ats_runtime::VDur;
+use ats_trace::Trace;
+
+/// Shared configuration for the figure binaries: the paper's programs at
+/// reproduction scale.
+pub fn paper_opts(nprocs: usize) -> RunOpts {
+    // Realistic model + visible init/finalize, as in the Vampir shots.
+    RunOpts::default().procs(nprocs).realistic()
+}
+
+/// The Figure 3.2 runs: `imbalance_at_mpi_barrier` under two different
+/// parameter sets (distribution shape and severity), as the paper's two
+/// timelines show. Returns `(label, trace)` pairs.
+pub fn figure32_runs(nprocs: usize) -> Vec<(String, Trace)> {
+    use ats_harness::{run_single, ParamValues};
+    let spec = ats_core::catalog::find("imbalance_at_mpi_barrier").expect("in catalog");
+    let configs = [
+        ("block2 low severity", "df=block2:low=0.01,high=0.03", "r=4"),
+        (
+            "linear high severity",
+            "df=linear:low=0.01,high=0.09",
+            "r=4",
+        ),
+    ];
+    configs
+        .iter()
+        .map(|(label, df, r)| {
+            let params = ParamValues::from_args(spec, &[df, r]).expect("valid params");
+            let trace = run_single("imbalance_at_mpi_barrier", &params, &paper_opts(nprocs))
+                .expect("runnable");
+            ((*label).to_owned(), trace)
+        })
+        .collect()
+}
+
+/// The Figure 3.3 program: all MPI property functions in sequence.
+pub fn figure33_trace(nprocs: usize) -> Trace {
+    let params = CompositeParams {
+        basework: 0.005,
+        extrawork: 0.02,
+        reps: 2,
+        ..Default::default()
+    };
+    run_composite_all_mpi(&params, &paper_opts(nprocs))
+}
+
+/// The Figure 3.4/3.5 program: two communicators running different
+/// property sets in parallel (16 ranks, as in the paper's screenshots).
+pub fn figure34_trace(nprocs: usize) -> Trace {
+    let params = CompositeParams {
+        basework: 0.005,
+        extrawork: 0.02,
+        reps: 2,
+        ..Default::default()
+    };
+    run_composite_two_comms(&params, &paper_opts(nprocs))
+}
+
+/// Default per-step work used in overhead measurements.
+pub const OVERHEAD_STEP: VDur = VDur(2_000_000); // 2ms
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_traces_are_wellformed() {
+        for (_, t) in figure32_runs(8) {
+            assert!(ats_trace::check_wellformed(&t).is_empty());
+        }
+        assert!(ats_trace::check_wellformed(&figure33_trace(8)).is_empty());
+        assert!(ats_trace::check_wellformed(&figure34_trace(16)).is_empty());
+    }
+
+    #[test]
+    fn figure34_uses_three_communicators() {
+        let t = figure34_trace(8);
+        // world + two halves.
+        assert!(t.comms.len() >= 3, "comms: {:?}", t.comms);
+    }
+}

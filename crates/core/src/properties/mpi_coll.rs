@@ -1,0 +1,447 @@
+//! MPI collective performance properties.
+//!
+//! Ports of the paper's eight collective prototype functions (signatures
+//! reproduced below) plus the allreduce/scan extensions its future-work
+//! section calls for:
+//!
+//! ```c
+//! void imbalance_at_mpi_barrier(distr_func_t df, distr_t* dd, int r, MPI_Comm c);
+//! void imbalance_at_mpi_alltoall(distr_func_t df, distr_t* dd, int r, MPI_Comm c);
+//! void late_broadcast(double basework, double rootextrawork, int root, int r, MPI_Comm c);
+//! void late_scatter(double basework, double rootextrawork, int root, int r, MPI_Comm c);
+//! void late_scatterv(double basework, double rootextrawork, int root, int r, MPI_Comm c);
+//! void early_reduce(double rootwork, double baseextrawork, int root, int r, MPI_Comm c);
+//! void early_gather(double rootwork, double baseextrawork, int root, int r, MPI_Comm c);
+//! void early_gatherv(double rootwork, double baseextrawork, int root, int r, MPI_Comm c);
+//! ```
+
+use super::frame_mpi;
+use crate::buffer::{alloc_mpi_vbuf, BaseComm};
+use crate::distribution::Distr;
+use crate::work::par_do_mpi_work;
+use ats_mpi::{Comm, Datatype, Proc, ReduceOp};
+
+/// *Imbalance at `MPI_Barrier`* (paper Fig. 3.2): distribution-shaped work
+/// followed by a barrier, repeated `r` times. Every participant's barrier
+/// wait equals the gap between its work and the slowest member's.
+pub fn imbalance_at_mpi_barrier(p: &mut Proc, df: &Distr, r: usize, comm: &Comm) {
+    frame_mpi(p, "imbalance_at_mpi_barrier", |p| {
+        for _ in 0..r {
+            par_do_mpi_work(p, df, 1.0, comm);
+            p.barrier(comm);
+        }
+    });
+}
+
+/// *Wait at N×N* — imbalance in front of an `MPI_Alltoall`, which cannot
+/// start until its last participant arrives.
+pub fn imbalance_at_mpi_alltoall(p: &mut Proc, base: &BaseComm, df: &Distr, r: usize, comm: &Comm) {
+    frame_mpi(p, "imbalance_at_mpi_alltoall", |p| {
+        // Equal per-destination chunks of the base size.
+        let send = vec![0u8; base.bytes() * comm.size()];
+        for _ in 0..r {
+            par_do_mpi_work(p, df, 1.0, comm);
+            let _ = p.alltoall(&send, comm);
+        }
+    });
+}
+
+/// *Imbalance at `MPI_Allreduce`* (ASL extension): like the alltoall
+/// variant, for the reduction-to-all collective.
+pub fn imbalance_at_mpi_allreduce(
+    p: &mut Proc,
+    base: &BaseComm,
+    df: &Distr,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "imbalance_at_mpi_allreduce", |p| {
+        let mine = vec![0u8; base.bytes()];
+        for _ in 0..r {
+            par_do_mpi_work(p, df, 1.0, comm);
+            let _ = p.allreduce(&mine, ReduceOp::Sum, Datatype::Float64, comm);
+        }
+    });
+}
+
+/// *Imbalance at `MPI_Scan`* (ASL extension): descending work ramp in
+/// front of a prefix reduction — rank `i` waits on every heavier rank
+/// `j < i`.
+pub fn imbalance_at_mpi_scan(p: &mut Proc, base: &BaseComm, df: &Distr, r: usize, comm: &Comm) {
+    frame_mpi(p, "imbalance_at_mpi_scan", |p| {
+        let mine = vec![0u8; base.bytes()];
+        for _ in 0..r {
+            par_do_mpi_work(p, df, 1.0, comm);
+            let _ = p.scan(&mine, ReduceOp::Sum, Datatype::Float64, comm);
+        }
+    });
+}
+
+/// *Progressive Imbalance at `MPI_Barrier`*: the paper's remark made
+/// concrete — "the severity of the pattern is a function of the iteration
+/// number ... easily implemented by using the scale factor parameter".
+/// Iteration `i` runs the distribution scaled by `1 + growth·i`, so the
+/// imbalance ramps up over the run.
+pub fn progressive_imbalance_at_mpi_barrier(
+    p: &mut Proc,
+    df: &Distr,
+    growth: f64,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "progressive_imbalance_at_mpi_barrier", |p| {
+        for i in 0..r {
+            par_do_mpi_work(p, df, 1.0 + growth * i as f64, comm);
+            p.barrier(comm);
+        }
+    });
+}
+
+/// *Growing Imbalance at `MPI_Barrier`*: the heavy half's *extra* work
+/// grows by `extrastep` every iteration while the base stays fixed, so the
+/// waiting *fraction* of each iteration rises — the shape windowed (phase)
+/// analysis exists to detect. (Contrast with
+/// [`progressive_imbalance_at_mpi_barrier`], which scales work and wait
+/// together and therefore keeps the waiting fraction constant.)
+pub fn growing_imbalance_at_mpi_barrier(
+    p: &mut Proc,
+    basework: f64,
+    extrastep: f64,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "growing_imbalance_at_mpi_barrier", |p| {
+        for i in 0..r {
+            let dd = Distr::block2(basework, basework + extrastep * (i + 1) as f64);
+            par_do_mpi_work(p, &dd, 1.0, comm);
+            p.barrier(comm);
+        }
+    });
+}
+
+/// Work distribution for the rooted "late" properties: everyone does
+/// `basework`, the root does `basework + rootextrawork`.
+fn late_root_distr(basework: f64, rootextrawork: f64, root: usize) -> Distr {
+    Distr::peak(basework, basework + rootextrawork, root)
+}
+
+/// Work distribution for the rooted "early" properties: the root does only
+/// `rootwork`, everyone else `rootwork + baseextrawork`.
+fn early_root_distr(rootwork: f64, baseextrawork: f64, root: usize) -> Distr {
+    // `peak` assigns `high` to the peak rank; here the root is the *light*
+    // one, so the names invert: high = rootwork, low = rootwork + extra.
+    Distr::peak(rootwork + baseextrawork, rootwork, root)
+}
+
+/// *Late Broadcast*: all non-root ranks wait inside `MPI_Bcast` because
+/// the root enters `rootextrawork` late.
+pub fn late_broadcast(
+    p: &mut Proc,
+    base: &BaseComm,
+    basework: f64,
+    rootextrawork: f64,
+    root: usize,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "late_broadcast", |p| {
+        let dd = late_root_distr(basework, rootextrawork, root);
+        for _ in 0..r {
+            par_do_mpi_work(p, &dd, 1.0, comm);
+            let mut buf = base.alloc().data.to_vec();
+            p.bcast(&mut buf, root, comm);
+        }
+    });
+}
+
+/// *Late Scatter*: like [`late_broadcast`] for `MPI_Scatter`.
+pub fn late_scatter(
+    p: &mut Proc,
+    base: &BaseComm,
+    basework: f64,
+    rootextrawork: f64,
+    root: usize,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "late_scatter", |p| {
+        let dd = late_root_distr(basework, rootextrawork, root);
+        let send = vec![0u8; base.bytes() * comm.size()];
+        for _ in 0..r {
+            par_do_mpi_work(p, &dd, 1.0, comm);
+            let _ = p.scatter(&send, root, comm);
+        }
+    });
+}
+
+/// *Late Scatterv*: the irregular variant; per-rank chunk sizes ramp
+/// linearly so the trace also exercises the v-buffer machinery.
+pub fn late_scatterv(
+    p: &mut Proc,
+    base: &BaseComm,
+    basework: f64,
+    rootextrawork: f64,
+    root: usize,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "late_scatterv", |p| {
+        let dd = late_root_distr(basework, rootextrawork, root);
+        // Chunk sizes from 1x to 2x the base count across ranks.
+        let counts_df = Distr::linear(base.count as f64, 2.0 * base.count as f64);
+        let vbuf = alloc_mpi_vbuf(base.dtype, &counts_df, 1.0, root, comm.size());
+        let byte_counts = vbuf.byte_counts();
+        for _ in 0..r {
+            par_do_mpi_work(p, &dd, 1.0, comm);
+            let _ = p.scatterv(&vbuf.data, &byte_counts, root, comm);
+        }
+    });
+}
+
+/// *Early Reduce*: the root enters `MPI_Reduce` with almost no work and
+/// waits for the contributions of the `baseextrawork`-delayed members.
+pub fn early_reduce(
+    p: &mut Proc,
+    base: &BaseComm,
+    rootwork: f64,
+    baseextrawork: f64,
+    root: usize,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "early_reduce", |p| {
+        let dd = early_root_distr(rootwork, baseextrawork, root);
+        let mine = vec![0u8; base.bytes()];
+        for _ in 0..r {
+            par_do_mpi_work(p, &dd, 1.0, comm);
+            let _ = p.reduce(&mine, ReduceOp::Sum, Datatype::Float64, root, comm);
+        }
+    });
+}
+
+/// *Early Gather*: like [`early_reduce`] for `MPI_Gather`.
+pub fn early_gather(
+    p: &mut Proc,
+    base: &BaseComm,
+    rootwork: f64,
+    baseextrawork: f64,
+    root: usize,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "early_gather", |p| {
+        let dd = early_root_distr(rootwork, baseextrawork, root);
+        let mine = vec![0u8; base.bytes()];
+        for _ in 0..r {
+            par_do_mpi_work(p, &dd, 1.0, comm);
+            let _ = p.gather(&mine, root, comm);
+        }
+    });
+}
+
+/// *Early Gatherv*: the irregular variant of [`early_gather`]; each rank
+/// contributes a rank-dependent amount.
+pub fn early_gatherv(
+    p: &mut Proc,
+    base: &BaseComm,
+    rootwork: f64,
+    baseextrawork: f64,
+    root: usize,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "early_gatherv", |p| {
+        let dd = early_root_distr(rootwork, baseextrawork, root);
+        let counts_df = Distr::linear(base.count as f64, 2.0 * base.count as f64);
+        let my_count = counts_df.count(comm.rank(), comm.size(), 1.0);
+        let mine = vec![0u8; my_count * base.dtype.size()];
+        for _ in 0..r {
+            par_do_mpi_work(p, &dd, 1.0, comm);
+            let _ = p.gatherv(&mine, root, comm);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_mpi::SimConfig;
+    use ats_runtime::{MachineModel, VDur, VTime};
+    use ats_trace::{check_wellformed, EventKind, TraceStats};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            nprocs: n,
+            model: MachineModel::zero(),
+            init_time: VDur::ZERO,
+            finalize_time: VDur::ZERO,
+            ..Default::default()
+        }
+    }
+
+    fn base() -> BaseComm {
+        BaseComm::default()
+    }
+
+    #[test]
+    fn imbalance_at_barrier_aligns_at_max() {
+        let df = Distr::linear(0.010, 0.040);
+        ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            imbalance_at_mpi_barrier(p, &df, 2, &c);
+            assert_eq!(p.clock(), VTime::from_secs(0.080));
+        });
+    }
+
+    #[test]
+    fn imbalance_at_barrier_trace_has_r_barriers() {
+        let df = Distr::block2(0.001, 0.003);
+        let trace = ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            imbalance_at_mpi_barrier(p, &df, 5, &c);
+        });
+        let stats = TraceStats::compute(&trace);
+        let bar = trace.find_region("MPI_Barrier").unwrap();
+        assert_eq!(stats.region_total(bar).visits, 4 * 5);
+        assert!(check_wellformed(&trace).is_empty());
+    }
+
+    #[test]
+    fn late_broadcast_makes_members_wait_for_root() {
+        let trace = ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            late_broadcast(p, &base(), 0.005, 0.050, 1, 1, &c);
+            // Everyone leaves the bcast at the root's entry: 55ms.
+            assert_eq!(p.clock(), VTime::from_secs(0.055));
+        });
+        // Non-root members entered the bcast at 5ms and left at 55ms.
+        let loc0 = trace.location(ats_trace::LocationId::rank(0)).unwrap();
+        let coll = loc0
+            .events
+            .iter()
+            .find(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::CollEnd {
+                        op: ats_trace::CollOp::Bcast,
+                        ..
+                    }
+                )
+            })
+            .expect("bcast record");
+        match coll.kind {
+            EventKind::CollEnd { entered, root, .. } => {
+                assert_eq!(entered, VTime::from_secs(0.005));
+                assert_eq!(root, Some(1));
+                assert_eq!(coll.time, VTime::from_secs(0.055));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn early_reduce_root_absorbs_the_wait() {
+        ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            early_reduce(p, &base(), 0.002, 0.030, 0, 1, &c);
+            if p.rank() == 0 {
+                // Root: 2ms work, waits in reduce until members at 32ms.
+                assert_eq!(p.clock(), VTime::from_secs(0.032));
+            }
+        });
+    }
+
+    #[test]
+    fn late_scatter_and_scatterv_complete_and_frame() {
+        let trace = ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            late_scatter(p, &base(), 0.001, 0.010, 0, 2, &c);
+            late_scatterv(p, &base(), 0.001, 0.010, 0, 2, &c);
+        });
+        for name in [
+            "late_scatter",
+            "late_scatterv",
+            "MPI_Scatter",
+            "MPI_Scatterv",
+        ] {
+            assert!(trace.find_region(name).is_some(), "missing {name}");
+        }
+        assert!(check_wellformed(&trace).is_empty());
+    }
+
+    #[test]
+    fn early_gather_and_gatherv_complete_and_frame() {
+        let trace = ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            early_gather(p, &base(), 0.001, 0.010, 2, 2, &c);
+            early_gatherv(p, &base(), 0.001, 0.010, 2, 2, &c);
+        });
+        for name in ["early_gather", "early_gatherv", "MPI_Gather", "MPI_Gatherv"] {
+            assert!(trace.find_region(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn alltoall_imbalance_synchronizes_at_max() {
+        let df = Distr::peak(0.001, 0.021, 3);
+        ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            imbalance_at_mpi_alltoall(p, &base(), &df, 1, &c);
+            assert_eq!(p.clock(), VTime::from_secs(0.021));
+        });
+    }
+
+    #[test]
+    fn allreduce_and_scan_extensions_run() {
+        let df = Distr::cyclic2(0.001, 0.003);
+        let trace = ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            imbalance_at_mpi_allreduce(p, &base(), &df, 2, &c);
+            imbalance_at_mpi_scan(p, &base(), &df, 2, &c);
+        });
+        assert!(trace.find_region("MPI_Allreduce").is_some());
+        assert!(trace.find_region("MPI_Scan").is_some());
+    }
+
+    #[test]
+    fn rooted_properties_work_on_subcommunicators() {
+        // The paper's Fig 3.4/3.5 scenario: late_broadcast on the upper
+        // half with communicator-local root 1 → global ranks 9..15 wait
+        // for global rank 9 (here scaled down to 8 ranks).
+        ats_mpi::run(cfg(8), |p| {
+            let c = p.comm_world();
+            let color = (p.rank() / 4) as i64;
+            let half = p.comm_split(color, p.rank() as i64, &c).unwrap();
+            if color == 1 {
+                late_broadcast(p, &base(), 0.002, 0.020, 1, 1, &half);
+                assert_eq!(p.clock(), VTime::from_secs(0.022));
+            }
+        });
+    }
+
+    #[test]
+    fn growing_imbalance_accumulates_per_iteration_steps() {
+        ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            growing_imbalance_at_mpi_barrier(p, 0.002, 0.004, 3, &c);
+            // Heavy half: sum of (base + step*(i+1)) = 3*2 + 4+8+12 = 30ms.
+            assert_eq!(p.clock(), VTime::from_secs(0.030));
+        });
+    }
+
+    #[test]
+    fn severity_scales_with_extrawork() {
+        // The wait programmed by late_broadcast is monotone in
+        // rootextrawork — the property the severity sweeps rely on.
+        let mut makespans = Vec::new();
+        for extra in [0.01, 0.02, 0.04] {
+            let trace = ats_mpi::run(cfg(4), move |p| {
+                let c = p.comm_world();
+                late_broadcast(p, &BaseComm::default(), 0.001, extra, 0, 2, &c);
+            });
+            makespans.push(trace.end_time());
+        }
+        assert!(makespans[0] < makespans[1]);
+        assert!(makespans[1] < makespans[2]);
+    }
+}

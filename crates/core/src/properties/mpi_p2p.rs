@@ -1,0 +1,299 @@
+//! MPI point-to-point performance properties.
+//!
+//! The paper's two prototype functions, ported with their exact parameter
+//! meaning, plus one extension from the ASL catalog:
+//!
+//! ```c
+//! void late_sender(double basework, double extrawork, int r, MPI_Comm c);
+//! void late_receiver(double basework, double extrawork, int r, MPI_Comm c);
+//! ```
+
+use super::frame_mpi;
+use crate::buffer::BaseComm;
+use crate::distribution::Distr;
+use crate::pattern::{sendrecv, Dir, PatternMode};
+use crate::work::par_do_mpi_work;
+use ats_mpi::{Comm, Proc};
+use ats_runtime::VDur;
+
+/// *Late Sender*: a receiver blocks because the matching send is posted
+/// too late.
+///
+/// Implementation per the paper: the even/odd `sendrecv` pattern with
+/// [`Dir::Up`] (even ranks send), and a `cyclic2` work distribution that
+/// gives the sending (even) ranks `basework + extrawork` while receivers
+/// get only `basework` — so every receive waits `extrawork` seconds per
+/// repetition.
+pub fn late_sender(
+    p: &mut Proc,
+    base: &BaseComm,
+    basework: f64,
+    extrawork: f64,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "late_sender", |p| {
+        let buf = base.alloc();
+        // Even ranks (the senders) are always late: low = base + extra.
+        let dd = Distr::cyclic2(basework + extrawork, basework);
+        for _ in 0..r {
+            par_do_mpi_work(p, &dd, 1.0, comm);
+            sendrecv(p, &buf, Dir::Up, PatternMode::default(), comm);
+        }
+    });
+}
+
+/// *Late Receiver*: a sender blocks in a synchronous-mode send because the
+/// matching receive is posted too late.
+///
+/// The mirror image of [`late_sender`]: the receiving (odd) ranks carry
+/// the extra work, and the pattern uses `MPI_Ssend` so the sender cannot
+/// complete before the receive is posted.
+pub fn late_receiver(
+    p: &mut Proc,
+    base: &BaseComm,
+    basework: f64,
+    extrawork: f64,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "late_receiver", |p| {
+        let buf = base.alloc();
+        // Odd ranks (the receivers) are always late: high = base + extra.
+        let dd = Distr::cyclic2(basework, basework + extrawork);
+        let mode = PatternMode {
+            use_ssend: true,
+            ..Default::default()
+        };
+        for _ in 0..r {
+            par_do_mpi_work(p, &dd, 1.0, comm);
+            sendrecv(p, &buf, Dir::Up, mode, comm);
+        }
+    });
+}
+
+/// *Late Sender at `MPI_Wait`* (ASL-catalog extension): the receiver posts
+/// an `MPI_Irecv` early, overlaps `postwork` of computation, then blocks in
+/// `MPI_Wait` because the sender is still `extrawork − postwork` behind.
+pub fn late_sender_at_wait(
+    p: &mut Proc,
+    base: &BaseComm,
+    basework: f64,
+    extrawork: f64,
+    postwork: f64,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "late_sender_at_wait", |p| {
+        let buf = base.alloc();
+        let me = comm.rank();
+        let pairs = comm.size() / 2 * 2;
+        for _ in 0..r {
+            if me >= pairs {
+                continue;
+            }
+            if me.is_multiple_of(2) {
+                // Sender: late by basework + extrawork.
+                p.do_work(VDur::from_secs(basework + extrawork));
+                p.send(buf.bytes(), me + 1, 0, comm);
+            } else {
+                // Receiver: post early, overlap some work, wait.
+                p.do_work(VDur::from_secs(basework));
+                let mut req = p.irecv(me - 1, 0, comm);
+                p.do_work(VDur::from_secs(postwork));
+                p.wait(&mut req);
+            }
+        }
+    });
+}
+
+/// *Messages in Wrong Order* (EXPERT's Late-Sender refinement): the
+/// receiver blocks waiting for one message while another message it will
+/// receive *later* is already sitting in its queue — the classic symptom
+/// of posting receives in the wrong order.
+///
+/// Implementation: each even rank first sends message B (tag 2), then
+/// works `delay` seconds, then sends message A (tag 1); its odd partner
+/// receives tag 1 *first* (blocking for `delay` while B waits unread) and
+/// tag 2 second.
+pub fn messages_in_wrong_order(
+    p: &mut Proc,
+    base: &BaseComm,
+    basework: f64,
+    delay: f64,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "messages_in_wrong_order", |p| {
+        let buf = base.alloc();
+        let me = comm.rank();
+        let pairs = comm.size() / 2 * 2;
+        for _ in 0..r {
+            if me >= pairs {
+                continue;
+            }
+            p.do_work(VDur::from_secs(basework));
+            if me.is_multiple_of(2) {
+                p.send(buf.bytes(), me + 1, 2, comm); // B: early
+                p.do_work(VDur::from_secs(delay));
+                p.send(buf.bytes(), me + 1, 1, comm); // A: late
+            } else {
+                let _ = p.recv(me - 1, 1, comm); // wait for A while B queues
+                let _ = p.recv(me - 1, 2, comm);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_mpi::SimConfig;
+    use ats_runtime::{MachineModel, VDur, VTime};
+    use ats_trace::{check_wellformed, EventKind, TraceStats};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            nprocs: n,
+            model: MachineModel::zero(),
+            init_time: VDur::ZERO,
+            finalize_time: VDur::ZERO,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn late_sender_programs_the_programmed_wait() {
+        let base = BaseComm::default();
+        let trace = ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            late_sender(p, &base, 0.010, 0.025, 3, &c);
+            // Receivers (odd): 3 * (10ms work + 25ms wait) = 105ms;
+            // senders: 3 * 35ms work = 105ms. All clocks equal.
+            assert_eq!(p.clock(), VTime::from_secs(0.105));
+        });
+        assert!(check_wellformed(&trace).is_empty());
+        // Each repetition: one message per pair.
+        let stats = TraceStats::compute(&trace);
+        assert_eq!(stats.total_sends(), 6);
+        assert_eq!(stats.total_recvs(), 6);
+    }
+
+    #[test]
+    fn late_sender_wait_shows_in_recv_occupancy() {
+        let base = BaseComm::default();
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            late_sender(p, &base, 0.0, 0.040, 1, &c);
+        });
+        // On rank 1 the receive posted at 0 and completed at 40ms.
+        let loc = trace.location(ats_trace::LocationId::rank(1)).unwrap();
+        let recv = loc
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Recv { .. }))
+            .expect("rank 1 receives");
+        match recv.kind {
+            EventKind::Recv { posted, .. } => {
+                assert_eq!(posted, VTime::ZERO);
+                assert_eq!(recv.time, VTime::from_secs(0.040));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn late_receiver_blocks_the_sender() {
+        let base = BaseComm::default();
+        ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            late_receiver(p, &base, 0.005, 0.030, 2, &c);
+            // Both sides end aligned: each repetition costs
+            // basework + extrawork (the sender waits out the receiver).
+            assert_eq!(p.clock(), VTime::from_secs(2.0 * 0.035));
+        });
+    }
+
+    #[test]
+    fn late_receiver_records_ssend_regions() {
+        let base = BaseComm::default();
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            late_receiver(p, &base, 0.0, 0.020, 1, &c);
+        });
+        let ssend = trace.find_region("MPI_Ssend").expect("uses MPI_Ssend");
+        let stats = TraceStats::compute(&trace);
+        let prof = stats.region_total(ssend);
+        assert_eq!(prof.visits, 1);
+        assert_eq!(prof.inclusive, VDur::from_millis(20), "sender blocked 20ms");
+    }
+
+    #[test]
+    fn late_sender_at_wait_splits_the_wait() {
+        let base = BaseComm::default();
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            late_sender_at_wait(p, &base, 0.0, 0.050, 0.020, 1, &c);
+            // Receiver: irecv at 0, 20ms overlapped work, wait blocks
+            // until the sender's 50ms send.
+            assert_eq!(p.clock(), VTime::from_secs(0.050));
+        });
+        let wait = trace.find_region("MPI_Wait").unwrap();
+        let stats = TraceStats::compute(&trace);
+        let loc1 = ats_trace::LocationId::rank(1);
+        assert_eq!(
+            stats.profiles[&loc1][&wait].inclusive,
+            VDur::from_millis(30),
+            "wait absorbs the non-overlapped 30ms"
+        );
+    }
+
+    #[test]
+    fn property_frames_appear_in_the_trace() {
+        let base = BaseComm::default();
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            late_sender(p, &base, 0.001, 0.002, 1, &c);
+            late_receiver(p, &base, 0.001, 0.002, 1, &c);
+        });
+        for name in ["late_sender", "late_receiver"] {
+            let r = trace
+                .find_region(name)
+                .unwrap_or_else(|| panic!("{name} frame"));
+            assert_eq!(trace.region_kind(r), Some(ats_trace::RegionKind::Property));
+        }
+    }
+
+    #[test]
+    fn odd_process_counts_are_tolerated() {
+        let base = BaseComm::default();
+        ats_mpi::run(cfg(5), |p| {
+            let c = p.comm_world();
+            late_sender(p, &base, 0.001, 0.004, 2, &c);
+            late_receiver(p, &base, 0.001, 0.004, 2, &c);
+        });
+    }
+
+    #[test]
+    fn wrong_order_program_blocks_on_the_late_tag() {
+        let base = BaseComm::default();
+        ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            messages_in_wrong_order(p, &base, 0.002, 0.030, 1, &c);
+            // Receiver: 2ms work, blocks 30ms on tag 1, tag 2 immediate.
+            assert_eq!(p.clock(), VTime::from_secs(0.032));
+        });
+    }
+
+    #[test]
+    fn zero_repetitions_do_nothing() {
+        let base = BaseComm::default();
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            late_sender(p, &base, 0.010, 0.020, 0, &c);
+            assert_eq!(p.clock(), VTime::ZERO);
+        });
+        let stats = TraceStats::compute(&trace);
+        assert_eq!(stats.total_sends(), 0);
+    }
+}

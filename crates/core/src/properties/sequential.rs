@@ -1,0 +1,99 @@
+//! Sequential performance properties.
+//!
+//! The paper's future-work list asks for "test functions for sequential
+//! performance properties". In a parallel test program the sequential
+//! pathologies that matter to a parallel-performance tool are phases that
+//! *serialize* the computation; these functions produce the two canonical
+//! shapes.
+
+use super::frame_mpi;
+use ats_mpi::{Comm, Proc};
+use ats_runtime::VDur;
+
+/// *Serial Initialization* (Amdahl bottleneck): rank `root` performs a
+/// long sequential phase while everyone else waits at a barrier before the
+/// parallel computation starts.
+pub fn serial_initialization(
+    p: &mut Proc,
+    root: usize,
+    serialwork: f64,
+    parwork: f64,
+    comm: &Comm,
+) {
+    frame_mpi(p, "serial_initialization", |p| {
+        if comm.rank() == root {
+            p.do_work(VDur::from_secs(serialwork));
+        }
+        p.barrier(comm);
+        p.do_work(VDur::from_secs(parwork));
+    });
+}
+
+/// *Dominating Sequential Phase*: alternating balanced parallel phases
+/// with root-only sequential phases, repeated — the classic
+/// insufficient-parallelization profile.
+pub fn dominating_sequential_phases(
+    p: &mut Proc,
+    root: usize,
+    serialwork: f64,
+    parwork: f64,
+    r: usize,
+    comm: &Comm,
+) {
+    frame_mpi(p, "dominating_sequential_phases", |p| {
+        for _ in 0..r {
+            p.do_work(VDur::from_secs(parwork));
+            p.barrier(comm);
+            if comm.rank() == root {
+                p.do_work(VDur::from_secs(serialwork));
+            }
+            p.barrier(comm);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_mpi::SimConfig;
+    use ats_runtime::{MachineModel, VTime};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            nprocs: n,
+            model: MachineModel::zero(),
+            init_time: VDur::ZERO,
+            finalize_time: VDur::ZERO,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn serial_init_delays_everyone() {
+        ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            serial_initialization(p, 0, 0.050, 0.010, &c);
+            assert_eq!(p.clock(), VTime::from_secs(0.060));
+        });
+    }
+
+    #[test]
+    fn dominating_phases_cost_serial_plus_parallel() {
+        ats_mpi::run(cfg(4), |p| {
+            let c = p.comm_world();
+            dominating_sequential_phases(p, 1, 0.020, 0.005, 3, &c);
+            assert_eq!(p.clock(), VTime::from_secs(3.0 * 0.025));
+        });
+    }
+
+    #[test]
+    fn frames_present() {
+        let trace = ats_mpi::run(cfg(2), |p| {
+            let c = p.comm_world();
+            serial_initialization(p, 0, 0.001, 0.001, &c);
+            dominating_sequential_phases(p, 0, 0.001, 0.001, 1, &c);
+        });
+        assert!(trace.find_region("serial_initialization").is_some());
+        assert!(trace.find_region("dominating_sequential_phases").is_some());
+    }
+}

@@ -1,0 +1,93 @@
+//! Specification of parallel work (paper §3.1.1).
+//!
+//! `do_work` itself lives on the substrate handles ([`ats_mpi::Proc`] and
+//! [`ats_omp::OmpThread`]); this module supplies the two parallel wrappers
+//! from the paper, which look up the caller's rank/id and group size and
+//! hand the distribution's verdict to the sequential work function:
+//!
+//! ```c
+//! void par_do_mpi_work(distr_func_t df, distr_t* dd, double sf, MPI_Comm c);
+//! void par_do_omp_work(distr_func_t df, distr_t* dd, double sf);
+//! ```
+
+use crate::distribution::Distr;
+use ats_mpi::{Comm, Proc};
+use ats_omp::OmpThread;
+
+/// The paper's `par_do_mpi_work`: every member of `comm` calls this, and
+/// each performs the amount of work the distribution assigns to its rank.
+pub fn par_do_mpi_work(p: &mut Proc, df: &Distr, scale: f64, comm: &Comm) {
+    let amount = df.work(comm.rank(), comm.size(), scale);
+    p.do_work(amount);
+}
+
+/// The paper's `par_do_omp_work`: every thread of the active team calls
+/// this, and each performs its distribution-assigned amount of work.
+pub fn par_do_omp_work(th: &mut OmpThread<'_>, df: &Distr, scale: f64) {
+    let amount = df.work(th.thread_num(), th.num_threads(), scale);
+    th.do_work(amount);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_mpi::SimConfig;
+    use ats_omp::{parallel, run_omp, OmpConfig};
+    use ats_runtime::{MachineModel, VDur, VTime};
+    use ats_trace::TraceStats;
+
+    fn zero_mpi(n: usize) -> SimConfig {
+        SimConfig {
+            nprocs: n,
+            model: MachineModel::zero(),
+            init_time: VDur::ZERO,
+            finalize_time: VDur::ZERO,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mpi_ranks_get_distribution_assigned_work() {
+        let df = Distr::linear(0.010, 0.040);
+        let trace = ats_mpi::run(zero_mpi(4), |p| {
+            let c = p.comm_world();
+            par_do_mpi_work(p, &df, 1.0, &c);
+            assert_eq!(p.clock(), VTime::from_secs(0.010 + 0.010 * p.rank() as f64));
+        });
+        let stats = TraceStats::compute(&trace);
+        let r = trace.find_region("do_work").unwrap();
+        assert_eq!(stats.region_total(r).visits, 4);
+    }
+
+    #[test]
+    fn omp_threads_get_distribution_assigned_work() {
+        let df = Distr::cyclic2(0.002, 0.006);
+        run_omp(
+            OmpConfig {
+                model: MachineModel::zero(),
+                ..Default::default()
+            },
+            |m| {
+                parallel(m, 4, |th| {
+                    par_do_omp_work(th, &df, 1.0);
+                    let expect = if th.thread_num() % 2 == 0 {
+                        0.002
+                    } else {
+                        0.006
+                    };
+                    assert_eq!(th.clock(), VTime::from_secs(expect));
+                });
+            },
+        );
+    }
+
+    #[test]
+    fn scale_factor_scales_work() {
+        let df = Distr::same(0.004);
+        ats_mpi::run(zero_mpi(2), |p| {
+            let c = p.comm_world();
+            par_do_mpi_work(p, &df, 2.5, &c);
+            assert_eq!(p.clock(), VTime::from_secs(0.010));
+        });
+    }
+}

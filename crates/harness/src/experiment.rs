@@ -1,0 +1,275 @@
+//! Experiment management: systematic parameter sweeps over property
+//! functions, with analyzer-in-the-loop scoring.
+//!
+//! The paper delegates "more extensive experiments ... through scripting
+//! languages or through automatic experiment management systems, such as
+//! ZENTURIO". This module plays that role: a [`Sweep`] describes a
+//! cartesian family of single-property runs; [`Experiment::run`] executes
+//! them, analyzes every trace, and collects one [`ExperimentRow`] per
+//! configuration.
+
+use crate::params::{ParamValue, ParamValues};
+use crate::registry::{run_single, spec_of, RunError, RunOpts};
+use ats_analyzer::{analyze, AnalyzerConfig};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One axis of a sweep: a parameter name and the values it takes.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Parameter to vary.
+    pub param: String,
+    /// Values to try.
+    pub values: Vec<ParamValue>,
+}
+
+impl Sweep {
+    /// Sweep a seconds-valued parameter.
+    pub fn seconds(param: &str, values: impl IntoIterator<Item = f64>) -> Self {
+        Sweep {
+            param: param.to_owned(),
+            values: values.into_iter().map(ParamValue::Seconds).collect(),
+        }
+    }
+
+    /// Sweep a count-valued parameter.
+    pub fn counts(param: &str, values: impl IntoIterator<Item = usize>) -> Self {
+        Sweep {
+            param: param.to_owned(),
+            values: values.into_iter().map(ParamValue::Count).collect(),
+        }
+    }
+}
+
+/// One configuration's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRow {
+    /// Property function name.
+    pub property: String,
+    /// Full parameter assignment (command-line syntax).
+    pub params: String,
+    /// Process count used.
+    pub nprocs: usize,
+    /// Severity the analyzer assigned to the *expected* property
+    /// (0 for negative cases).
+    pub detected_severity: f64,
+    /// Absolute waiting time behind that severity, in seconds. For
+    /// monotonicity checks this is the right quantity: severity is a
+    /// *fraction* and stays constant when the knob scales the whole run.
+    pub detected_wait_secs: f64,
+    /// Whether any finding matched the expected property at the expected
+    /// call-path location.
+    pub localized: bool,
+    /// Number of findings for *unexpected* properties (false positives
+    /// from this program's point of view).
+    pub unexpected_findings: usize,
+    /// Trace size, as a cost indicator.
+    pub events: usize,
+}
+
+/// A family of runs over one property.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Property function name.
+    pub property: String,
+    /// Axes (cartesian product).
+    pub sweeps: Vec<Sweep>,
+    /// Execution options.
+    pub opts: RunOpts,
+    /// Analyzer configuration.
+    pub analyzer: AnalyzerConfig,
+}
+
+impl Experiment {
+    /// An experiment over `property` with default options and no axes
+    /// (a single run at catalog defaults).
+    pub fn new(property: &str) -> Self {
+        Experiment {
+            property: property.to_owned(),
+            sweeps: Vec::new(),
+            opts: RunOpts::default(),
+            analyzer: AnalyzerConfig::default(),
+        }
+    }
+
+    /// Builder: add an axis.
+    pub fn sweep(mut self, s: Sweep) -> Self {
+        self.sweeps.push(s);
+        self
+    }
+
+    /// Builder: set run options.
+    pub fn opts(mut self, opts: RunOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Execute all configurations.
+    pub fn run(&self) -> Result<Vec<ExperimentRow>, RunError> {
+        let spec = spec_of(&self.property)?;
+        let mut rows = Vec::new();
+        let combos = cartesian(&self.sweeps);
+        for combo in combos {
+            let mut params = ParamValues::defaults(spec);
+            for (name, value) in &combo {
+                params.set(name, value.clone());
+            }
+            let trace = run_single(&self.property, &params, &self.opts)?;
+            let report = analyze(&trace, &self.analyzer);
+            let total_alloc = trace.total_alloc_time().as_secs();
+            let (detected_severity, localized, unexpected) = match spec.expected_property {
+                Some(expected) => {
+                    let sev = report.severity_of(expected);
+                    let localized = report.findings_for(expected).iter().any(|f| {
+                        f.call_path.contains(spec.name) && f.call_path.contains(spec.localized_at)
+                    });
+                    let unexpected = report
+                        .findings
+                        .iter()
+                        .filter(|f| f.property != expected)
+                        .count();
+                    (sev, localized, unexpected)
+                }
+                None => (0.0, report.is_clean(), report.findings.len()),
+            };
+            rows.push(ExperimentRow {
+                property: self.property.clone(),
+                params: params.to_cli(),
+                nprocs: self.opts.nprocs,
+                detected_severity,
+                detected_wait_secs: detected_severity * total_alloc,
+                localized,
+                unexpected_findings: unexpected,
+                events: trace.num_events(),
+            });
+        }
+        Ok(rows)
+    }
+}
+
+/// Cartesian product of sweep axes (a single empty assignment when there
+/// are no axes).
+fn cartesian(sweeps: &[Sweep]) -> Vec<Vec<(String, ParamValue)>> {
+    let mut combos: Vec<Vec<(String, ParamValue)>> = vec![Vec::new()];
+    for s in sweeps {
+        let mut next = Vec::with_capacity(combos.len() * s.values.len());
+        for combo in &combos {
+            for v in &s.values {
+                let mut c = combo.clone();
+                c.push((s.param.clone(), v.clone()));
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+/// Render rows as a Markdown table (the format EXPERIMENTS.md embeds).
+pub fn to_markdown(rows: &[ExperimentRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| property | params | procs | severity | localized | unexpected |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | `{}` | {} | {:.4} | {} | {} |",
+            r.property, r.params, r.nprocs, r.detected_severity, r.localized, r.unexpected_findings
+        );
+    }
+    out
+}
+
+/// Kendall rank-correlation between two sequences — the statistic used to
+/// check that detected severity *tracks* the programmed severity
+/// monotonically (1.0 = perfect agreement).
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "sequences must pair up");
+    let n = xs.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            let s = dx * dy;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_products() {
+        let sweeps = vec![
+            Sweep::seconds("a", [1.0, 2.0]),
+            Sweep::counts("b", [10, 20, 30]),
+        ];
+        assert_eq!(cartesian(&sweeps).len(), 6);
+        assert_eq!(cartesian(&[]).len(), 1);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 1.0);
+        assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]), -1.0);
+        assert_eq!(kendall_tau(&[1.0], &[5.0]), 1.0);
+    }
+
+    #[test]
+    fn severity_sweep_is_monotone_for_late_sender() {
+        let extras = [0.005, 0.01, 0.02, 0.04];
+        let exp = Experiment::new("late_sender")
+            .sweep(Sweep::seconds("extrawork", extras))
+            .opts(RunOpts::default().procs(4));
+        let rows = exp.run().unwrap();
+        assert_eq!(rows.len(), 4);
+        let severities: Vec<f64> = rows.iter().map(|r| r.detected_severity).collect();
+        let tau = kendall_tau(extras.as_ref(), &severities);
+        assert_eq!(tau, 1.0, "severity must track extrawork: {severities:?}");
+        assert!(rows.iter().all(|r| r.localized), "all runs localized");
+    }
+
+    #[test]
+    fn negative_property_rows_stay_clean() {
+        let exp = Experiment::new("balanced_mpi_barrier")
+            .sweep(Sweep::seconds("work", [0.005, 0.01]))
+            .opts(RunOpts::default().procs(4));
+        let rows = exp.run().unwrap();
+        for r in &rows {
+            assert_eq!(r.detected_severity, 0.0);
+            assert!(r.localized, "negative rows are 'localized' when clean");
+            assert_eq!(r.unexpected_findings, 0);
+        }
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let exp = Experiment::new("late_broadcast").opts(RunOpts::default().procs(4));
+        let rows = exp.run().unwrap();
+        let md = to_markdown(&rows);
+        assert!(md.starts_with("| property |"));
+        assert!(md.contains("late_broadcast"));
+        assert_eq!(md.lines().count(), 2 + rows.len());
+    }
+
+    #[test]
+    fn unknown_property_errors() {
+        assert!(Experiment::new("warp_drive").run().is_err());
+    }
+}

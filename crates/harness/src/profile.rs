@@ -1,0 +1,84 @@
+//! Flat-profile rendering: the classic "time per region" table every
+//! profiler prints, derived from [`ats_trace::TraceStats`]. Used by the
+//! `ats` CLI and by EXPERIMENTS.md snippets; pattern analysis builds on
+//! top of this view, it does not replace it.
+
+use ats_trace::{Trace, TraceStats};
+use std::fmt::Write as _;
+
+/// Render an aggregated flat profile (all locations combined), sorted by
+/// exclusive time, with per-region visit counts and percentages.
+pub fn render_profile(trace: &Trace) -> String {
+    let stats = TraceStats::compute(trace);
+    let total = trace.total_alloc_time();
+    let mut rows: Vec<(String, u64, f64, f64)> = (0..trace.regions.len())
+        .map(|i| {
+            let id = ats_trace::RegionId(i as u32);
+            let p = stats.region_total(id);
+            (
+                trace.region_name(id).to_owned(),
+                p.visits,
+                p.exclusive.as_secs(),
+                p.inclusive.as_secs(),
+            )
+        })
+        .filter(|(_, visits, _, _)| *visits > 0)
+        .collect();
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>8} {:>12} {:>12} {:>8}",
+        "region", "visits", "exclusive", "inclusive", "excl%"
+    );
+    let denom = total.as_secs().max(1e-12);
+    for (name, visits, excl, incl) in rows {
+        let _ = writeln!(
+            out,
+            "{name:<32} {visits:>8} {excl:>11.6}s {incl:>11.6}s {:>7.2}%",
+            100.0 * excl / denom
+        );
+    }
+    let _ = writeln!(out, "total allocation time: {total}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_core::{properties::mpi_coll, Distr};
+    use ats_mpi::SimConfig;
+    use ats_runtime::{MachineModel, VDur};
+
+    #[test]
+    fn profile_lists_hot_regions_first() {
+        let df = Distr::block2(0.01, 0.05);
+        let config = SimConfig {
+            nprocs: 4,
+            model: MachineModel::zero(),
+            init_time: VDur::ZERO,
+            finalize_time: VDur::ZERO,
+            ..Default::default()
+        };
+        let trace = ats_mpi::run(config, move |p| {
+            let c = p.comm_world();
+            mpi_coll::imbalance_at_mpi_barrier(p, &df, 2, &c);
+        });
+        let text = render_profile(&trace);
+        let first_data_line = text.lines().nth(1).unwrap();
+        assert!(
+            first_data_line.starts_with("do_work"),
+            "work dominates: {first_data_line}"
+        );
+        assert!(text.contains("MPI_Barrier"));
+        assert!(text.contains("imbalance_at_mpi_barrier"));
+        assert!(text.contains("total allocation time"));
+    }
+
+    #[test]
+    fn empty_trace_profile_is_just_headers() {
+        let trace = Trace::new(vec![], vec![]);
+        let text = render_profile(&trace);
+        assert_eq!(text.lines().count(), 2, "header + total line");
+    }
+}

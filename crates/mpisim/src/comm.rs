@@ -1,0 +1,262 @@
+//! Communicators and the collective rendezvous slot.
+//!
+//! A [`Comm`] is a per-process handle onto shared communicator state: the
+//! member list (global ranks in communicator-rank order) and a [`CollSlot`]
+//! through which members exchange their collective contributions. `split`
+//! and `dup` (implemented in [`crate::proc::Proc`]) derive new communicators
+//! group-collectively, exactly like `MPI_Comm_split`/`MPI_Comm_dup` — the
+//! mechanism behind the paper's Figure 3.4 experiment where the lower and
+//! upper halves of `MPI_COMM_WORLD` run different property functions in
+//! parallel.
+
+use ats_runtime::VTime;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One member's contribution to a collective operation.
+#[derive(Debug, Clone, Default)]
+pub struct Contrib {
+    /// The member's virtual clock on entry.
+    pub entry: VTime,
+    /// Data payload (send buffer contents, or empty).
+    pub data: Vec<u8>,
+    /// Per-member element counts for irregular ("v") collectives; only the
+    /// root's contribution needs to carry this.
+    pub counts: Option<Vec<usize>>,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    filling: bool,
+    arrived: usize,
+    departed: usize,
+    contribs: Vec<Option<Contrib>>,
+    seq: u64,
+}
+
+/// The rendezvous through which all members of a communicator exchange
+/// collective contributions. One logical collective = one `exchange` call
+/// per member; the slot hands every member the full contribution vector and
+/// a per-communicator sequence number identifying the operation instance.
+#[derive(Debug)]
+pub struct CollSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl CollSlot {
+    fn new(size: usize) -> Self {
+        CollSlot {
+            state: Mutex::new(SlotState {
+                filling: true,
+                arrived: 0,
+                departed: 0,
+                contribs: vec![None; size],
+                seq: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deposit `contrib` as member `me` of `size` and return the sequence
+    /// number of this collective plus everyone's contributions.
+    ///
+    /// # Panics
+    /// Panics if not all members arrive within `timeout` (collective
+    /// deadlock / mismatched membership), or if `me` deposits twice in one
+    /// round (program error).
+    pub fn exchange(
+        &self,
+        me: usize,
+        size: usize,
+        contrib: Contrib,
+        timeout: Duration,
+    ) -> (u64, Vec<Contrib>) {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        // Wait out the drain phase of a previous collective.
+        while !st.filling {
+            self.wait_or_deadlock(&mut st, deadline, size);
+        }
+        assert!(
+            st.contribs[me].is_none(),
+            "member {me} entered the same collective twice"
+        );
+        st.contribs[me] = Some(contrib);
+        st.arrived += 1;
+        if st.arrived == size {
+            st.filling = false;
+            self.cv.notify_all();
+        } else {
+            while st.filling {
+                self.wait_or_deadlock(&mut st, deadline, size);
+            }
+        }
+        let seq = st.seq;
+        let all: Vec<Contrib> = st
+            .contribs
+            .iter()
+            .map(|c| c.clone().expect("all members deposited"))
+            .collect();
+        st.departed += 1;
+        if st.departed == size {
+            st.arrived = 0;
+            st.departed = 0;
+            st.contribs = vec![None; size];
+            st.seq += 1;
+            st.filling = true;
+            self.cv.notify_all();
+        }
+        (seq, all)
+    }
+
+    fn wait_or_deadlock(
+        &self,
+        st: &mut parking_lot::MutexGuard<'_, SlotState>,
+        deadline: Instant,
+        size: usize,
+    ) {
+        if self.cv.wait_until(st, deadline).timed_out() {
+            panic!(
+                "collective rendezvous stalled: {}/{} members arrived before timeout \
+                 (mismatched collective call or deadlock in the simulated program?)",
+                st.arrived, size
+            );
+        }
+    }
+}
+
+/// Shared communicator state (one per communicator per run).
+#[derive(Debug)]
+pub struct CommShared {
+    /// Globally unique communicator id within the run.
+    pub id: u32,
+    /// Global ranks of the members, indexed by communicator-local rank.
+    pub members: Vec<usize>,
+    /// Collective rendezvous.
+    pub slot: CollSlot,
+}
+
+impl CommShared {
+    /// Create shared state for a communicator over `members`.
+    pub fn new(id: u32, members: Vec<usize>) -> Arc<Self> {
+        let n = members.len();
+        Arc::new(CommShared {
+            id,
+            members,
+            slot: CollSlot::new(n),
+        })
+    }
+}
+
+/// A per-process communicator handle.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    pub(crate) shared: Arc<CommShared>,
+    pub(crate) my_rank: usize,
+}
+
+impl Comm {
+    pub(crate) fn new(shared: Arc<CommShared>, my_rank: usize) -> Self {
+        debug_assert!(my_rank < shared.members.len());
+        Comm { shared, my_rank }
+    }
+
+    /// This process's rank within the communicator (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of members (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.shared.members.len()
+    }
+
+    /// The communicator's run-unique id.
+    pub fn id(&self) -> u32 {
+        self.shared.id
+    }
+
+    /// Translate a communicator-local rank to a global (world) rank.
+    pub fn global_rank(&self, local: usize) -> usize {
+        self.shared.members[local]
+    }
+
+    /// The member list as global ranks.
+    pub fn members(&self) -> &[usize] {
+        &self.shared.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn exchange_distributes_all_contributions() {
+        let slot = Arc::new(CollSlot::new(4));
+        let mut handles = Vec::new();
+        for me in 0..4 {
+            let slot = slot.clone();
+            handles.push(thread::spawn(move || {
+                let c = Contrib {
+                    entry: VTime(me as u64 * 10),
+                    data: vec![me as u8],
+                    counts: None,
+                };
+                slot.exchange(me, 4, c, T)
+            }));
+        }
+        for h in handles {
+            let (seq, all) = h.join().unwrap();
+            assert_eq!(seq, 0);
+            assert_eq!(all.len(), 4);
+            for (i, c) in all.iter().enumerate() {
+                assert_eq!(c.data, vec![i as u8]);
+                assert_eq!(c.entry, VTime(i as u64 * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_advance_per_round() {
+        let slot = Arc::new(CollSlot::new(2));
+        let mut handles = Vec::new();
+        for me in 0..2 {
+            let slot = slot.clone();
+            handles.push(thread::spawn(move || {
+                let mut seqs = Vec::new();
+                for _ in 0..5 {
+                    let (seq, _) = slot.exchange(me, 2, Contrib::default(), T);
+                    seqs.push(seq);
+                }
+                seqs
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collective rendezvous stalled")]
+    fn lone_member_times_out() {
+        let slot = CollSlot::new(2);
+        slot.exchange(0, 2, Contrib::default(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn comm_handle_accessors() {
+        let shared = CommShared::new(3, vec![8, 9, 10]);
+        let c = Comm::new(shared, 1);
+        assert_eq!(c.rank(), 1);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.id(), 3);
+        assert_eq!(c.global_rank(2), 10);
+        assert_eq!(c.members(), &[8, 9, 10]);
+    }
+}

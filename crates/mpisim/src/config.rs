@@ -1,0 +1,121 @@
+//! Simulation run configuration.
+
+use ats_runtime::{MachineModel, VDur, WorkMode};
+use std::time::Duration;
+
+/// Configuration of one simulated MPI run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of MPI processes.
+    pub nprocs: usize,
+    /// Communication cost model.
+    pub model: MachineModel,
+    /// Whether `do_work` burns host CPU or only virtual time.
+    pub work_mode: WorkMode,
+    /// Root seed for all per-participant RNG streams.
+    pub seed: u64,
+    /// Simulated cost of `MPI_Init`. The paper's Fig. 3.2 remarks that the
+    /// *High MPI Initialization/Finalization Overhead* property is "hard to
+    /// avoid in the view of the small sizes of the test programs" — this
+    /// knob reproduces it.
+    pub init_time: VDur,
+    /// Simulated cost of `MPI_Finalize`.
+    pub finalize_time: VDur,
+    /// Whether the run records a trace (instrumented) or not.
+    pub instrumented: bool,
+    /// Wall-clock budget for any single blocking operation before the run
+    /// is declared deadlocked and aborted. A test *suite* must fail fast on
+    /// substrate bugs rather than hang CI.
+    pub progress_timeout: Duration,
+    /// Calibrated busy-loop rate for real work mode (`None` = library
+    /// default; see [`ats_runtime::work::DEFAULT_ITERS_PER_SEC`]).
+    pub calibration: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nprocs: 4,
+            model: MachineModel::default(),
+            work_mode: WorkMode::Virtual,
+            seed: 0x05EE_DA75,
+            init_time: VDur::from_millis(1),
+            finalize_time: VDur::from_millis(1),
+            instrumented: true,
+            progress_timeout: Duration::from_secs(30),
+            calibration: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config with `nprocs` processes and defaults otherwise.
+    pub fn with_procs(nprocs: usize) -> Self {
+        SimConfig {
+            nprocs,
+            ..Default::default()
+        }
+    }
+
+    /// Builder: set the machine model.
+    pub fn model(mut self, model: MachineModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Builder: set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: run with real (calibrated busy-loop) work.
+    pub fn real_work(mut self) -> Self {
+        self.work_mode = WorkMode::Real;
+        self
+    }
+
+    /// Builder: disable trace recording.
+    pub fn uninstrumented(mut self) -> Self {
+        self.instrumented = false;
+        self
+    }
+
+    /// Builder: set init/finalize overheads.
+    pub fn setup_costs(mut self, init: VDur, finalize: VDur) -> Self {
+        self.init_time = init;
+        self.finalize_time = finalize;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = SimConfig::default();
+        assert_eq!(c.nprocs, 4);
+        assert!(c.instrumented);
+        assert_eq!(c.work_mode, WorkMode::Virtual);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::with_procs(8)
+            .seed(7)
+            .uninstrumented()
+            .setup_costs(VDur::from_millis(50), VDur::from_millis(20));
+        assert_eq!(c.nprocs, 8);
+        assert_eq!(c.seed, 7);
+        assert!(!c.instrumented);
+        assert_eq!(c.init_time, VDur::from_millis(50));
+        assert_eq!(c.finalize_time, VDur::from_millis(20));
+    }
+
+    #[test]
+    fn real_work_builder() {
+        assert_eq!(SimConfig::default().real_work().work_mode, WorkMode::Real);
+    }
+}

@@ -1,0 +1,312 @@
+//! Point-to-point message transport: per-rank mailboxes with MPI matching
+//! semantics.
+//!
+//! Every rank owns one [`Mailbox`]. A send (from any rank) pushes an
+//! [`Envelope`]; a receive scans the mailbox in arrival order for the first
+//! envelope matching `(communicator, source, tag)` — wildcards allowed —
+//! and blocks on a condition variable until one appears. Because each
+//! sender pushes its envelopes in program order, arrival-order scanning
+//! yields MPI's non-overtaking guarantee per (source, communicator, tag).
+
+use ats_runtime::VTime;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Rendezvous handshake cell: the receiver deposits its post time, waking
+/// the blocked (synchronous-mode) sender.
+#[derive(Debug, Default)]
+pub struct Handshake {
+    slot: Mutex<Option<VTime>>,
+    cv: Condvar,
+}
+
+impl Handshake {
+    /// Receiver side: publish the receive post time.
+    pub fn complete(&self, recv_post: VTime) {
+        *self.slot.lock() = Some(recv_post);
+        self.cv.notify_all();
+    }
+
+    /// Sender side: block until the receiver posts, returning its post time.
+    ///
+    /// # Panics
+    /// Panics after `timeout` of inactivity — the test-suite's deadlock
+    /// detector.
+    pub fn await_receiver(&self, timeout: Duration) -> VTime {
+        let mut slot = self.slot.lock();
+        let deadline = Instant::now() + timeout;
+        while slot.is_none() {
+            if self.cv.wait_until(&mut slot, deadline).timed_out() {
+                panic!(
+                    "rendezvous send blocked for {timeout:?}: matching receive never posted \
+                     (deadlock in the simulated program?)"
+                );
+            }
+        }
+        slot.unwrap()
+    }
+}
+
+/// A message in flight.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Communicator id the message was sent on.
+    pub comm: u32,
+    /// Communicator-local rank of the sender.
+    pub src: u32,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload.
+    pub data: Vec<u8>,
+    /// Sender's virtual clock when the send was posted.
+    pub send_post: VTime,
+    /// Present for synchronous/rendezvous sends; the receiver must call
+    /// [`Handshake::complete`] when it matches this envelope.
+    pub handshake: Option<Arc<Handshake>>,
+}
+
+/// Matching selector for receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchSpec {
+    /// Communicator to match (exact).
+    pub comm: u32,
+    /// Source rank (communicator-local), or `None` for `MPI_ANY_SOURCE`.
+    pub src: Option<u32>,
+    /// Tag, or `None` for `MPI_ANY_TAG`.
+    pub tag: Option<i32>,
+}
+
+impl MatchSpec {
+    fn matches(&self, env: &Envelope) -> bool {
+        env.comm == self.comm
+            && self.src.is_none_or(|s| s == env.src)
+            && self.tag.is_none_or(|t| t == env.tag)
+    }
+}
+
+/// One rank's incoming-message queue.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver an envelope (called from the sender's thread).
+    pub fn push(&self, env: Envelope) {
+        self.queue.lock().push_back(env);
+        self.cv.notify_all();
+    }
+
+    /// Re-deliver an envelope at the *front* of the queue (used by probe,
+    /// which must observe without disturbing matching order).
+    pub fn push_front(&self, env: Envelope) {
+        self.queue.lock().push_front(env);
+        self.cv.notify_all();
+    }
+
+    /// Number of queued messages (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Remove and return the first envelope matching `spec`, blocking until
+    /// one arrives.
+    ///
+    /// # Panics
+    /// Panics after `timeout` without a match (deadlock detection).
+    pub fn take_match(&self, spec: MatchSpec, timeout: Duration) -> Envelope {
+        let mut q = self.queue.lock();
+        let deadline = Instant::now() + timeout;
+        // For wildcard sources, grant one short real-time grace round after
+        // the first candidate appears, so messages with *earlier virtual
+        // post times* that are still in flight (their sender threads not yet
+        // scheduled) can join the selection. This keeps ANY_SOURCE matching
+        // as close to virtual-time order as an online matcher can be.
+        let mut graced = spec.src.is_some();
+        loop {
+            // Among queued matches, prefer the earliest *virtual* send
+            // (ties: lowest source, then arrival order). For exact-source
+            // receives this coincides with FIFO (non-overtaking).
+            let pos = q
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| spec.matches(e))
+                .min_by_key(|(i, e)| (e.send_post, e.src, *i))
+                .map(|(i, _)| i);
+            if let Some(pos) = pos {
+                if !graced {
+                    graced = true;
+                    let _ = self.cv.wait_for(&mut q, Duration::from_micros(500));
+                    continue;
+                }
+                return q.remove(pos).expect("position came from iteration");
+            }
+            if self.cv.wait_until(&mut q, deadline).timed_out() {
+                panic!(
+                    "receive matching {spec:?} blocked for {timeout:?} with {} queued \
+                     non-matching messages (deadlock in the simulated program?)",
+                    q.len()
+                );
+            }
+        }
+    }
+
+    /// Nonblocking variant of [`Mailbox::take_match`].
+    pub fn try_take_match(&self, spec: MatchSpec) -> Option<Envelope> {
+        let mut q = self.queue.lock();
+        q.iter()
+            .enumerate()
+            .filter(|(_, e)| spec.matches(e))
+            .min_by_key(|(i, e)| (e.send_post, e.src, *i))
+            .map(|(i, _)| i)
+            .and_then(|pos| q.remove(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(comm: u32, src: u32, tag: i32) -> Envelope {
+        Envelope {
+            comm,
+            src,
+            tag,
+            data: vec![src as u8],
+            send_post: VTime(src as u64),
+            handshake: None,
+        }
+    }
+
+    const T: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn exact_match_fifo_per_source() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 1, 5));
+        mb.push(env(0, 1, 5));
+        let spec = MatchSpec {
+            comm: 0,
+            src: Some(1),
+            tag: Some(5),
+        };
+        let first = mb.take_match(spec, T);
+        assert_eq!(first.send_post, VTime(1));
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn tag_mismatch_skipped() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 1, 5));
+        mb.push(env(0, 1, 9));
+        let got = mb.take_match(
+            MatchSpec {
+                comm: 0,
+                src: Some(1),
+                tag: Some(9),
+            },
+            T,
+        );
+        assert_eq!(got.tag, 9);
+        assert_eq!(mb.len(), 1, "the tag-5 message stays queued");
+    }
+
+    #[test]
+    fn communicator_isolation() {
+        let mb = Mailbox::new();
+        mb.push(env(7, 0, 1));
+        assert!(mb
+            .try_take_match(MatchSpec {
+                comm: 8,
+                src: Some(0),
+                tag: Some(1)
+            })
+            .is_none());
+        assert!(mb
+            .try_take_match(MatchSpec {
+                comm: 7,
+                src: Some(0),
+                tag: Some(1)
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 3, 42));
+        let got = mb.take_match(
+            MatchSpec {
+                comm: 0,
+                src: None,
+                tag: None,
+            },
+            T,
+        );
+        assert_eq!((got.src, got.tag), (3, 42));
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            mb2.take_match(
+                MatchSpec {
+                    comm: 0,
+                    src: Some(0),
+                    tag: Some(0),
+                },
+                T,
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(env(0, 0, 0));
+        let got = h.join().unwrap();
+        assert_eq!(got.src, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn timeout_panics() {
+        let mb = Mailbox::new();
+        mb.take_match(
+            MatchSpec {
+                comm: 0,
+                src: Some(0),
+                tag: Some(0),
+            },
+            Duration::from_millis(50),
+        );
+    }
+
+    #[test]
+    fn handshake_passes_post_time() {
+        let h = Arc::new(Handshake::default());
+        let h2 = h.clone();
+        let waiter = std::thread::spawn(move || h2.await_receiver(T));
+        std::thread::sleep(Duration::from_millis(10));
+        h.complete(VTime(123));
+        assert_eq!(waiter.join().unwrap(), VTime(123));
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn handshake_timeout_panics() {
+        Handshake::default().await_receiver(Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,922 @@
+//! The per-process handle: clocks, work, point-to-point and collective
+//! operations, and communicator management.
+//!
+//! One [`Proc`] is handed to the user closure on each simulated rank's
+//! thread. Every MPI-like call (1) records an `Enter` event, (2) performs
+//! the data movement through the shared-memory transport, (3) advances the
+//! rank's virtual clock according to the [`ats_runtime::MachineModel`], and
+//! (4) records the corresponding message/collective and `Exit` events.
+
+use crate::collective;
+use crate::comm::{Comm, CommShared, Contrib};
+use crate::datatype::{Datatype, ReduceOp};
+use crate::mailbox::{Envelope, Handshake, MatchSpec};
+use crate::request::{ReqInner, Request, Status};
+use crate::world::WorldShared;
+use ats_runtime::{MachineModel, VDur, VTime, WorkEngine, WorkMode};
+use ats_trace::{CollOp, LocalTrace, LocationId, RegionId, RegionKind, TraceCollector};
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to one simulated MPI process. See the module docs.
+pub struct Proc {
+    rank: usize,
+    nprocs: usize,
+    clock: VTime,
+    engine: WorkEngine,
+    local: LocalTrace,
+    collector: TraceCollector,
+    world: Arc<WorldShared>,
+    world_comm: Arc<CommShared>,
+    r_work: RegionId,
+    work_mode: WorkMode,
+    seed: u64,
+    calibration: Option<f64>,
+    thread_ids: Arc<AtomicU32>,
+    omp_sync_ids: Arc<AtomicU32>,
+}
+
+impl Proc {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        nprocs: usize,
+        engine: WorkEngine,
+        collector: TraceCollector,
+        world: Arc<WorldShared>,
+        world_comm: Arc<CommShared>,
+        work_mode: WorkMode,
+        seed: u64,
+        calibration: Option<f64>,
+    ) -> Self {
+        let local = collector.local(LocationId::rank(rank as u32));
+        let r_work = collector.intern("do_work", RegionKind::Work);
+        Proc {
+            rank,
+            nprocs,
+            clock: VTime::ZERO,
+            engine,
+            local,
+            collector,
+            world,
+            world_comm,
+            r_work,
+            work_mode,
+            seed,
+            calibration,
+            thread_ids: Arc::new(AtomicU32::new(1)),
+            // Per-rank OpenMP sync-id space, disjoint from MPI comm ids
+            // (which stay far below 2^20) and from other ranks' spaces, so
+            // team ids are deterministic regardless of rank scheduling.
+            omp_sync_ids: Arc::new(AtomicU32::new((rank as u32 + 1) << 20)),
+        }
+    }
+
+    // ----- identity and clock -------------------------------------------
+
+    /// Global rank of this process.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of processes in the run.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// A handle to `MPI_COMM_WORLD`.
+    pub fn comm_world(&self) -> Comm {
+        Comm::new(self.world_comm.clone(), self.rank)
+    }
+
+    /// Current virtual time on this rank.
+    pub fn clock(&self) -> VTime {
+        self.clock
+    }
+
+    /// Overwrite the virtual clock (used by the hybrid OpenMP glue, which
+    /// forks a thread team at the rank's clock and joins it back).
+    ///
+    /// # Panics
+    /// Panics if `t` would move the clock backwards.
+    pub fn set_clock(&mut self, t: VTime) {
+        assert!(t >= self.clock, "clock may not move backwards");
+        self.clock = t;
+    }
+
+    /// Advance the clock without recording work (pure delay).
+    pub fn advance(&mut self, d: VDur) {
+        self.clock += d;
+    }
+
+    /// This rank's private RNG stream.
+    pub fn rng(&mut self) -> &mut ats_runtime::SplitMix64 {
+        self.engine.rng()
+    }
+
+    /// The shared trace collector (for interning regions and for the
+    /// hybrid glue, which creates additional per-thread local traces).
+    pub fn collector(&self) -> &TraceCollector {
+        &self.collector
+    }
+
+    // ----- hybrid (MPI × OpenMP) integration surface ----------------------
+    //
+    // These accessors exist so `ats-core` can adapt a rank into an
+    // `ats_omp::Master` without coupling the two substrate crates.
+
+    /// The rank's event stream (hybrid glue only).
+    pub fn local_mut(&mut self) -> &mut LocalTrace {
+        &mut self.local
+    }
+
+    /// The run's cost model.
+    pub fn model(&self) -> &MachineModel {
+        &self.world.model
+    }
+
+    /// The run's work mode.
+    pub fn work_mode(&self) -> WorkMode {
+        self.work_mode
+    }
+
+    /// The run's RNG root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The run's real-work calibration, if any.
+    pub fn calibration(&self) -> Option<f64> {
+        self.calibration
+    }
+
+    /// The run's deadlock budget.
+    pub fn timeout(&self) -> Duration {
+        self.world.timeout
+    }
+
+    /// Synchronization-context id allocator for OpenMP teams forked from
+    /// this rank. Each rank owns the disjoint range `(rank+1)·2^20 ..`, so
+    /// team ids are deterministic and never collide with MPI communicator
+    /// ids (allocated from 0 upward).
+    pub fn sync_ids(&self) -> Arc<AtomicU32> {
+        self.omp_sync_ids.clone()
+    }
+
+    /// Trace-location thread-id allocator for OpenMP teams forked from
+    /// this rank.
+    pub fn thread_ids(&self) -> Arc<AtomicU32> {
+        self.thread_ids.clone()
+    }
+
+    // ----- instrumentation ----------------------------------------------
+
+    /// Open a named region at the current clock (property-function frames
+    /// and user phases).
+    pub fn enter_region(&mut self, name: &str, kind: RegionKind) {
+        let id = self.collector.intern(name, kind);
+        self.local.enter(self.clock, id);
+    }
+
+    /// Close a named region at the current clock.
+    pub fn exit_region(&mut self, name: &str) {
+        let id = self.collector.intern(name, RegionKind::User);
+        self.local.exit(self.clock, id);
+    }
+
+    // ----- work -----------------------------------------------------------
+
+    /// The ATS `do_work`: consume `amount` of CPU time, recorded as a
+    /// `do_work` region.
+    pub fn do_work(&mut self, amount: VDur) {
+        if amount.is_zero() {
+            return;
+        }
+        self.local.enter(self.clock, self.r_work);
+        self.engine.do_work(amount);
+        self.clock += amount;
+        self.local.exit(self.clock, self.r_work);
+    }
+
+    // ----- point-to-point -------------------------------------------------
+
+    /// Blocking standard-mode send (`MPI_Send`): eager below the model's
+    /// threshold, rendezvous above it.
+    pub fn send(&mut self, data: &[u8], dest: usize, tag: i32, comm: &Comm) {
+        let rendezvous = !self.world.model.is_eager(data.len());
+        self.send_impl("MPI_Send", data, dest, tag, comm, rendezvous);
+    }
+
+    /// Blocking synchronous-mode send (`MPI_Ssend`): always rendezvous —
+    /// completion requires the matching receive. This is the mode that
+    /// makes the *Late Receiver* property observable at any message size.
+    pub fn ssend(&mut self, data: &[u8], dest: usize, tag: i32, comm: &Comm) {
+        self.send_impl("MPI_Ssend", data, dest, tag, comm, true);
+    }
+
+    fn send_impl(
+        &mut self,
+        region: &str,
+        data: &[u8],
+        dest: usize,
+        tag: i32,
+        comm: &Comm,
+        rendezvous: bool,
+    ) {
+        assert!(dest < comm.size(), "send destination out of range");
+        let r = self.collector.intern(region, RegionKind::MpiP2p);
+        let post = self.clock;
+        self.local.enter(post, r);
+        // Events carry *global* ranks (what a measurement system records);
+        // matching metadata (comm, tag) rides along.
+        self.local.send(
+            post,
+            comm.global_rank(dest) as u32,
+            comm.id(),
+            tag,
+            data.len() as u64,
+        );
+        let handshake = rendezvous.then(|| Arc::new(Handshake::default()));
+        let env = Envelope {
+            comm: comm.id(),
+            src: comm.rank() as u32,
+            tag,
+            data: data.to_vec(),
+            send_post: post,
+            handshake: handshake.clone(),
+        };
+        self.world.mailbox(comm.global_rank(dest)).push(env);
+        let model = &self.world.model;
+        self.clock = match handshake {
+            None => post + model.send_overhead,
+            Some(h) => {
+                let recv_post = h.await_receiver(self.world.timeout);
+                post.max(recv_post) + model.p2p_wire(data.len())
+            }
+        };
+        self.local.exit(self.clock, r);
+    }
+
+    /// Blocking receive (`MPI_Recv`) from a specific source and tag.
+    pub fn recv(&mut self, src: usize, tag: i32, comm: &Comm) -> (Vec<u8>, Status) {
+        self.recv_select(Some(src), Some(tag), comm)
+    }
+
+    /// Blocking receive with optional wildcards (`MPI_ANY_SOURCE` /
+    /// `MPI_ANY_TAG` expressed as `None`).
+    pub fn recv_select(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<i32>,
+        comm: &Comm,
+    ) -> (Vec<u8>, Status) {
+        let r = self.collector.intern("MPI_Recv", RegionKind::MpiP2p);
+        let post = self.clock;
+        self.local.enter(post, r);
+        let spec = MatchSpec {
+            comm: comm.id(),
+            src: src.map(|s| s as u32),
+            tag,
+        };
+        let env = self
+            .world
+            .mailbox(comm.global_rank(comm.rank()))
+            .take_match(spec, self.world.timeout);
+        let (data, status, completion) = self.complete_recv(post, env, comm);
+        self.clock = completion;
+        self.local.exit(self.clock, r);
+        (data, status)
+    }
+
+    /// Compute delivery time for a matched envelope and record the Recv
+    /// event. Returns `(payload, status, completion_time)`.
+    fn complete_recv(
+        &mut self,
+        post: VTime,
+        env: Envelope,
+        comm: &Comm,
+    ) -> (Vec<u8>, Status, VTime) {
+        let model = &self.world.model;
+        let completion = match &env.handshake {
+            None => {
+                // Eager: message travels as soon as it was posted.
+                (post + model.recv_overhead)
+                    .max(env.send_post + model.send_overhead + model.p2p_wire(env.data.len()))
+            }
+            Some(h) => {
+                // Rendezvous: transfer starts when both sides are ready.
+                h.complete(post);
+                post.max(env.send_post) + model.p2p_wire(env.data.len())
+            }
+        };
+        let status = Status {
+            source: env.src as usize,
+            tag: env.tag,
+            bytes: env.data.len(),
+        };
+        self.local.recv(
+            completion,
+            comm.global_rank(env.src as usize) as u32,
+            env.comm,
+            env.tag,
+            env.data.len() as u64,
+            post,
+        );
+        (env.data, status, completion)
+    }
+
+    /// Nonblocking standard-mode send (`MPI_Isend`).
+    pub fn isend(&mut self, data: &[u8], dest: usize, tag: i32, comm: &Comm) -> Request {
+        assert!(dest < comm.size(), "send destination out of range");
+        let r = self.collector.intern("MPI_Isend", RegionKind::MpiP2p);
+        let post = self.clock;
+        self.local.enter(post, r);
+        self.local.send(
+            post,
+            comm.global_rank(dest) as u32,
+            comm.id(),
+            tag,
+            data.len() as u64,
+        );
+        let rendezvous = !self.world.model.is_eager(data.len());
+        let handshake = rendezvous.then(|| Arc::new(Handshake::default()));
+        let env = Envelope {
+            comm: comm.id(),
+            src: comm.rank() as u32,
+            tag,
+            data: data.to_vec(),
+            send_post: post,
+            handshake: handshake.clone(),
+        };
+        self.world.mailbox(comm.global_rank(dest)).push(env);
+        // Posting itself is cheap; the transfer cost is charged at wait.
+        self.local.exit(self.clock, r);
+        match handshake {
+            None => Request(ReqInner::SendEager { post }),
+            Some(h) => Request(ReqInner::SendRendezvous {
+                post,
+                bytes: data.len(),
+                handshake: h,
+            }),
+        }
+    }
+
+    /// Nonblocking receive (`MPI_Irecv`). Matching happens at the wait, in
+    /// wait order — sufficient for the suite's property functions, which
+    /// keep at most one receive outstanding per peer.
+    pub fn irecv(&mut self, src: usize, tag: i32, comm: &Comm) -> Request {
+        let r = self.collector.intern("MPI_Irecv", RegionKind::MpiP2p);
+        let post = self.clock;
+        self.local.enter(post, r);
+        self.local.exit(post, r);
+        Request(ReqInner::Recv {
+            post,
+            spec: MatchSpec {
+                comm: comm.id(),
+                src: Some(src as u32),
+                tag: Some(tag),
+            },
+            comm: comm.clone(),
+        })
+    }
+
+    /// Complete a nonblocking operation (`MPI_Wait`). For receives, returns
+    /// the payload and status.
+    pub fn wait(&mut self, req: &mut Request) -> Option<(Vec<u8>, Status)> {
+        let r = self.collector.intern("MPI_Wait", RegionKind::MpiP2p);
+        let at = self.clock;
+        self.local.enter(at, r);
+        let result = match req.take() {
+            ReqInner::Done => panic!("wait on an already-completed request"),
+            ReqInner::SendEager { post } => {
+                self.clock = at.max(post + self.world.model.send_overhead);
+                None
+            }
+            ReqInner::SendRendezvous {
+                post,
+                bytes,
+                handshake,
+            } => {
+                let recv_post = handshake.await_receiver(self.world.timeout);
+                let done = post.max(recv_post) + self.world.model.p2p_wire(bytes);
+                self.clock = at.max(done);
+                None
+            }
+            ReqInner::Recv { post, spec, comm } => {
+                let env = self
+                    .world
+                    .mailbox(comm.global_rank(comm.rank()))
+                    .take_match(spec, self.world.timeout);
+                let (data, status, completion) = self.complete_recv(post, env, &comm);
+                self.clock = at.max(completion);
+                Some((data, status))
+            }
+        };
+        self.local.exit(self.clock, r);
+        result
+    }
+
+    /// Complete exactly one request of a set (`MPI_Waitany`): scans for a
+    /// completable request (done sends, receives whose message has already
+    /// arrived), and otherwise blocks on the first pending receive.
+    /// Returns the index completed and, for receives, the payload.
+    pub fn waitany(&mut self, reqs: &mut [Request]) -> (usize, Option<(Vec<u8>, Status)>) {
+        assert!(!reqs.is_empty(), "waitany on an empty request set");
+        assert!(
+            reqs.iter().any(|r| !r.is_done()),
+            "waitany with all requests already completed"
+        );
+        // First pass: a send request (always completable without blocking)
+        // or a receive whose message is already queued.
+        for (i, req) in reqs.iter_mut().enumerate() {
+            match &req.0 {
+                ReqInner::Done => continue,
+                ReqInner::SendEager { .. } => return (i, self.wait(req)),
+                ReqInner::SendRendezvous { .. } => continue,
+                ReqInner::Recv { spec, comm, .. } => {
+                    let has_message = {
+                        let mb = self.world.mailbox(comm.global_rank(comm.rank()));
+                        // Peek without consuming: try-take and push back
+                        // would reorder; instead test emptiness per spec.
+                        mb.try_take_match(*spec)
+                    };
+                    if let Some(env) = has_message {
+                        // Message in hand: complete this request with it.
+                        let (post, comm) = match req.take() {
+                            ReqInner::Recv { post, comm, .. } => (post, comm),
+                            _ => unreachable!("matched Recv above"),
+                        };
+                        let r = self.collector.intern("MPI_Wait", RegionKind::MpiP2p);
+                        let at = self.clock;
+                        self.local.enter(at, r);
+                        let (data, status, completion) = self.complete_recv(post, env, &comm);
+                        self.clock = at.max(completion);
+                        self.local.exit(self.clock, r);
+                        return (i, Some((data, status)));
+                    }
+                }
+            }
+        }
+        // Nothing immediately completable: block on the first live request.
+        let i = reqs
+            .iter()
+            .position(|r| !r.is_done())
+            .expect("checked above");
+        (i, self.wait(&mut reqs[i]))
+    }
+
+    /// `MPI_Probe`: block until a matching message is available and return
+    /// its status without receiving it.
+    pub fn probe(&mut self, src: Option<usize>, tag: Option<i32>, comm: &Comm) -> Status {
+        let r = self.collector.intern("MPI_Probe", RegionKind::MpiP2p);
+        let post = self.clock;
+        self.local.enter(post, r);
+        let spec = MatchSpec {
+            comm: comm.id(),
+            src: src.map(|s| s as u32),
+            tag,
+        };
+        // Take and immediately put back: the mailbox keeps FIFO order per
+        // source because we re-deliver before anyone else can observe the
+        // queue (we hold no other messages).
+        let mb = self.world.mailbox(comm.global_rank(comm.rank()));
+        let env = mb.take_match(spec, self.world.timeout);
+        let status = Status {
+            source: env.src as usize,
+            tag: env.tag,
+            bytes: env.data.len(),
+        };
+        // The probe observes the message's arrival: clock advances to when
+        // the message is available.
+        let arrival = env.send_post
+            + self.world.model.send_overhead
+            + self.world.model.p2p_wire(env.data.len());
+        mb.push_front(env);
+        self.clock = self.clock.max(arrival);
+        self.local.exit(self.clock, r);
+        status
+    }
+
+    /// Complete a set of requests in order (`MPI_Waitall`).
+    pub fn waitall(&mut self, reqs: &mut [Request]) -> Vec<Option<(Vec<u8>, Status)>> {
+        reqs.iter_mut().map(|r| self.wait(r)).collect()
+    }
+
+    // ----- collectives ----------------------------------------------------
+
+    /// Shared skeleton: record entry, rendezvous, price the operation,
+    /// advance the clock, record completion. Returns the gathered
+    /// contributions for the data phase.
+    fn coll_exchange(
+        &mut self,
+        op: CollOp,
+        comm: &Comm,
+        root: Option<usize>,
+        data: Vec<u8>,
+        counts: Option<Vec<usize>>,
+        bytes_of: impl FnOnce(&[Contrib]) -> Vec<u64>,
+    ) -> Vec<Contrib> {
+        let r = self
+            .collector
+            .intern(op.region_name(), RegionKind::MpiCollective);
+        let entry = self.clock;
+        self.local.enter(entry, r);
+        let my_bytes = data.len() as u64;
+        let (seq, all) = comm.shared.slot.exchange(
+            comm.rank(),
+            comm.size(),
+            Contrib {
+                entry,
+                data,
+                counts,
+            },
+            self.world.timeout,
+        );
+        let entries: Vec<VTime> = all.iter().map(|c| c.entry).collect();
+        let bytes = bytes_of(&all);
+        let exit = collective::exits(op, &entries, root, &bytes, &self.world.model)[comm.rank()];
+        self.clock = exit;
+        self.local.coll_end(
+            exit,
+            op,
+            comm.id(),
+            root.map(|r| r as u32),
+            seq,
+            my_bytes,
+            entry,
+        );
+        self.local.exit(exit, r);
+        all
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&mut self, comm: &Comm) {
+        let p = comm.size();
+        self.coll_exchange(CollOp::Barrier, comm, None, Vec::new(), None, |_| {
+            vec![0; p]
+        });
+    }
+
+    /// `MPI_Bcast`: on the root, `buf` is the payload; on other ranks it is
+    /// replaced by the root's data.
+    pub fn bcast(&mut self, buf: &mut Vec<u8>, root: usize, comm: &Comm) {
+        let data = if comm.rank() == root {
+            std::mem::take(buf)
+        } else {
+            Vec::new()
+        };
+        let p = comm.size();
+        let all = self.coll_exchange(CollOp::Bcast, comm, Some(root), data, None, move |all| {
+            vec![all[root].data.len() as u64; p]
+        });
+        *buf = all[root].data.clone();
+    }
+
+    /// `MPI_Scatter` with equal chunks: the root's `send` buffer is split
+    /// into `size` equal parts; every rank receives its part.
+    pub fn scatter(&mut self, send: &[u8], root: usize, comm: &Comm) -> Vec<u8> {
+        let p = comm.size();
+        let data = if comm.rank() == root {
+            assert_eq!(send.len() % p, 0, "scatter buffer not divisible by size");
+            send.to_vec()
+        } else {
+            Vec::new()
+        };
+        let all = self.coll_exchange(CollOp::Scatter, comm, Some(root), data, None, move |all| {
+            let chunk = (all[root].data.len() / p) as u64;
+            vec![chunk; p]
+        });
+        let chunk = all[root].data.len() / p;
+        all[root].data[comm.rank() * chunk..(comm.rank() + 1) * chunk].to_vec()
+    }
+
+    /// `MPI_Scatterv`: the root supplies per-rank byte counts.
+    pub fn scatterv(&mut self, send: &[u8], counts: &[usize], root: usize, comm: &Comm) -> Vec<u8> {
+        let p = comm.size();
+        let (data, counts_opt) = if comm.rank() == root {
+            assert_eq!(counts.len(), p, "one count per rank required");
+            assert_eq!(
+                counts.iter().sum::<usize>(),
+                send.len(),
+                "counts must cover buffer"
+            );
+            (send.to_vec(), Some(counts.to_vec()))
+        } else {
+            (Vec::new(), None)
+        };
+        let all = self.coll_exchange(
+            CollOp::Scatterv,
+            comm,
+            Some(root),
+            data,
+            counts_opt,
+            move |all| {
+                let counts = all[root].counts.as_ref().expect("root supplies counts");
+                counts.iter().map(|&c| c as u64).collect()
+            },
+        );
+        let counts = all[root].counts.as_ref().expect("root supplies counts");
+        let offset: usize = counts[..comm.rank()].iter().sum();
+        all[root].data[offset..offset + counts[comm.rank()]].to_vec()
+    }
+
+    /// `MPI_Gather`: the root receives the concatenation of all
+    /// contributions in rank order.
+    pub fn gather(&mut self, mine: &[u8], root: usize, comm: &Comm) -> Option<Vec<u8>> {
+        let all = self.coll_exchange(
+            CollOp::Gather,
+            comm,
+            Some(root),
+            mine.to_vec(),
+            None,
+            |all| all.iter().map(|c| c.data.len() as u64).collect(),
+        );
+        (comm.rank() == root).then(|| all.iter().flat_map(|c| c.data.iter().copied()).collect())
+    }
+
+    /// `MPI_Gatherv` — identical to [`Proc::gather`] here because each
+    /// contribution already carries its own length; kept separate so traces
+    /// name the irregular operation, as the paper's property list does.
+    pub fn gatherv(&mut self, mine: &[u8], root: usize, comm: &Comm) -> Option<Vec<u8>> {
+        let all = self.coll_exchange(
+            CollOp::Gatherv,
+            comm,
+            Some(root),
+            mine.to_vec(),
+            None,
+            |all| all.iter().map(|c| c.data.len() as u64).collect(),
+        );
+        (comm.rank() == root).then(|| all.iter().flat_map(|c| c.data.iter().copied()).collect())
+    }
+
+    /// `MPI_Reduce`: elementwise combination delivered to the root.
+    pub fn reduce(
+        &mut self,
+        mine: &[u8],
+        op: ReduceOp,
+        dtype: Datatype,
+        root: usize,
+        comm: &Comm,
+    ) -> Option<Vec<u8>> {
+        let p = comm.size();
+        let all = self.coll_exchange(
+            CollOp::Reduce,
+            comm,
+            Some(root),
+            mine.to_vec(),
+            None,
+            move |all| vec![all.iter().map(|c| c.data.len() as u64).max().unwrap_or(0); p],
+        );
+        (comm.rank() == root).then(|| combine_all(&all, op, dtype))
+    }
+
+    /// `MPI_Allreduce`.
+    pub fn allreduce(
+        &mut self,
+        mine: &[u8],
+        op: ReduceOp,
+        dtype: Datatype,
+        comm: &Comm,
+    ) -> Vec<u8> {
+        let p = comm.size();
+        let all = self.coll_exchange(
+            CollOp::Allreduce,
+            comm,
+            None,
+            mine.to_vec(),
+            None,
+            move |all| vec![all.iter().map(|c| c.data.len() as u64).max().unwrap_or(0); p],
+        );
+        combine_all(&all, op, dtype)
+    }
+
+    /// `MPI_Allgather`.
+    pub fn allgather(&mut self, mine: &[u8], comm: &Comm) -> Vec<u8> {
+        let all = self.coll_exchange(CollOp::Allgather, comm, None, mine.to_vec(), None, |all| {
+            all.iter().map(|c| c.data.len() as u64).collect()
+        });
+        all.iter().flat_map(|c| c.data.iter().copied()).collect()
+    }
+
+    /// `MPI_Alltoall` with equal chunks: each rank's buffer is split into
+    /// `size` chunks; rank `i` receives chunk `i` of every sender,
+    /// concatenated in sender order.
+    pub fn alltoall(&mut self, send: &[u8], comm: &Comm) -> Vec<u8> {
+        let p = comm.size();
+        assert_eq!(send.len() % p, 0, "alltoall buffer not divisible by size");
+        let all = self.coll_exchange(CollOp::Alltoall, comm, None, send.to_vec(), None, |all| {
+            all.iter().map(|c| c.data.len() as u64).collect()
+        });
+        let me = comm.rank();
+        let mut out = Vec::with_capacity(send.len());
+        for c in &all {
+            let chunk = c.data.len() / p;
+            out.extend_from_slice(&c.data[me * chunk..(me + 1) * chunk]);
+        }
+        out
+    }
+
+    /// `MPI_Alltoallv`: fully irregular exchange. `send` is this rank's
+    /// flattened buffer; `counts[d]` is the number of bytes destined to
+    /// communicator rank `d`. Returns the received bytes concatenated in
+    /// sender order. All ranks must agree on the (global) count matrix
+    /// implicitly: rank `r` receives exactly what each sender addressed to
+    /// it.
+    pub fn alltoallv(&mut self, send: &[u8], counts: &[usize], comm: &Comm) -> Vec<u8> {
+        let p = comm.size();
+        assert_eq!(counts.len(), p, "one byte count per destination");
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            send.len(),
+            "counts must cover the send buffer"
+        );
+        let all = self.coll_exchange(
+            CollOp::Alltoallv,
+            comm,
+            None,
+            send.to_vec(),
+            Some(counts.to_vec()),
+            |all| all.iter().map(|c| c.data.len() as u64).collect(),
+        );
+        let me = comm.rank();
+        let mut out = Vec::new();
+        for c in &all {
+            let counts = c.counts.as_ref().expect("every member supplies counts");
+            let offset: usize = counts[..me].iter().sum();
+            out.extend_from_slice(&c.data[offset..offset + counts[me]]);
+        }
+        out
+    }
+
+    /// `MPI_Reduce_scatter_block`: elementwise reduction of equal-sized
+    /// blocks, with block `i` delivered to rank `i`.
+    pub fn reduce_scatter_block(
+        &mut self,
+        mine: &[u8],
+        op: ReduceOp,
+        dtype: Datatype,
+        comm: &Comm,
+    ) -> Vec<u8> {
+        let p = comm.size();
+        assert_eq!(mine.len() % p, 0, "buffer not divisible by size");
+        // Priced like an allreduce (reduce + scatter phases share the
+        // tree); data-wise it is a full reduction followed by block
+        // extraction.
+        let all = self.coll_exchange(
+            CollOp::Allreduce,
+            comm,
+            None,
+            mine.to_vec(),
+            None,
+            move |all| vec![all.iter().map(|c| c.data.len() as u64).max().unwrap_or(0); p],
+        );
+        let combined = combine_all(&all, op, dtype);
+        let block = combined.len() / p;
+        combined[comm.rank() * block..(comm.rank() + 1) * block].to_vec()
+    }
+
+    /// `MPI_Scan`: inclusive prefix reduction over ranks `0..=me`.
+    pub fn scan(&mut self, mine: &[u8], op: ReduceOp, dtype: Datatype, comm: &Comm) -> Vec<u8> {
+        let p = comm.size();
+        let all = self.coll_exchange(CollOp::Scan, comm, None, mine.to_vec(), None, move |all| {
+            vec![all.iter().map(|c| c.data.len() as u64).max().unwrap_or(0); p]
+        });
+        combine_all(&all[..=comm.rank()], op, dtype)
+    }
+
+    /// `MPI_Sendrecv`: combined send and receive with deadlock-free
+    /// internal ordering (the send is posted nonblocking first).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &mut self,
+        send_data: &[u8],
+        dest: usize,
+        send_tag: i32,
+        src: usize,
+        recv_tag: i32,
+        comm: &Comm,
+    ) -> (Vec<u8>, Status) {
+        let mut sreq = self.isend(send_data, dest, send_tag, comm);
+        let (data, status) = self.recv(src, recv_tag, comm);
+        self.wait(&mut sreq);
+        (data, status)
+    }
+
+    // ----- communicator management ----------------------------------------
+
+    /// `MPI_Comm_split`: group members by `color` (negative = do not join
+    /// any new communicator, like `MPI_UNDEFINED`), ordered by `(key, old
+    /// rank)`.
+    pub fn comm_split(&mut self, color: i64, key: i64, comm: &Comm) -> Option<Comm> {
+        let r = self
+            .collector
+            .intern("MPI_Comm_split", RegionKind::MpiSetup);
+        let entry = self.clock;
+        self.local.enter(entry, r);
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&color.to_le_bytes());
+        payload.extend_from_slice(&key.to_le_bytes());
+        let (seq, all) = comm.shared.slot.exchange(
+            comm.rank(),
+            comm.size(),
+            Contrib {
+                entry,
+                data: payload,
+                counts: None,
+            },
+            self.world.timeout,
+        );
+        // Split is synchronizing: price it like a barrier.
+        let entries: Vec<VTime> = all.iter().map(|c| c.entry).collect();
+        let exit = collective::exits(
+            CollOp::Barrier,
+            &entries,
+            None,
+            &vec![0; comm.size()],
+            &self.world.model,
+        )[comm.rank()];
+        self.clock = exit;
+        self.local.exit(exit, r);
+
+        let decoded: Vec<(i64, i64)> = all
+            .iter()
+            .map(|c| {
+                let color = i64::from_le_bytes(c.data[0..8].try_into().unwrap());
+                let key = i64::from_le_bytes(c.data[8..16].try_into().unwrap());
+                (color, key)
+            })
+            .collect();
+        if color < 0 {
+            return None;
+        }
+        // Members of my color, ordered by (key, old local rank).
+        let mut group: Vec<(i64, usize)> = decoded
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _))| *c == color)
+            .map(|(old, (_, k))| (*k, old))
+            .collect();
+        group.sort_unstable();
+        let members: Vec<usize> = group
+            .iter()
+            .map(|&(_, old)| comm.global_rank(old))
+            .collect();
+        let my_new_rank = group
+            .iter()
+            .position(|&(_, old)| old == comm.rank())
+            .expect("caller is in its own color group");
+        let shared = self.world.comm_for_group(comm.id(), seq, color, &members);
+        Some(Comm::new(shared, my_new_rank))
+    }
+
+    /// `MPI_Comm_dup`: a communicator with identical membership but a
+    /// separate matching space.
+    pub fn comm_dup(&mut self, comm: &Comm) -> Comm {
+        self.comm_split(0, comm.rank() as i64, comm)
+            .expect("dup color is non-negative")
+    }
+
+    // ----- lifecycle (called by the world runner) --------------------------
+
+    pub(crate) fn sim_init(&mut self, cost: VDur) {
+        let r = self.collector.intern("MPI_Init", RegionKind::MpiSetup);
+        self.local.enter(self.clock, r);
+        self.clock += cost;
+        self.local.exit(self.clock, r);
+    }
+
+    pub(crate) fn sim_finalize(&mut self, cost: VDur) {
+        let r = self.collector.intern("MPI_Finalize", RegionKind::MpiSetup);
+        let entry = self.clock;
+        self.local.enter(entry, r);
+        // Finalize synchronizes all ranks, like a world barrier.
+        let comm = self.comm_world();
+        let (_, all) = comm.shared.slot.exchange(
+            comm.rank(),
+            comm.size(),
+            Contrib {
+                entry,
+                data: Vec::new(),
+                counts: None,
+            },
+            self.world.timeout,
+        );
+        let latest = all.iter().map(|c| c.entry).max().unwrap_or(entry);
+        self.clock = latest + cost;
+        self.local.exit(self.clock, r);
+    }
+
+    pub(crate) fn into_local(self) -> (LocalTrace, TraceCollector) {
+        (self.local, self.collector)
+    }
+}
+
+fn combine_all(contribs: &[Contrib], op: ReduceOp, dtype: Datatype) -> Vec<u8> {
+    let mut iter = contribs.iter();
+    let first = iter.next().expect("at least one contribution").data.clone();
+    iter.fold(first, |mut acc, c| {
+        op.combine(dtype, &mut acc, &c.data);
+        acc
+    })
+}

@@ -1,0 +1,142 @@
+//! A generic all-to-all rendezvous slot for thread teams.
+//!
+//! Same protocol as the MPI substrate's collective slot, but generic over
+//! the contribution type and kept dependency-free of `ats-mpi` (the two
+//! substrates are independent, as in the paper's layer diagram).
+
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct State<T> {
+    filling: bool,
+    arrived: usize,
+    departed: usize,
+    contribs: Vec<Option<T>>,
+    seq: u64,
+}
+
+/// An N-party exchange: every participant deposits a `T` and receives
+/// everyone's deposits plus a per-slot round number.
+#[derive(Debug)]
+pub struct ExchangeSlot<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    size: usize,
+}
+
+impl<T: Clone> ExchangeSlot<T> {
+    /// Create a slot for `size` participants.
+    pub fn new(size: usize) -> Self {
+        ExchangeSlot {
+            state: Mutex::new(State {
+                filling: true,
+                arrived: 0,
+                departed: 0,
+                contribs: (0..size).map(|_| None).collect(),
+                seq: 0,
+            }),
+            cv: Condvar::new(),
+            size,
+        }
+    }
+
+    /// Number of participants.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Rendezvous as participant `me`, depositing `contrib`.
+    ///
+    /// # Panics
+    /// Panics if the team does not fully arrive within `timeout`.
+    pub fn exchange(&self, me: usize, contrib: T, timeout: Duration) -> (u64, Vec<T>) {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while !st.filling {
+            self.wait(&mut st, deadline);
+        }
+        assert!(st.contribs[me].is_none(), "participant {me} arrived twice");
+        st.contribs[me] = Some(contrib);
+        st.arrived += 1;
+        if st.arrived == self.size {
+            st.filling = false;
+            self.cv.notify_all();
+        } else {
+            while st.filling {
+                self.wait(&mut st, deadline);
+            }
+        }
+        let seq = st.seq;
+        let all = st
+            .contribs
+            .iter()
+            .map(|c| c.clone().expect("all deposited"))
+            .collect();
+        st.departed += 1;
+        if st.departed == self.size {
+            st.arrived = 0;
+            st.departed = 0;
+            st.contribs = (0..self.size).map(|_| None).collect();
+            st.seq += 1;
+            st.filling = true;
+            self.cv.notify_all();
+        }
+        (seq, all)
+    }
+
+    fn wait(&self, st: &mut parking_lot::MutexGuard<'_, State<T>>, deadline: Instant) {
+        if self.cv.wait_until(st, deadline).timed_out() {
+            panic!(
+                "team rendezvous stalled: {}/{} threads arrived before timeout \
+                 (deadlock in the simulated program?)",
+                st.arrived, self.size
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn exchanges_values_and_rounds() {
+        let slot = Arc::new(ExchangeSlot::new(3));
+        let hs: Vec<_> = (0..3)
+            .map(|me| {
+                let slot = slot.clone();
+                std::thread::spawn(move || {
+                    let (s0, v0) = slot.exchange(me, me * 10, T);
+                    let (s1, v1) = slot.exchange(me, me + 100, T);
+                    (s0, v0, s1, v1)
+                })
+            })
+            .collect();
+        for h in hs {
+            let (s0, v0, s1, v1) = h.join().unwrap();
+            assert_eq!(s0, 0);
+            assert_eq!(v0, vec![0, 10, 20]);
+            assert_eq!(s1, 1);
+            assert_eq!(v1, vec![100, 101, 102]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "team rendezvous stalled")]
+    fn missing_participant_times_out() {
+        let slot = ExchangeSlot::new(2);
+        slot.exchange(0, (), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn singleton_slot_is_immediate() {
+        let slot = ExchangeSlot::new(1);
+        let (seq, all) = slot.exchange(0, 7u32, T);
+        assert_eq!(seq, 0);
+        assert_eq!(all, vec![7]);
+    }
+}

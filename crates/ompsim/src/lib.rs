@@ -1,0 +1,46 @@
+//! # ats-omp
+//!
+//! A virtual-time OpenMP-style substrate: fork/join thread teams,
+//! worksharing loops with static/dynamic/guided schedules, barriers,
+//! `single`/`master`/`sections`, and named critical sections.
+//!
+//! The ATS paper's OpenMP property functions (`imbalance_in_omp_pregion`,
+//! `imbalance_at_omp_barrier`, `imbalance_in_omp_loop`, ...) need an OpenMP
+//! runtime; none exists for Rust (repro note: "no OpenMP; rayon
+//! approximation only"), and rayon's work-stealing would *erase* exactly
+//! the load imbalances the suite must produce. This substrate therefore
+//! implements OpenMP's execution model directly, on the same virtual-time
+//! discipline as the MPI substrate:
+//!
+//! * [`parallel`] forks real OS threads at `clock + fork_overhead` and
+//!   joins them at `max(end clocks) + join_overhead`;
+//! * barriers release everyone at the last arriver (plus a log-tree cost);
+//! * dynamic/guided loops dispense chunks by greedy list scheduling over
+//!   *virtual* time, so schedules are host-independent;
+//! * critical sections serialize contenders in virtual time.
+//!
+//! Anything that can host a region implements [`Master`] — the standalone
+//! [`SeqMaster`], a simulated MPI rank (via `ats-core`'s hybrid wrapper),
+//! or an [`OmpThread`] itself (nested parallelism).
+//!
+//! ```
+//! use ats_omp::{run_omp, parallel, OmpConfig, Schedule};
+//! use ats_runtime::VDur;
+//!
+//! let trace = run_omp(OmpConfig::default(), |m| {
+//!     parallel(m, 4, |th| {
+//!         th.do_work(VDur::from_millis(th.thread_num() as u64 + 1));
+//!         th.barrier();
+//!     });
+//! });
+//! assert_eq!(trace.num_locations(), 4);
+//! ```
+
+pub mod exchange;
+pub mod master;
+pub mod team;
+pub mod thread;
+
+pub use master::{run_omp, Master, OmpConfig, SeqMaster};
+pub use team::{CriticalSpace, TeamShared, VirtualMutex};
+pub use thread::{parallel, OmpThread, Schedule};

@@ -1,0 +1,410 @@
+//! Shared thread-team state: barriers, deterministic worksharing
+//! dispensers, and virtual critical sections.
+
+use crate::exchange::ExchangeSlot;
+use ats_runtime::{MachineModel, VDur, VTime};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the members of one parallel region share.
+#[derive(Debug)]
+pub struct TeamShared {
+    /// Run-unique id of this team (used as the `comm` field of OpenMP
+    /// pseudo-collective trace events).
+    pub id: u32,
+    /// Number of threads.
+    pub size: usize,
+    /// Barrier/fork/join rendezvous carrying entry clocks.
+    pub barrier: ExchangeSlot<VTime>,
+    /// Reduction rendezvous carrying `(entry clock, contribution)` pairs.
+    pub reduction: ExchangeSlot<(VTime, f64)>,
+    /// Worksharing dispensers, keyed by the team-local construct sequence
+    /// number (threads reach constructs in identical SPMD order).
+    pub loops: Mutex<HashMap<u64, Arc<DynSched>>>,
+    /// Cost model.
+    pub model: MachineModel,
+    /// Deadlock budget.
+    pub timeout: Duration,
+    /// Named critical sections (shared with nested teams).
+    pub criticals: Arc<CriticalSpace>,
+    /// Sync-id allocator shared with nested teams.
+    pub sync_ids: Arc<AtomicU32>,
+    /// Trace-location thread-id allocator shared with nested teams.
+    pub thread_ids: Arc<AtomicU32>,
+    /// RNG root seed inherited by team members.
+    pub seed: u64,
+    /// Real-work calibration inherited by team members.
+    pub calibration: Option<f64>,
+}
+
+impl TeamShared {
+    /// Barrier exit time given all entries: last arriver plus a
+    /// log2-stage combining tree.
+    pub fn barrier_exit(&self, entries: &[VTime]) -> VTime {
+        let latest = entries.iter().copied().max().unwrap_or(VTime::ZERO);
+        latest + self.model.barrier_stage * self.model.tree_stages(entries.len()) as u64
+    }
+
+    /// Fetch or create the dispenser for worksharing construct `seq`.
+    pub fn dispenser(
+        &self,
+        seq: u64,
+        chunks: impl FnOnce() -> Vec<(usize, usize)>,
+    ) -> Arc<DynSched> {
+        let mut loops = self.loops.lock();
+        loops
+            .entry(seq)
+            .or_insert_with(|| Arc::new(DynSched::new(self.size, chunks())))
+            .clone()
+    }
+}
+
+/// Deterministic dynamic/guided worksharing dispenser.
+///
+/// Chunks are assigned by greedy list scheduling over *virtual* time: the
+/// next chunk always goes to the participating thread with the smallest
+/// virtual clock (ties to the lowest thread id), regardless of host
+/// scheduling. To make that decidable, chunk execution is serialized in
+/// real time — harmless in virtual-work mode, and documented as the cost of
+/// reproducibility in real-work mode.
+#[derive(Debug)]
+pub struct DynSched {
+    m: Mutex<DsState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct DsState {
+    chunks: Vec<(usize, usize)>,
+    next: usize,
+    /// Clock of each thread that is waiting for a turn (`None` = not yet
+    /// registered, currently executing, or finished).
+    waiting: Vec<Option<VTime>>,
+    registered: usize,
+    executing: bool,
+}
+
+/// One grant from the dispenser: a chunk of iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First iteration index.
+    pub start: usize,
+    /// One past the last iteration index.
+    pub end: usize,
+}
+
+impl DynSched {
+    fn new(size: usize, chunks: Vec<(usize, usize)>) -> Self {
+        DynSched {
+            m: Mutex::new(DsState {
+                chunks,
+                next: 0,
+                waiting: vec![None; size],
+                registered: 0,
+                executing: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Register thread `tid` (with its entry clock) as a participant.
+    /// All threads must register before any chunk is granted.
+    pub fn register(&self, tid: usize, clock: VTime, timeout: Duration) {
+        let mut st = self.m.lock();
+        st.waiting[tid] = Some(clock);
+        st.registered += 1;
+        if st.registered == st.waiting.len() {
+            self.cv.notify_all();
+        } else {
+            let deadline = std::time::Instant::now() + timeout;
+            while st.registered < st.waiting.len() {
+                if self.cv.wait_until(&mut st, deadline).timed_out() {
+                    panic!(
+                        "worksharing construct stalled: {}/{} threads arrived",
+                        st.registered,
+                        st.waiting.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ask for the first chunk as `tid` at virtual time `clock`. Returns
+    /// `None` when the iteration space is exhausted. After executing a
+    /// granted chunk, the caller must come back through
+    /// [`DynSched::finish_and_acquire`] — completion and the next request
+    /// are a single atomic step, so a thread is always either *executing*
+    /// (dispenser reserved) or *waiting with a current clock*; there is no
+    /// window in which another thread could steal its greedy turn.
+    pub fn acquire(&self, tid: usize, clock: VTime, timeout: Duration) -> Option<Chunk> {
+        let mut st = self.m.lock();
+        st.waiting[tid] = Some(clock);
+        self.acquire_locked(st, tid, timeout)
+    }
+
+    /// Atomically report completion of the previous chunk (ending at
+    /// `new_clock`) and request the next one.
+    pub fn finish_and_acquire(
+        &self,
+        tid: usize,
+        new_clock: VTime,
+        timeout: Duration,
+    ) -> Option<Chunk> {
+        let mut st = self.m.lock();
+        debug_assert!(st.executing, "finish_and_acquire without a granted chunk");
+        st.executing = false;
+        st.waiting[tid] = Some(new_clock);
+        self.cv.notify_all();
+        self.acquire_locked(st, tid, timeout)
+    }
+
+    fn acquire_locked(
+        &self,
+        mut st: parking_lot::MutexGuard<'_, DsState>,
+        tid: usize,
+        timeout: Duration,
+    ) -> Option<Chunk> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if st.next >= st.chunks.len() {
+                st.waiting[tid] = None;
+                self.cv.notify_all();
+                return None;
+            }
+            let my_turn = !st.executing
+                && st
+                    .waiting
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| c.map(|c| (c, i)))
+                    .min()
+                    .map(|(_, i)| i)
+                    == Some(tid);
+            if my_turn {
+                let (start, end) = st.chunks[st.next];
+                st.next += 1;
+                st.executing = true;
+                st.waiting[tid] = None;
+                return Some(Chunk { start, end });
+            }
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                panic!("worksharing dispenser stalled (thread {tid})");
+            }
+        }
+    }
+}
+
+/// Compute dynamic-schedule chunk ranges: fixed `chunk` iterations each.
+pub fn dynamic_chunks(iters: usize, chunk: usize) -> Vec<(usize, usize)> {
+    assert!(chunk > 0, "chunk size must be positive");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < iters {
+        out.push((i, (i + chunk).min(iters)));
+        i += chunk;
+    }
+    out
+}
+
+/// Compute guided-schedule chunk ranges: each grant takes
+/// `ceil(remaining / nthreads)` iterations, never below `min_chunk`.
+pub fn guided_chunks(iters: usize, nthreads: usize, min_chunk: usize) -> Vec<(usize, usize)> {
+    assert!(min_chunk > 0, "minimum chunk size must be positive");
+    assert!(nthreads > 0, "need at least one thread");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < iters {
+        let remaining = iters - i;
+        let take = (remaining.div_ceil(nthreads)).max(min_chunk).min(remaining);
+        out.push((i, i + take));
+        i += take;
+    }
+    out
+}
+
+/// The named-critical-section space of one process: a virtual mutex per
+/// name. Entering a critical section serializes contenders in virtual time
+/// (`start = max(arrival, previous holder's release)`).
+#[derive(Debug, Default)]
+pub struct CriticalSpace {
+    locks: Mutex<HashMap<String, Arc<VirtualMutex>>>,
+}
+
+impl CriticalSpace {
+    /// Create an empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch or create the mutex for `name`.
+    pub fn named(&self, name: &str) -> Arc<VirtualMutex> {
+        self.locks
+            .lock()
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(VirtualMutex::new()))
+            .clone()
+    }
+}
+
+/// A mutex whose contention is accounted in virtual time. The real lock is
+/// held for the whole (virtually-timed) body so that `free_at` updates are
+/// race-free; acquisition order follows host scheduling when virtual
+/// arrivals race, which leaves aggregate contention — the quantity the
+/// contention property functions program — order-insensitive for the
+/// symmetric workloads the suite generates.
+#[derive(Debug, Default)]
+pub struct VirtualMutex {
+    inner: Mutex<VmState>,
+}
+
+#[derive(Debug, Default)]
+struct VmState {
+    free_at: VTime,
+    acquisitions: u64,
+}
+
+/// Guard-style handle produced by [`VirtualMutex::acquire`].
+pub struct VmGuard<'a> {
+    state: parking_lot::MutexGuard<'a, VmState>,
+    /// Virtual time at which the caller actually obtained the lock.
+    pub start: VTime,
+    /// Time spent waiting for earlier holders.
+    pub waited: VDur,
+}
+
+impl VirtualMutex {
+    /// Create a free mutex.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire at virtual `arrival`, adding `lock_overhead`. The returned
+    /// guard's `start` is when the body may begin.
+    pub fn acquire(&self, arrival: VTime, lock_overhead: VDur) -> VmGuard<'_> {
+        let state = self.inner.lock();
+        let start = arrival.max(state.free_at) + lock_overhead;
+        VmGuard {
+            waited: start - arrival,
+            start,
+            state,
+        }
+    }
+
+    /// Total successful acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.inner.lock().acquisitions
+    }
+}
+
+impl VmGuard<'_> {
+    /// Release at virtual time `end` (the clock after the critical body).
+    pub fn release(mut self, end: VTime) {
+        debug_assert!(end >= self.start, "critical body ended before it began");
+        self.state.free_at = end;
+        self.state.acquisitions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> VTime {
+        VTime(ms * 1_000_000)
+    }
+
+    #[test]
+    fn dynamic_chunk_ranges() {
+        assert_eq!(dynamic_chunks(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(dynamic_chunks(0, 4), vec![]);
+        assert_eq!(dynamic_chunks(3, 10), vec![(0, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        dynamic_chunks(10, 0);
+    }
+
+    #[test]
+    fn guided_chunks_shrink() {
+        let chunks = guided_chunks(32, 4, 2);
+        // 32/4=8, 24/4=6, 18/4=5(ceil 4.5), 13/4=4(ceil 3.25), ...
+        assert_eq!(chunks[0], (0, 8));
+        assert!(chunks
+            .windows(2)
+            .all(|w| (w[0].1 - w[0].0) >= (w[1].1 - w[1].0)));
+        assert_eq!(chunks.last().unwrap().1, 32);
+        // Full coverage without gaps.
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn guided_respects_min_chunk() {
+        let chunks = guided_chunks(100, 4, 10);
+        for &(a, b) in &chunks[..chunks.len() - 1] {
+            assert!(b - a >= 10);
+        }
+    }
+
+    #[test]
+    fn dispenser_grants_to_min_clock_thread() {
+        let ds = Arc::new(DynSched::new(2, dynamic_chunks(3, 1)));
+        let timeout = Duration::from_secs(5);
+        let ds2 = ds.clone();
+        // Thread 1 sits at clock 100ms: it must not win a grant while
+        // thread 0 keeps presenting smaller clocks.
+        let h = std::thread::spawn(move || {
+            ds2.register(1, t(100), timeout);
+            let mut got = Vec::new();
+            let mut next = ds2.acquire(1, t(100), timeout);
+            while let Some(c) = next {
+                got.push(c);
+                next = ds2.finish_and_acquire(1, t(100), timeout);
+            }
+            got
+        });
+        ds.register(0, t(1), timeout);
+        let first = ds.acquire(0, t(1), timeout).unwrap();
+        assert_eq!(first, Chunk { start: 0, end: 1 }, "min clock wins");
+        let second = ds.finish_and_acquire(0, t(2), timeout).unwrap();
+        assert_eq!(second, Chunk { start: 1, end: 2 }, "still the min clock");
+        // Thread 0 retires at a huge clock: the final chunk goes to 1.
+        assert_eq!(
+            ds.finish_and_acquire(0, t(200), timeout),
+            None,
+            "thread 1 (100ms) outranks thread 0 (200ms) for the last chunk"
+        );
+        assert_eq!(h.join().unwrap(), vec![Chunk { start: 2, end: 3 }]);
+    }
+
+    #[test]
+    fn virtual_mutex_serializes_in_virtual_time() {
+        let vm = VirtualMutex::new();
+        let g1 = vm.acquire(t(0), VDur::ZERO);
+        assert_eq!(g1.start, t(0));
+        assert_eq!(g1.waited, VDur::ZERO);
+        g1.release(t(10));
+        // Second contender arrived at 3 but the lock frees at 10.
+        let g2 = vm.acquire(t(3), VDur::ZERO);
+        assert_eq!(g2.start, t(10));
+        assert_eq!(g2.waited, VDur::from_millis(7));
+        g2.release(t(12));
+        assert_eq!(vm.acquisitions(), 2);
+    }
+
+    #[test]
+    fn critical_space_interns_by_name() {
+        let cs = CriticalSpace::new();
+        let a = cs.named("x");
+        let b = cs.named("x");
+        let c = cs.named("y");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -1,0 +1,176 @@
+//! The machine cost model that drives virtual-time communication.
+//!
+//! ATS-RS uses a LogGP-flavoured model: a fixed per-message latency `L`,
+//! per-message send/receive CPU overheads `o_s`/`o_r`, and a per-byte gap
+//! `G` (inverse bandwidth). Collective operations are priced as trees of
+//! point-to-point stages. The model is deliberately simple — the test suite
+//! needs *controllable and explainable* wait states, not cycle accuracy —
+//! but every parameter is configurable so experiments can explore how
+//! analysis tools behave across machines with different communication
+//! characteristics.
+
+use crate::time::VDur;
+use serde::{Deserialize, Serialize};
+
+/// LogGP-style communication cost parameters plus the shared-memory
+/// (OpenMP-substrate) overheads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// End-to-end wire latency per message hop (LogGP `L`).
+    pub latency: VDur,
+    /// CPU time consumed by the sender to inject a message (LogGP `o_s`).
+    pub send_overhead: VDur,
+    /// CPU time consumed by the receiver to extract a message (LogGP `o_r`).
+    pub recv_overhead: VDur,
+    /// Transfer cost per byte in nanoseconds (LogGP `G`).
+    pub ns_per_byte: f64,
+    /// Messages at most this many bytes are sent eagerly (buffered at the
+    /// receiver); larger messages use a rendezvous protocol in which the
+    /// sender blocks until the receive is posted. The rendezvous path is
+    /// what makes the *Late Receiver* property observable.
+    pub eager_threshold: usize,
+    /// Cost of one stage of a tree-structured collective, excluding data
+    /// transfer (synchronization/bookkeeping per tree level).
+    pub collective_stage: VDur,
+    /// Overhead for forking an OpenMP-style thread team.
+    pub fork_overhead: VDur,
+    /// Overhead for joining an OpenMP-style thread team.
+    pub join_overhead: VDur,
+    /// Cost per stage of a shared-memory barrier.
+    pub barrier_stage: VDur,
+    /// Cost of dispatching one chunk in a dynamic/guided worksharing loop.
+    pub chunk_dispatch: VDur,
+    /// Cost of acquiring an uncontended lock / entering a critical section.
+    pub lock_overhead: VDur,
+}
+
+impl Default for MachineModel {
+    /// Defaults loosely modelled on a 2002-era cluster interconnect
+    /// (Myrinet-class: ~10us latency, ~250 MB/s) — the setting in which the
+    /// ATS prototype and the EXPERT tool were developed. Virtual-time
+    /// experiments are insensitive to the absolute values; what matters is
+    /// that work imbalances (milliseconds) dominate transport costs
+    /// (microseconds), as they do here.
+    fn default() -> Self {
+        MachineModel {
+            latency: VDur::from_micros(10),
+            send_overhead: VDur::from_micros(2),
+            recv_overhead: VDur::from_micros(2),
+            ns_per_byte: 4.0,
+            eager_threshold: 64 * 1024,
+            collective_stage: VDur::from_micros(12),
+            fork_overhead: VDur::from_micros(5),
+            join_overhead: VDur::from_micros(3),
+            barrier_stage: VDur::from_micros(1),
+            chunk_dispatch: VDur::from_nanos(300),
+            lock_overhead: VDur::from_nanos(100),
+        }
+    }
+}
+
+impl MachineModel {
+    /// A model in which all communication and runtime overheads are zero.
+    ///
+    /// Useful in unit tests: with a zero model, every wait state observed in
+    /// a trace is *exactly* the programmed imbalance, with no transport
+    /// noise.
+    pub fn zero() -> Self {
+        MachineModel {
+            latency: VDur::ZERO,
+            send_overhead: VDur::ZERO,
+            recv_overhead: VDur::ZERO,
+            ns_per_byte: 0.0,
+            eager_threshold: 64 * 1024,
+            collective_stage: VDur::ZERO,
+            fork_overhead: VDur::ZERO,
+            join_overhead: VDur::ZERO,
+            barrier_stage: VDur::ZERO,
+            chunk_dispatch: VDur::ZERO,
+            lock_overhead: VDur::ZERO,
+        }
+    }
+
+    /// Pure data-transfer time for a message body of `bytes`.
+    pub fn transfer(&self, bytes: usize) -> VDur {
+        VDur::from_nanos((bytes as f64 * self.ns_per_byte).round() as u64)
+    }
+
+    /// Total wire time for a point-to-point message: latency plus transfer.
+    pub fn p2p_wire(&self, bytes: usize) -> VDur {
+        self.latency + self.transfer(bytes)
+    }
+
+    /// True if a message of this size uses the eager protocol.
+    pub fn is_eager(&self, bytes: usize) -> bool {
+        bytes <= self.eager_threshold
+    }
+
+    /// Number of stages in a binomial tree over `p` participants.
+    pub fn tree_stages(&self, p: usize) -> u32 {
+        if p <= 1 {
+            0
+        } else {
+            usize::BITS - (p - 1).leading_zeros()
+        }
+    }
+
+    /// Cost of one level of a tree collective that moves `bytes` per hop.
+    pub fn stage_cost(&self, bytes: usize) -> VDur {
+        self.collective_stage + self.transfer(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_is_linear_in_bytes() {
+        let m = MachineModel::default();
+        assert_eq!(m.transfer(0), VDur::ZERO);
+        assert_eq!(m.transfer(1000).as_nanos(), 4000);
+        assert_eq!(m.transfer(2000).as_nanos(), 8000);
+    }
+
+    #[test]
+    fn p2p_wire_adds_latency() {
+        let m = MachineModel::default();
+        assert_eq!(m.p2p_wire(0), m.latency);
+        assert_eq!(m.p2p_wire(1000), m.latency + m.transfer(1000));
+    }
+
+    #[test]
+    fn eager_threshold_boundary() {
+        let m = MachineModel::default();
+        assert!(m.is_eager(m.eager_threshold));
+        assert!(!m.is_eager(m.eager_threshold + 1));
+    }
+
+    #[test]
+    fn tree_stages_log2_ceiling() {
+        let m = MachineModel::default();
+        assert_eq!(m.tree_stages(1), 0);
+        assert_eq!(m.tree_stages(2), 1);
+        assert_eq!(m.tree_stages(3), 2);
+        assert_eq!(m.tree_stages(4), 2);
+        assert_eq!(m.tree_stages(5), 3);
+        assert_eq!(m.tree_stages(8), 3);
+        assert_eq!(m.tree_stages(9), 4);
+        assert_eq!(m.tree_stages(16), 4);
+    }
+
+    #[test]
+    fn zero_model_prices_everything_at_zero() {
+        let m = MachineModel::zero();
+        assert_eq!(m.p2p_wire(1 << 20), VDur::ZERO);
+        assert_eq!(m.stage_cost(4096), VDur::ZERO);
+    }
+
+    #[test]
+    fn model_roundtrips_through_serde() {
+        let m = MachineModel::default();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MachineModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,136 @@
+//! Lock-free, splittable pseudo-random number generation.
+//!
+//! The ATS paper reports an instructive implementation bug: its first
+//! `do_work` used the libc `rand()`, whose thread-safe variant serializes
+//! all OpenMP threads on the hidden seed lock — turning every parallel work
+//! region into an accidental *serialization* performance property. The fix
+//! was "our own simple (but efficient, while lock-free) parallel random
+//! generator" (paper §3.1.1). This module is that generator for ATS-RS:
+//! a SplitMix64 stream per participant, split deterministically from a root
+//! seed so that rank/thread streams are independent and reproducible.
+
+/// SplitMix64: a tiny, fast, statistically solid 64-bit generator.
+///
+/// Each simulated participant owns its own `SplitMix64`, so random work
+/// access patterns never share mutable state across threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derive an independent stream for participant `index` (e.g. a global
+    /// rank or a (rank, thread) pair encoded by the caller). Streams derived
+    /// from the same root with different indices are decorrelated by an
+    /// extra mixing round.
+    pub fn split(root_seed: u64, index: u64) -> Self {
+        let mut g = SplitMix64::new(root_seed ^ mix(index.wrapping_add(GOLDEN_GAMMA)));
+        // Burn one output so adjacent indices diverge immediately.
+        g.next_u64();
+        g
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses the widening-multiply technique; the modulo bias is at most
+    /// `bound / 2^64`, far below anything observable here.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "next_below bound must be nonzero");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let mut a = SplitMix64::split(7, 0);
+        let mut b = SplitMix64::split(7, 1);
+        let eq = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(eq, 0, "adjacent split streams should not collide");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut g = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(g.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut g = SplitMix64::new(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[g.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval_and_roughly_uniform() {
+        let mut g = SplitMix64::new(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn known_vector_stability() {
+        // Pin the output sequence: traces embed RNG-driven choices, so a
+        // silent generator change would invalidate recorded experiments.
+        let mut g = SplitMix64::new(0);
+        let first: Vec<u64> = (0..3).map(|_| g.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F
+            ]
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Virtual time: integer-nanosecond instants and durations.
+//!
+//! All simulated clocks in ATS-RS use integer nanoseconds rather than `f64`
+//! seconds so that clock arithmetic is associative and platform-independent;
+//! reproducibility of timestamps is a correctness property of a test suite
+//! whose entire purpose is producing *known* timing patterns.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A virtual instant, in nanoseconds since the start of the simulated run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct VTime(pub u64);
+
+/// A virtual duration, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct VDur(pub u64);
+
+impl VTime {
+    /// The origin of virtual time.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Construct from (possibly fractional) seconds. Negative values clamp
+    /// to zero; the suite's work amounts are non-negative by construction.
+    pub fn from_secs(s: f64) -> Self {
+        VTime(secs_to_nanos(s))
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Nanoseconds since the origin.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The elapsed duration since `earlier`, saturating at zero.
+    pub fn since(self, earlier: VTime) -> VDur {
+        VDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: VTime) -> VTime {
+        VTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: VTime) -> VTime {
+        VTime(self.0.min(other.0))
+    }
+}
+
+impl VDur {
+    /// The zero duration.
+    pub const ZERO: VDur = VDur(0);
+
+    /// Construct from (possibly fractional) seconds, clamping negatives.
+    pub fn from_secs(s: f64) -> Self {
+        VDur(secs_to_nanos(s))
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        VDur(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        VDur(ms * 1_000_000)
+    }
+
+    /// Construct from nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        VDur(ns)
+    }
+
+    /// This duration as fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: VDur) -> VDur {
+        VDur(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: VDur) -> VDur {
+        VDur(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: VDur) -> VDur {
+        VDur(self.0.min(other.0))
+    }
+
+    /// True if this is the zero duration.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+fn secs_to_nanos(s: f64) -> u64 {
+    if s <= 0.0 || !s.is_finite() {
+        0
+    } else {
+        // Round to the nearest nanosecond so e.g. 0.1s is exact.
+        (s * 1e9).round() as u64
+    }
+}
+
+impl Add<VDur> for VTime {
+    type Output = VTime;
+    fn add(self, d: VDur) -> VTime {
+        VTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<VDur> for VTime {
+    fn add_assign(&mut self, d: VDur) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<VDur> for VTime {
+    type Output = VTime;
+    fn sub(self, d: VDur) -> VTime {
+        VTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Sub<VTime> for VTime {
+    type Output = VDur;
+    fn sub(self, other: VTime) -> VDur {
+        VDur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for VDur {
+    type Output = VDur;
+    fn add(self, other: VDur) -> VDur {
+        VDur(self.0 + other.0)
+    }
+}
+
+impl AddAssign for VDur {
+    fn add_assign(&mut self, other: VDur) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for VDur {
+    type Output = VDur;
+    fn sub(self, other: VDur) -> VDur {
+        VDur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl SubAssign for VDur {
+    fn sub_assign(&mut self, other: VDur) {
+        self.0 = self.0.saturating_sub(other.0);
+    }
+}
+
+impl Mul<u64> for VDur {
+    type Output = VDur;
+    fn mul(self, k: u64) -> VDur {
+        VDur(self.0 * k)
+    }
+}
+
+impl Mul<f64> for VDur {
+    type Output = VDur;
+    fn mul(self, k: f64) -> VDur {
+        VDur::from_secs(self.as_secs() * k)
+    }
+}
+
+impl Div<u64> for VDur {
+    type Output = VDur;
+    fn div(self, k: u64) -> VDur {
+        VDur(self.0 / k)
+    }
+}
+
+impl Sum for VDur {
+    fn sum<I: Iterator<Item = VDur>>(iter: I) -> VDur {
+        iter.fold(VDur::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs())
+    }
+}
+
+impl fmt::Display for VDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_plus_duration() {
+        let t = VTime::from_secs(1.0);
+        assert_eq!(t + VDur::from_millis(500), VTime::from_secs(1.5));
+    }
+
+    #[test]
+    fn time_difference_saturates() {
+        let a = VTime::from_secs(1.0);
+        let b = VTime::from_secs(2.0);
+        assert_eq!(b - a, VDur::from_secs(1.0));
+        assert_eq!(a - b, VDur::ZERO);
+        assert_eq!(a.since(b), VDur::ZERO);
+    }
+
+    #[test]
+    fn from_secs_rounds_to_nanosecond() {
+        assert_eq!(VDur::from_secs(0.1).as_nanos(), 100_000_000);
+        assert_eq!(VDur::from_secs(1e-9).as_nanos(), 1);
+    }
+
+    #[test]
+    fn negative_and_nan_seconds_clamp_to_zero() {
+        assert_eq!(VDur::from_secs(-1.0), VDur::ZERO);
+        assert_eq!(VDur::from_secs(f64::NAN), VDur::ZERO);
+        assert_eq!(VTime::from_secs(f64::NEG_INFINITY), VTime::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = VDur::from_millis(10);
+        assert_eq!(d * 3u64, VDur::from_millis(30));
+        assert_eq!(d * 0.5f64, VDur::from_millis(5));
+        assert_eq!(d / 2, VDur::from_millis(5));
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: VDur = (1..=4).map(VDur::from_millis).sum();
+        assert_eq!(total, VDur::from_millis(10));
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = VTime::from_secs(1.0);
+        let b = VTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(VDur::from_nanos(3).max(VDur::from_nanos(5)), VDur(5));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", VDur::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", VDur::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", VDur::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", VDur::from_secs(1.5)), "1.500s");
+    }
+}

@@ -1,0 +1,156 @@
+//! Gathering per-participant streams into a global [`Trace`].
+
+use crate::local::LocalTrace;
+use crate::region::{RegionKind, RegionTable};
+use crate::trace::{CommDef, LocationTrace, Trace};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A thread-safe sink to which every participant submits its [`LocalTrace`]
+/// exactly once, at the end of its (virtual) life.
+///
+/// Cloning a collector produces another handle to the same sink.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    regions: RegionTable,
+    done: Arc<Mutex<Vec<LocationTrace>>>,
+    comms: Arc<Mutex<Vec<CommDef>>>,
+    enabled: bool,
+}
+
+impl TraceCollector {
+    /// A collector that records events.
+    pub fn new() -> Self {
+        TraceCollector {
+            regions: RegionTable::new(),
+            done: Arc::new(Mutex::new(Vec::new())),
+            comms: Arc::new(Mutex::new(Vec::new())),
+            enabled: true,
+        }
+    }
+
+    /// A collector whose [`LocalTrace`]s are disabled — used to run the same
+    /// program "uninstrumented" for the semantics-preservation experiments.
+    pub fn disabled() -> Self {
+        let mut c = Self::new();
+        c.enabled = false;
+        c
+    }
+
+    /// Whether local traces created through this collector record events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The shared region table.
+    pub fn regions(&self) -> &RegionTable {
+        &self.regions
+    }
+
+    /// Convenience: intern a region name.
+    pub fn intern(&self, name: &str, kind: RegionKind) -> crate::region::RegionId {
+        self.regions.intern(name, kind)
+    }
+
+    /// Create the local trace for one participant.
+    pub fn local(&self, location: crate::event::LocationId) -> LocalTrace {
+        if self.enabled {
+            LocalTrace::new(location)
+        } else {
+            LocalTrace::disabled(location)
+        }
+    }
+
+    /// Record a communicator definition (id and global-rank member list).
+    /// Idempotent per id.
+    pub fn register_comm(&self, id: u32, members: Vec<u32>) {
+        let mut comms = self.comms.lock();
+        if !comms.iter().any(|c| c.id == id) {
+            comms.push(CommDef { id, members });
+        }
+    }
+
+    /// Submit a finished local trace.
+    pub fn submit(&self, local: LocalTrace) {
+        let (location, events) = local.finish();
+        self.done.lock().push(LocationTrace { location, events });
+    }
+
+    /// Number of streams submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.done.lock().len()
+    }
+
+    /// Consume the collector, producing the merged trace.
+    ///
+    /// # Panics
+    /// Panics if other handles still hold the sink (i.e. participants are
+    /// still alive): collecting a trace mid-run is a harness bug.
+    pub fn finish(self) -> Trace {
+        let done = Arc::try_unwrap(self.done)
+            .expect("TraceCollector::finish called while participants still hold handles")
+            .into_inner();
+        let comms = std::mem::take(&mut *self.comms.lock());
+        Trace::with_comms(self.regions.snapshot(), comms, done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LocationId;
+    use ats_runtime::VTime;
+
+    #[test]
+    fn collects_from_multiple_threads() {
+        let c = TraceCollector::new();
+        let r = c.intern("work", RegionKind::Work);
+        std::thread::scope(|s| {
+            for rank in 0..4u32 {
+                let c = c.clone();
+                s.spawn(move || {
+                    let mut lt = c.local(LocationId::rank(rank));
+                    lt.enter(VTime(rank as u64), r);
+                    lt.exit(VTime(rank as u64 + 10), r);
+                    c.submit(lt);
+                });
+            }
+        });
+        let trace = c.finish();
+        assert_eq!(trace.num_locations(), 4);
+        assert_eq!(trace.num_events(), 8);
+        // Sorted by rank regardless of submission order.
+        for (i, l) in trace.locations.iter().enumerate() {
+            assert_eq!(l.location.rank, i as u32);
+        }
+    }
+
+    #[test]
+    fn disabled_collector_yields_empty_streams() {
+        let c = TraceCollector::disabled();
+        let r = c.intern("work", RegionKind::Work);
+        let mut lt = c.local(LocationId::rank(0));
+        lt.enter(VTime(0), r);
+        lt.exit(VTime(1), r);
+        c.submit(lt);
+        let trace = c.finish();
+        assert_eq!(trace.num_events(), 0);
+        assert_eq!(trace.num_locations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "participants still hold handles")]
+    fn finish_with_live_handles_panics() {
+        let c = TraceCollector::new();
+        let _other = c.clone();
+        let _ = c.finish();
+    }
+
+    #[test]
+    fn submitted_counter() {
+        let c = TraceCollector::new();
+        assert_eq!(c.submitted(), 0);
+        c.submit(c.local(LocationId::rank(0)));
+        assert_eq!(c.submitted(), 1);
+    }
+}

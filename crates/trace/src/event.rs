@@ -1,0 +1,240 @@
+//! Trace events and locations.
+
+use crate::region::RegionId;
+use ats_runtime::VTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A measurement location: one MPI rank × one thread within that rank.
+///
+/// A pure-MPI participant is `(rank, 0)`; OpenMP threads of a hybrid rank
+/// are `(rank, 0..T)`; a standalone OpenMP program uses rank 0.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LocationId {
+    /// Global MPI rank (0 for pure shared-memory runs).
+    pub rank: u32,
+    /// Thread index within the rank (0 = the rank's master thread).
+    pub thread: u32,
+}
+
+impl LocationId {
+    /// The master thread of `rank`.
+    pub fn rank(rank: u32) -> Self {
+        LocationId { rank, thread: 0 }
+    }
+
+    /// Thread `thread` of `rank`.
+    pub fn new(rank: u32, thread: u32) -> Self {
+        LocationId { rank, thread }
+    }
+}
+
+impl fmt::Display for LocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.thread == 0 {
+            write!(f, "{}", self.rank)
+        } else {
+            write!(f, "{}.{}", self.rank, self.thread)
+        }
+    }
+}
+
+/// Collective-operation identifiers, matching the MPI operations the paper's
+/// property functions exercise (plus the allreduce/allgather/scan extensions
+/// listed in its future-work catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollOp {
+    Barrier,
+    Bcast,
+    Scatter,
+    Scatterv,
+    Gather,
+    Gatherv,
+    Reduce,
+    Allreduce,
+    Allgather,
+    Alltoall,
+    Alltoallv,
+    Scan,
+    /// OpenMP-style team barrier (explicit or implicit).
+    OmpBarrier,
+    /// OpenMP parallel-region fork/join pseudo-collective.
+    OmpFork,
+    OmpJoin,
+}
+
+impl CollOp {
+    /// The canonical region name recorded around this operation.
+    pub fn region_name(self) -> &'static str {
+        match self {
+            CollOp::Barrier => "MPI_Barrier",
+            CollOp::Bcast => "MPI_Bcast",
+            CollOp::Scatter => "MPI_Scatter",
+            CollOp::Scatterv => "MPI_Scatterv",
+            CollOp::Gather => "MPI_Gather",
+            CollOp::Gatherv => "MPI_Gatherv",
+            CollOp::Reduce => "MPI_Reduce",
+            CollOp::Allreduce => "MPI_Allreduce",
+            CollOp::Allgather => "MPI_Allgather",
+            CollOp::Alltoall => "MPI_Alltoall",
+            CollOp::Alltoallv => "MPI_Alltoallv",
+            CollOp::Scan => "MPI_Scan",
+            CollOp::OmpBarrier => "omp_barrier",
+            CollOp::OmpFork => "omp_fork",
+            CollOp::OmpJoin => "omp_join",
+        }
+    }
+
+    /// True for operations with a distinguished root rank.
+    pub fn is_rooted(self) -> bool {
+        matches!(
+            self,
+            CollOp::Bcast
+                | CollOp::Scatter
+                | CollOp::Scatterv
+                | CollOp::Gather
+                | CollOp::Gatherv
+                | CollOp::Reduce
+        )
+    }
+}
+
+impl fmt::Display for CollOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.region_name())
+    }
+}
+
+/// What happened at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Control flow entered a region.
+    Enter { region: RegionId },
+    /// Control flow left a region.
+    Exit { region: RegionId },
+    /// A message was posted for transmission (recorded at the send call's
+    /// post time, with the *communicator-local* destination rank).
+    Send {
+        to: u32,
+        comm: u32,
+        tag: i32,
+        bytes: u64,
+    },
+    /// A message was delivered (recorded at receive completion). `posted`
+    /// is when the receive was posted — the interval `[posted, time]` is
+    /// the receiver-side occupancy of the receive call.
+    Recv {
+        from: u32,
+        comm: u32,
+        tag: i32,
+        bytes: u64,
+        posted: VTime,
+    },
+    /// A collective completed at this location. `seq` numbers collectives
+    /// per communicator so analyzers can group the per-member records of
+    /// one logical operation; `entered` is this member's entry time.
+    CollEnd {
+        op: CollOp,
+        comm: u32,
+        /// Root as a communicator-local rank, for rooted operations.
+        root: Option<u32>,
+        seq: u64,
+        bytes: u64,
+        entered: VTime,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual time at which the event occurred.
+    pub time: VTime,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Shorthand constructor.
+    pub fn new(time: VTime, kind: EventKind) -> Self {
+        Event { time, kind }
+    }
+
+    /// The region this event enters, if it is an `Enter`.
+    pub fn enter_region(&self) -> Option<RegionId> {
+        match self.kind {
+            EventKind::Enter { region } => Some(region),
+            _ => None,
+        }
+    }
+
+    /// The region this event exits, if it is an `Exit`.
+    pub fn exit_region(&self) -> Option<RegionId> {
+        match self.kind {
+            EventKind::Exit { region } => Some(region),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_display() {
+        assert_eq!(LocationId::rank(3).to_string(), "3");
+        assert_eq!(LocationId::new(2, 5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn location_ordering_rank_major() {
+        let a = LocationId::new(1, 9);
+        let b = LocationId::new(2, 0);
+        assert!(a < b);
+        assert!(LocationId::new(1, 0) < a);
+    }
+
+    #[test]
+    fn rooted_collectives() {
+        assert!(CollOp::Bcast.is_rooted());
+        assert!(CollOp::Reduce.is_rooted());
+        assert!(!CollOp::Barrier.is_rooted());
+        assert!(!CollOp::Alltoall.is_rooted());
+        assert!(!CollOp::Allreduce.is_rooted());
+    }
+
+    #[test]
+    fn region_names_follow_mpi_convention() {
+        assert_eq!(CollOp::Bcast.region_name(), "MPI_Bcast");
+        assert_eq!(CollOp::OmpBarrier.region_name(), "omp_barrier");
+    }
+
+    #[test]
+    fn event_region_accessors() {
+        let r = RegionId(4);
+        let e = Event::new(VTime::ZERO, EventKind::Enter { region: r });
+        assert_eq!(e.enter_region(), Some(r));
+        assert_eq!(e.exit_region(), None);
+        let x = Event::new(VTime::ZERO, EventKind::Exit { region: r });
+        assert_eq!(x.exit_region(), Some(r));
+    }
+
+    #[test]
+    fn events_roundtrip_serde() {
+        let e = Event::new(
+            VTime::from_secs(1.5),
+            EventKind::Recv {
+                from: 1,
+                comm: 0,
+                tag: 42,
+                bytes: 1024,
+                posted: VTime::from_secs(1.0),
+            },
+        );
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,210 @@
+//! Trace serialization.
+//!
+//! Traces are stored as a single JSON document (small experiments) or as
+//! JSON-lines (one header line with the region table, then one line per
+//! location stream) for larger ones. Both formats round-trip exactly; the
+//! JSONL reader tolerates trailing blank lines so files can be concatenated
+//! by shell tooling.
+
+use crate::region::RegionMeta;
+use crate::trace::{CommDef, LocationTrace, Trace};
+use std::io::{BufRead, Write};
+
+/// Errors arising while reading or writing traces.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// Structurally invalid file (e.g. missing header line).
+    Format(String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Json(e) => write!(f, "trace JSON error: {e}"),
+            TraceIoError::Format(m) => write!(f, "trace format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+/// Serialize a whole trace as one pretty JSON document.
+pub fn to_json(trace: &Trace) -> String {
+    serde_json::to_string_pretty(trace).expect("trace serialization cannot fail")
+}
+
+/// Parse a trace from a JSON document produced by [`to_json`].
+pub fn from_json(s: &str) -> Result<Trace, TraceIoError> {
+    Ok(serde_json::from_str(s)?)
+}
+
+/// Write a trace in JSONL form: first header line = region table, second
+/// header line = communicator definitions, then one line per location
+/// stream.
+pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    serde_json::to_writer(&mut w, &trace.regions)?;
+    writeln!(w)?;
+    serde_json::to_writer(&mut w, &trace.comms)?;
+    writeln!(w)?;
+    for loc in &trace.locations {
+        serde_json::to_writer(&mut w, loc)?;
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a trace written by [`write_jsonl`].
+pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
+    let mut lines = r.lines();
+    let mut next_line = |what: &str| -> Result<String, TraceIoError> {
+        loop {
+            match lines.next() {
+                Some(line) => {
+                    let line = line?;
+                    if !line.trim().is_empty() {
+                        return Ok(line);
+                    }
+                }
+                None => {
+                    return Err(TraceIoError::Format(format!(
+                        "truncated file: missing {what} header line"
+                    )))
+                }
+            }
+        }
+    };
+    let regions: Vec<RegionMeta> = serde_json::from_str(&next_line("region-table")?)?;
+    let comms: Vec<CommDef> = serde_json::from_str(&next_line("communicator-table")?)?;
+    let mut locations = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let loc: LocationTrace = serde_json::from_str(&line)?;
+        locations.push(loc);
+    }
+    Ok(Trace::with_comms(regions, comms, locations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, LocationId};
+    use crate::region::{RegionId, RegionKind};
+    use ats_runtime::VTime;
+
+    fn sample() -> Trace {
+        let regions = vec![crate::region::RegionMeta {
+            name: "work".into(),
+            kind: RegionKind::Work,
+        }];
+        let events = vec![
+            Event::new(
+                VTime(1),
+                EventKind::Enter {
+                    region: RegionId(0),
+                },
+            ),
+            Event::new(
+                VTime(9),
+                EventKind::Exit {
+                    region: RegionId(0),
+                },
+            ),
+        ];
+        Trace::new(
+            regions,
+            vec![LocationTrace {
+                location: LocationId::rank(0),
+                events,
+            }],
+        )
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let tr = sample();
+        let back = from_json(&to_json(&tr)).unwrap();
+        assert_eq!(back.regions, tr.regions);
+        assert_eq!(back.locations, tr.locations);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let tr = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&tr, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.regions, tr.regions);
+        assert_eq!(back.locations, tr.locations);
+    }
+
+    #[test]
+    fn jsonl_tolerates_blank_lines() {
+        let tr = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&tr, &mut buf).unwrap();
+        let with_blanks = format!("\n{}\n\n", String::from_utf8(buf).unwrap());
+        let back = read_jsonl(with_blanks.as_bytes()).unwrap();
+        assert_eq!(back.locations, tr.locations);
+    }
+
+    #[test]
+    fn empty_jsonl_is_an_error() {
+        let err = read_jsonl(&b""[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn missing_comm_header_is_an_error() {
+        let err = read_jsonl(
+            &b"[]
+"[..],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("communicator-table"));
+    }
+
+    #[test]
+    fn comm_defs_roundtrip() {
+        let tr = Trace::with_comms(
+            vec![],
+            vec![crate::trace::CommDef {
+                id: 3,
+                members: vec![4, 5, 6],
+            }],
+            vec![],
+        );
+        let mut buf = Vec::new();
+        write_jsonl(&tr, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.comms, tr.comms);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(matches!(
+            from_json("{not json").unwrap_err(),
+            TraceIoError::Json(_)
+        ));
+    }
+}

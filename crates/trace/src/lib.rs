@@ -1,0 +1,37 @@
+//! # ats-trace
+//!
+//! The event-trace model shared by the ATS-RS substrates and the analyzer.
+//!
+//! The ATS paper tests *automatic performance analysis tools* — programs
+//! that consume event traces (EPILOG/Vampir-style) and diagnose performance
+//! properties. ATS-RS therefore needs a trace format sitting between its
+//! synthetic test programs and the analyzer under test:
+//!
+//! * the substrates (`ats-mpi`, `ats-omp`) *record* events through a
+//!   [`LocalTrace`] per participant,
+//! * a [`TraceCollector`] gathers the per-participant streams into a global
+//!   [`Trace`],
+//! * the analyzer and the timeline renderer *consume* [`Trace`]s.
+//!
+//! Events carry virtual timestamps ([`ats_runtime::VTime`]) and reproduce
+//! the information a 2002-era measurement system records: region
+//! enter/exit, message send/receive (with communicator, tag, peer and
+//! payload size — the paper's §1 "correct sender and receiver ranks,
+//! message tags, and communicator IDs"), and collective completion records.
+
+pub mod collector;
+pub mod event;
+pub mod io;
+pub mod local;
+pub mod region;
+pub mod stats;
+pub mod trace;
+pub mod wellformed;
+
+pub use collector::TraceCollector;
+pub use event::{CollOp, Event, EventKind, LocationId};
+pub use local::LocalTrace;
+pub use region::{RegionId, RegionKind, RegionMeta, RegionTable};
+pub use stats::{RegionProfile, TraceStats};
+pub use trace::{CommDef, LocationTrace, Trace};
+pub use wellformed::{check_wellformed, WellformedError};

@@ -1,0 +1,254 @@
+//! Per-participant event recording.
+//!
+//! Each simulated rank/thread owns exactly one [`LocalTrace`]; recording is
+//! therefore completely lock-free (the paper's measurement-perturbation
+//! concern — tools must be *non-intrusive* — maps here to "recording must
+//! not change virtual timestamps", which holds trivially because recording
+//! takes zero virtual time).
+
+use crate::event::{CollOp, Event, EventKind, LocationId};
+use crate::region::RegionId;
+use ats_runtime::VTime;
+
+/// The event stream of a single location, under construction.
+#[derive(Debug, Clone)]
+pub struct LocalTrace {
+    /// The owning location.
+    pub location: LocationId,
+    events: Vec<Event>,
+    stack: Vec<RegionId>,
+    /// When false, all recording calls are no-ops: this is the
+    /// "uninstrumented" mode used by the semantics-preservation experiments.
+    enabled: bool,
+}
+
+impl LocalTrace {
+    /// Start an empty, enabled trace for `location`.
+    pub fn new(location: LocationId) -> Self {
+        LocalTrace {
+            location,
+            events: Vec::new(),
+            stack: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Start a disabled (non-recording) trace for `location`.
+    pub fn disabled(location: LocationId) -> Self {
+        let mut t = Self::new(location);
+        t.enabled = false;
+        t
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record entry into `region` at `time`.
+    pub fn enter(&mut self, time: VTime, region: RegionId) {
+        if !self.enabled {
+            return;
+        }
+        self.stack.push(region);
+        self.events
+            .push(Event::new(time, EventKind::Enter { region }));
+    }
+
+    /// Record exit from `region` at `time`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `region` is not the innermost open region
+    /// — unbalanced instrumentation is a bug in the substrate, not data.
+    pub fn exit(&mut self, time: VTime, region: RegionId) {
+        if !self.enabled {
+            return;
+        }
+        let top = self.stack.pop();
+        debug_assert_eq!(
+            top,
+            Some(region),
+            "unbalanced region exit at {} (stack top {:?})",
+            self.location,
+            top
+        );
+        self.events
+            .push(Event::new(time, EventKind::Exit { region }));
+    }
+
+    /// Record a message post.
+    pub fn send(&mut self, time: VTime, to: u32, comm: u32, tag: i32, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(Event::new(
+            time,
+            EventKind::Send {
+                to,
+                comm,
+                tag,
+                bytes,
+            },
+        ));
+    }
+
+    /// Record a message delivery completing at `time` for a receive posted
+    /// at `posted`.
+    pub fn recv(&mut self, time: VTime, from: u32, comm: u32, tag: i32, bytes: u64, posted: VTime) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(Event::new(
+            time,
+            EventKind::Recv {
+                from,
+                comm,
+                tag,
+                bytes,
+                posted,
+            },
+        ));
+    }
+
+    /// Record a collective completion.
+    #[allow(clippy::too_many_arguments)]
+    pub fn coll_end(
+        &mut self,
+        time: VTime,
+        op: CollOp,
+        comm: u32,
+        root: Option<u32>,
+        seq: u64,
+        bytes: u64,
+        entered: VTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(Event::new(
+            time,
+            EventKind::CollEnd {
+                op,
+                comm,
+                root,
+                seq,
+                bytes,
+                entered,
+            },
+        ));
+    }
+
+    /// Depth of currently open regions.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The currently open regions, outermost first. Forked OpenMP threads
+    /// inherit this stack so their events carry full call paths.
+    pub fn open_stack(&self) -> &[RegionId] {
+        &self.stack
+    }
+
+    /// Number of recorded events so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finish recording, returning the event stream. All regions must have
+    /// been exited.
+    pub fn finish(self) -> (LocationId, Vec<Event>) {
+        debug_assert!(
+            self.stack.is_empty(),
+            "location {} finished with {} open regions",
+            self.location,
+            self.stack.len()
+        );
+        (self.location, self.events)
+    }
+
+    /// Read access to the events recorded so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionId;
+
+    fn t(ms: u64) -> VTime {
+        VTime(ms * 1_000_000)
+    }
+
+    #[test]
+    fn records_balanced_regions() {
+        let mut lt = LocalTrace::new(LocationId::rank(0));
+        let r = RegionId(0);
+        lt.enter(t(0), r);
+        lt.exit(t(5), r);
+        let (_, evs) = lt.finish();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].enter_region(), Some(r));
+        assert_eq!(evs[1].exit_region(), Some(r));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut lt = LocalTrace::disabled(LocationId::rank(1));
+        lt.enter(t(0), RegionId(0));
+        lt.send(t(1), 2, 0, 0, 64);
+        lt.exit(t(2), RegionId(0));
+        assert!(lt.is_empty());
+        assert!(!lt.is_enabled());
+    }
+
+    #[test]
+    fn nesting_depth_tracks_stack() {
+        let mut lt = LocalTrace::new(LocationId::rank(0));
+        lt.enter(t(0), RegionId(0));
+        lt.enter(t(1), RegionId(1));
+        assert_eq!(lt.depth(), 2);
+        lt.exit(t(2), RegionId(1));
+        assert_eq!(lt.depth(), 1);
+        lt.exit(t(3), RegionId(0));
+        assert_eq!(lt.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced region exit")]
+    #[cfg(debug_assertions)]
+    fn unbalanced_exit_panics_in_debug() {
+        let mut lt = LocalTrace::new(LocationId::rank(0));
+        lt.enter(t(0), RegionId(0));
+        lt.exit(t(1), RegionId(7));
+    }
+
+    #[test]
+    fn message_events_carry_metadata() {
+        let mut lt = LocalTrace::new(LocationId::rank(0));
+        lt.send(t(1), 3, 9, 42, 1024);
+        lt.recv(t(5), 3, 9, 42, 1024, t(2));
+        let (_, evs) = lt.finish();
+        match evs[0].kind {
+            EventKind::Send {
+                to,
+                comm,
+                tag,
+                bytes,
+            } => {
+                assert_eq!((to, comm, tag, bytes), (3, 9, 42, 1024));
+            }
+            _ => panic!("expected Send"),
+        }
+        match evs[1].kind {
+            EventKind::Recv { posted, .. } => assert_eq!(posted, t(2)),
+            _ => panic!("expected Recv"),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Trace well-formedness checking.
+//!
+//! A synthetic test program is only a valid tool input if its trace is
+//! structurally sound. These invariants are asserted by the integration and
+//! property-based tests on every trace the substrates produce:
+//!
+//! 1. per-location timestamps are non-decreasing;
+//! 2. enter/exit events are properly nested and balanced;
+//! 3. receive completions do not precede their post times;
+//! 4. collective completions do not precede their entry times.
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+use ats_runtime::VTime;
+use std::fmt;
+
+/// A structural defect found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellformedError {
+    /// Event `index` at `location` goes backwards in time.
+    NonMonotoneTime { location: String, index: usize },
+    /// Exit without a matching enter, or wrong nesting order.
+    UnbalancedExit { location: String, index: usize },
+    /// A location ended with open regions.
+    UnclosedRegions { location: String, open: usize },
+    /// A receive completed before it was posted.
+    RecvBeforePost { location: String, index: usize },
+    /// A collective completed before this member entered it.
+    CollBeforeEntry { location: String, index: usize },
+}
+
+impl fmt::Display for WellformedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellformedError::NonMonotoneTime { location, index } => {
+                write!(
+                    f,
+                    "location {location}: event {index} moves backwards in time"
+                )
+            }
+            WellformedError::UnbalancedExit { location, index } => {
+                write!(
+                    f,
+                    "location {location}: event {index} exits an unopened region"
+                )
+            }
+            WellformedError::UnclosedRegions { location, open } => {
+                write!(
+                    f,
+                    "location {location}: trace ends with {open} open regions"
+                )
+            }
+            WellformedError::RecvBeforePost { location, index } => {
+                write!(
+                    f,
+                    "location {location}: recv {index} completes before its post"
+                )
+            }
+            WellformedError::CollBeforeEntry { location, index } => {
+                write!(
+                    f,
+                    "location {location}: collective {index} completes before entry"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WellformedError {}
+
+/// Check all well-formedness invariants, returning every violation found.
+pub fn check_wellformed(trace: &Trace) -> Vec<WellformedError> {
+    let mut errors = Vec::new();
+    for loc in &trace.locations {
+        let name = loc.location.to_string();
+        let mut last = VTime::ZERO;
+        let mut stack = Vec::new();
+        for (i, ev) in loc.events.iter().enumerate() {
+            if ev.time < last {
+                errors.push(WellformedError::NonMonotoneTime {
+                    location: name.clone(),
+                    index: i,
+                });
+            }
+            last = last.max(ev.time);
+            match ev.kind {
+                EventKind::Enter { region } => stack.push(region),
+                EventKind::Exit { region } => {
+                    if stack.pop() != Some(region) {
+                        errors.push(WellformedError::UnbalancedExit {
+                            location: name.clone(),
+                            index: i,
+                        });
+                    }
+                }
+                EventKind::Recv { posted, .. } => {
+                    if ev.time < posted {
+                        errors.push(WellformedError::RecvBeforePost {
+                            location: name.clone(),
+                            index: i,
+                        });
+                    }
+                }
+                EventKind::CollEnd { entered, .. } => {
+                    if ev.time < entered {
+                        errors.push(WellformedError::CollBeforeEntry {
+                            location: name.clone(),
+                            index: i,
+                        });
+                    }
+                }
+                EventKind::Send { .. } => {}
+            }
+        }
+        if !stack.is_empty() {
+            errors.push(WellformedError::UnclosedRegions {
+                location: name,
+                open: stack.len(),
+            });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, LocationId};
+    use crate::region::RegionId;
+    use crate::trace::LocationTrace;
+
+    fn trace_of(events: Vec<Event>) -> Trace {
+        Trace::new(
+            vec![],
+            vec![LocationTrace {
+                location: LocationId::rank(0),
+                events,
+            }],
+        )
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let r = RegionId(0);
+        let tr = trace_of(vec![
+            Event::new(VTime(0), EventKind::Enter { region: r }),
+            Event::new(VTime(5), EventKind::Exit { region: r }),
+        ]);
+        assert!(check_wellformed(&tr).is_empty());
+    }
+
+    #[test]
+    fn detects_backwards_time() {
+        let r = RegionId(0);
+        let tr = trace_of(vec![
+            Event::new(VTime(5), EventKind::Enter { region: r }),
+            Event::new(VTime(1), EventKind::Exit { region: r }),
+        ]);
+        assert!(matches!(
+            check_wellformed(&tr)[0],
+            WellformedError::NonMonotoneTime { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_unbalanced_exit() {
+        let tr = trace_of(vec![Event::new(
+            VTime(0),
+            EventKind::Exit {
+                region: RegionId(3),
+            },
+        )]);
+        assert!(matches!(
+            check_wellformed(&tr)[0],
+            WellformedError::UnbalancedExit { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_unclosed_region() {
+        let tr = trace_of(vec![Event::new(
+            VTime(0),
+            EventKind::Enter {
+                region: RegionId(0),
+            },
+        )]);
+        assert!(matches!(
+            check_wellformed(&tr)[0],
+            WellformedError::UnclosedRegions { open: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn detects_recv_before_post() {
+        let tr = trace_of(vec![Event::new(
+            VTime(1),
+            EventKind::Recv {
+                from: 0,
+                comm: 0,
+                tag: 0,
+                bytes: 0,
+                posted: VTime(2),
+            },
+        )]);
+        assert!(matches!(
+            check_wellformed(&tr)[0],
+            WellformedError::RecvBeforePost { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_collective_before_entry() {
+        let tr = trace_of(vec![Event::new(
+            VTime(1),
+            EventKind::CollEnd {
+                op: crate::event::CollOp::Barrier,
+                comm: 0,
+                root: None,
+                seq: 0,
+                bytes: 0,
+                entered: VTime(5),
+            },
+        )]);
+        assert!(matches!(
+            check_wellformed(&tr)[0],
+            WellformedError::CollBeforeEntry { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = WellformedError::UnclosedRegions {
+            location: "0".into(),
+            open: 2,
+        };
+        assert!(e.to_string().contains("2 open regions"));
+    }
+}

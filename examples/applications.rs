@@ -1,0 +1,57 @@
+//! The application tier (paper ch. 4): run every mini-application from the
+//! collection in its balanced and pathological configurations and check
+//! the documented performance behavior with the bundled analyzer.
+//!
+//! Run with: `cargo run --example applications`
+
+use ats::analyzer::{analyze, AnalyzerConfig};
+use ats::apps;
+
+fn verdict(trace: &ats::trace::Trace, expected: &[&str]) -> (bool, Vec<String>) {
+    let report = analyze(trace, &AnalyzerConfig::default());
+    let all = expected.iter().all(|prop| report.severity_of(prop) > 0.0);
+    let found = report
+        .findings
+        .iter()
+        .map(|f| format!("{} {:.1}%", f.property, f.severity * 100.0))
+        .collect();
+    (all, found)
+}
+
+fn main() {
+    println!("=== ATS application collection (paper ch. 4) ===\n");
+    for spec in apps::collection() {
+        println!("{}: {}", spec.name, spec.description);
+        println!("  structure: {}", spec.structure);
+        println!("  balanced:  {}", spec.balanced_behavior);
+    }
+    println!("\n--- executing balanced vs. pathological configurations ---\n");
+
+    let (t, _) = apps::jacobi::run(&apps::jacobi::JacobiConfig::balanced(4));
+    let clean = analyze(&t, &AnalyzerConfig::default()).is_clean();
+    let (t, _) = apps::jacobi::run(&apps::jacobi::JacobiConfig::imbalanced(4));
+    let (found, details) = verdict(&t, apps::jacobi::SPEC.imbalanced_properties);
+    println!("jacobi          balanced-clean={clean} pathological-detected={found} {details:?}");
+
+    let (t, _) = apps::taskfarm::run(&apps::taskfarm::FarmConfig::starved(4));
+    let (found, details) = verdict(&t, apps::taskfarm::SPEC.imbalanced_properties);
+    println!("taskfarm        starved-detected={found} {details:?}");
+
+    let (t, _) = apps::pipeline::run(&apps::pipeline::PipelineConfig::bottlenecked(4));
+    let (found, details) = verdict(&t, apps::pipeline::SPEC.imbalanced_properties);
+    println!("pipeline        bottleneck-detected={found} {details:?}");
+
+    let (t, _) = apps::transpose::run(&apps::transpose::TransposeConfig::balanced(4));
+    let clean = analyze(&t, &AnalyzerConfig::default()).is_clean();
+    let (t, _) = apps::transpose::run(&apps::transpose::TransposeConfig::skewed(4));
+    let (found, details) = verdict(&t, apps::transpose::SPEC.imbalanced_properties);
+    println!("transpose       balanced-clean={clean} skewed-detected={found} {details:?}");
+
+    let (t, _) = apps::hybrid_stencil::run(&apps::hybrid_stencil::HybridConfig::balanced(2, 4));
+    let clean = analyze(&t, &AnalyzerConfig::default()).is_clean();
+    let (t, _) = apps::hybrid_stencil::run(&apps::hybrid_stencil::HybridConfig::skewed(3, 4));
+    let (found, details) = verdict(&t, apps::hybrid_stencil::SPEC.imbalanced_properties);
+    println!("hybrid_stencil  balanced-clean={clean} skewed-detected={found} {details:?}");
+
+    println!("\napplication collection OK");
+}

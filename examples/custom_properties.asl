@@ -1,0 +1,27 @@
+// Example user-defined ASL property set for `ats asl` — see
+// ats::analyzer::asl for the language. Try:
+//
+//   cargo run --bin ats -- asl examples/custom_properties.asl late_sender extrawork=0.08
+
+PROPERTY LateSender OVER p2p_pair {
+    LET blocked = clamp(send_post, recv_posted, recv_completion);
+    WAIT blocked - recv_posted;
+    CONDITION wait > 0;
+    LOCATE receiver;
+}
+
+// A stricter variant: only count stalls above 10ms.
+PROPERTY SevereLateSender OVER p2p_pair {
+    LET blocked = clamp(send_post, recv_posted, recv_completion);
+    WAIT blocked - recv_posted;
+    CONDITION wait > 0.01;
+    LOCATE receiver;
+}
+
+// Count time the sender spends blocked on big synchronous messages only.
+PROPERTY BigSyncStall OVER p2p_pair {
+    WAIT clamp(recv_posted, send_post, send_exit) - send_post;
+    CONDITION bytes >= 1024;
+    CONDITION wait > 0;
+    LOCATE sender;
+}

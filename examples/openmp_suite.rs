@@ -1,0 +1,52 @@
+//! Standalone shared-memory testing: the three OpenMP property functions
+//! of the paper's prototype, run without any MPI context (`run_omp`), plus
+//! their balanced negatives — exactly the shape of a tool test for an
+//! OpenMP-only profiler.
+//!
+//! Run with: `cargo run --example openmp_suite`
+
+use ats::analyzer::{analyze, AnalyzerConfig};
+use ats::core::{properties::negative, properties::omp, Distr};
+use ats::omp::{run_omp, OmpConfig};
+
+fn main() {
+    let df = Distr::linear(0.005, 0.03);
+
+    for (name, trace) in [
+        (
+            "imbalance_in_omp_pregion",
+            run_omp(OmpConfig::default(), |m| {
+                omp::imbalance_in_omp_pregion(m, 4, &df, 3)
+            }),
+        ),
+        (
+            "imbalance_at_omp_barrier",
+            run_omp(OmpConfig::default(), |m| {
+                omp::imbalance_at_omp_barrier(m, 4, &df, 3)
+            }),
+        ),
+        (
+            "imbalance_in_omp_loop",
+            run_omp(OmpConfig::default(), |m| {
+                omp::imbalance_in_omp_loop(m, 4, &df, 3)
+            }),
+        ),
+    ] {
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        let spec = ats::core::catalog::find(name).unwrap();
+        let expected = spec.expected_property.unwrap();
+        let sev = report.severity_of(expected);
+        println!("{name:<28} -> {expected:<22} severity {:.1}%", sev * 100.0);
+        assert!(sev > 0.0, "{name} must be detected");
+    }
+
+    // The balanced twins stay silent.
+    let trace = run_omp(OmpConfig::default(), |m| {
+        negative::balanced_omp_region(m, 4, 0.01, 3);
+        negative::balanced_omp_loop(m, 4, 0.002, 4, 2);
+    });
+    let report = analyze(&trace, &AnalyzerConfig::default());
+    assert!(report.is_clean(), "{:?}", report.findings);
+    println!("balanced OpenMP programs          -> clean");
+    println!("\nopenmp_suite OK");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: construct a synthetic test program with a known performance
+//! property, run it on the virtual-time MPI substrate, and check that an
+//! automatic analysis tool finds exactly what was programmed in.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ats::analyzer::{analyze, AnalyzerConfig};
+use ats::core::{properties::mpi_p2p, BaseComm};
+use ats::mpi::SimConfig;
+
+fn main() {
+    // A 4-rank MPI program in which the even ranks always send 40ms late.
+    let base = BaseComm::default();
+    let trace = ats::mpi::run(SimConfig::with_procs(4), move |p| {
+        let world = p.comm_world();
+        mpi_p2p::late_sender(
+            p, &base, /*basework*/ 0.01, /*extrawork*/ 0.04, /*reps*/ 3, &world,
+        );
+    });
+    println!(
+        "ran {} ranks, recorded {} events, makespan {}",
+        trace.num_locations(),
+        trace.num_events(),
+        trace.end_time()
+    );
+
+    // The tool under test (here: the bundled EXPERT-style analyzer).
+    let report = analyze(&trace, &AnalyzerConfig::default());
+    println!("\n{}", report.render(&trace));
+
+    // Positive correctness: the programmed property is found, localized,
+    // and nothing else is reported.
+    let late_sender = report.severity_of("LateSender");
+    assert!(late_sender > 0.2, "expected a strong LateSender finding");
+    let top = &report.findings[0];
+    assert_eq!(top.property, "LateSender");
+    assert!(top.call_path.contains("late_sender/MPI_Recv"));
+    println!(
+        "\nquickstart OK: LateSender severity {:.1}%",
+        late_sender * 100.0
+    );
+}

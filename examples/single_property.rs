@@ -1,0 +1,48 @@
+//! The single-property test program, as the paper's generator produces it:
+//! pick any property function from the catalog, parameterize it from the
+//! command line, run it, and print the timeline plus the analysis.
+//!
+//! Run with:
+//!   cargo run --example single_property -- late_broadcast extrawork=0.08 root=2
+//!   cargo run --example single_property -- imbalance_at_mpi_barrier df=peak:low=0.01,high=0.2,n=3
+//!   cargo run --example single_property -- --list
+
+use ats::harness::{generate, run_single, ParamValues, RunOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--list" {
+        println!("available property functions:");
+        for spec in ats::core::CATALOG {
+            println!("  {:<32} {}", spec.name, spec.description);
+        }
+        println!("\nrun one with: cargo run --example single_property -- NAME [key=value ...]");
+        return;
+    }
+    let name = &args[0];
+    let spec = match ats::core::catalog::find(name) {
+        Some(s) => s,
+        None => {
+            eprintln!("unknown property `{name}`; use --list");
+            std::process::exit(2);
+        }
+    };
+    if args.iter().any(|a| a == "--help") {
+        print!("{}", generate::usage(spec));
+        return;
+    }
+    let kv: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+    let params = match ParamValues::from_args(spec, &kv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n");
+            eprint!("{}", generate::usage(spec));
+            std::process::exit(2);
+        }
+    };
+    println!("running {name} with {}", params.to_cli());
+    let trace = run_single(name, &params, &RunOpts::default()).expect("catalog name");
+    print!("{}", ats::harness::timeline::render_text(&trace, 100));
+    let report = ats::analyzer::analyze(&trace, &ats::analyzer::AnalyzerConfig::default());
+    println!("\n{}", report.render(&trace));
+}

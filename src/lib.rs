@@ -1,0 +1,16 @@
+//! # ATS-RS — facade crate
+//!
+//! Re-exports the full public API of the APART Test Suite reproduction so
+//! that examples and downstream users can depend on a single crate.
+//!
+//! See the workspace README for the architecture overview and DESIGN.md for
+//! the paper-to-module mapping.
+
+pub use ats_analyzer as analyzer;
+pub use ats_apps as apps;
+pub use ats_core as core;
+pub use ats_harness as harness;
+pub use ats_mpi as mpi;
+pub use ats_omp as omp;
+pub use ats_runtime as runtime;
+pub use ats_trace as trace;

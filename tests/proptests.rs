@@ -1,0 +1,266 @@
+//! Property-based tests over the suite's core invariants.
+//!
+//! These are the "laws" DESIGN.md commits to: distribution algebra, trace
+//! well-formedness for arbitrary property programs, analyzer severity
+//! bounds, send/receive matching bijections, and parameter-string round
+//! trips.
+
+use ats::analyzer::{analyze, AnalyzerConfig};
+use ats::core::Distr;
+use ats::harness::{run_single, ParamValue, ParamValues, RunOpts};
+use ats::trace::check_wellformed;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary parameterized distribution.
+fn distr_strategy() -> impl Strategy<Value = Distr> {
+    let v = 0.0..0.1f64;
+    prop_oneof![
+        (0.0..0.1f64).prop_map(Distr::same),
+        (v.clone(), v.clone()).prop_map(|(a, b)| Distr::cyclic2(a, b)),
+        (v.clone(), v.clone()).prop_map(|(a, b)| Distr::block2(a, b)),
+        (v.clone(), v.clone()).prop_map(|(a, b)| Distr::linear(a, b)),
+        (v.clone(), v.clone(), 0usize..16).prop_map(|(a, b, n)| Distr::peak(a, b, n)),
+        (v.clone(), v.clone(), v.clone()).prop_map(|(a, b, c)| Distr::cyclic3(a, b, c)),
+        (v.clone(), v.clone(), v).prop_map(|(a, b, c)| Distr::block3(a, b, c)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scaling law: df(me, sz, k·s) == k·df(me, sz, s).
+    #[test]
+    fn distribution_scaling_is_linear(
+        df in distr_strategy(),
+        sz in 1usize..32,
+        scale in 0.1..4.0f64,
+    ) {
+        for me in 0..sz {
+            let direct = df.value(me, sz, scale);
+            let scaled = df.value(me, sz, 1.0) * scale;
+            prop_assert!((direct - scaled).abs() < 1e-9);
+        }
+    }
+
+    /// Values are bounded by the distribution's parameter extremes.
+    #[test]
+    fn distribution_values_within_parameter_range(
+        df in distr_strategy(),
+        sz in 1usize..32,
+    ) {
+        let values = df.values(sz, 1.0);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // All parameter magnitudes are in [0, 0.1].
+        prop_assert!(lo >= -1e-12);
+        prop_assert!(hi <= 0.1 + 1e-12);
+    }
+
+    /// The imbalance statistic equals max - min of the assigned values.
+    #[test]
+    fn imbalance_matches_minmax(df in distr_strategy(), sz in 1usize..24) {
+        let v = df.values(sz, 1.0);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((df.imbalance(sz, 1.0) - (hi - lo)).abs() < 1e-12);
+    }
+
+    /// Parse/print round trip for distribution specs.
+    #[test]
+    fn distribution_spec_roundtrip(df in distr_strategy()) {
+        let printed = df.to_string();
+        let parsed: Distr = printed.parse().expect("own output parses");
+        prop_assert_eq!(parsed, df);
+    }
+
+    /// Arbitrary imbalance programs produce wellformed traces and bounded
+    /// severities, and detected waits never exceed total allocation time.
+    #[test]
+    fn barrier_programs_wellformed_and_bounded(
+        df in distr_strategy(),
+        nprocs in 2usize..9,
+        reps in 1usize..4,
+    ) {
+        let spec = ats::core::catalog::find("imbalance_at_mpi_barrier").unwrap();
+        let mut params = ParamValues::defaults(spec);
+        params.set("r", ParamValue::Count(reps));
+        // Inject the generated distribution through its string form.
+        let tokens = format!("df={df}");
+        let params = if matches!(df, Distr::Custom(_)) {
+            params
+        } else {
+            ParamValues::from_args(spec, &[&tokens, &format!("r={reps}")]).unwrap()
+        };
+        let trace = run_single(
+            "imbalance_at_mpi_barrier",
+            &params,
+            &RunOpts::default().procs(nprocs),
+        )
+        .unwrap();
+        prop_assert!(check_wellformed(&trace).is_empty());
+        let report = analyze(&trace, &AnalyzerConfig::default().threshold(0.0));
+        let sev = report.severity_of("WaitAtBarrier");
+        prop_assert!((0.0..=1.0).contains(&sev), "severity {sev}");
+        // Balanced inputs yield zero severity; imbalanced inputs nonzero.
+        if df.is_balanced(nprocs) {
+            prop_assert_eq!(sev, 0.0);
+        } else if df.imbalance(nprocs, 1.0) > 1e-3 {
+            prop_assert!(sev > 0.0);
+        }
+    }
+
+    /// Late-sender programs: every send matches exactly one receive, and
+    /// the analyzer's total wait equals reps x extrawork x pairs.
+    #[test]
+    fn late_sender_wait_arithmetic(
+        extra_ms in 1u64..60,
+        reps in 1usize..4,
+        pairs in 1usize..4,
+    ) {
+        let nprocs = pairs * 2;
+        let spec = ats::core::catalog::find("late_sender").unwrap();
+        let params = ParamValues::from_args(
+            spec,
+            &[
+                &format!("extrawork={}", extra_ms as f64 / 1000.0),
+                "basework=0.002",
+                &format!("r={reps}"),
+            ],
+        )
+        .unwrap();
+        let trace = run_single("late_sender", &params, &RunOpts::default().procs(nprocs)).unwrap();
+        let report = analyze(&trace, &AnalyzerConfig::default().threshold(0.0));
+        let total_wait: f64 = report
+            .findings_for("LateSender")
+            .iter()
+            .map(|f| f.wait.as_secs())
+            .sum();
+        let expected = extra_ms as f64 / 1000.0 * reps as f64 * pairs as f64;
+        prop_assert!(
+            (total_wait - expected).abs() < 1e-9,
+            "wait {total_wait} != programmed {expected}"
+        );
+    }
+
+    /// Parameter assignments round-trip through their CLI representation.
+    #[test]
+    fn param_cli_roundtrip(extra in 0.001..0.2f64, reps in 1usize..20, root in 0usize..4) {
+        let spec = ats::core::catalog::find("late_broadcast").unwrap();
+        let params = ParamValues::from_args(
+            spec,
+            &[
+                &format!("extrawork={extra}"),
+                &format!("r={reps}"),
+                &format!("root={root}"),
+            ],
+        )
+        .unwrap();
+        let cli = params.to_cli();
+        let tokens: Vec<&str> = cli.split(' ').collect();
+        let back = ParamValues::from_args(spec, &tokens).unwrap();
+        prop_assert_eq!(params, back);
+    }
+}
+
+proptest! {
+    // Heavier cases: fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fuzz the whole catalog: a random entry with a randomly scaled
+    /// severity knob and process count must run, produce a wellformed
+    /// trace, and (for positive cases with a visible knob) be detected.
+    #[test]
+    fn random_catalog_entry_runs_and_detects(
+        idx in 0usize..ats::core::CATALOG.len(),
+        knob_ms in 5u64..60,
+        nprocs in 2usize..7,
+    ) {
+        let spec = &ats::core::CATALOG[idx];
+        let mut params = ParamValues::defaults(spec);
+        params.set("r", ParamValue::Count(1));
+        // Scale whichever severity knob the entry has.
+        for knob in ["extrawork", "baseextrawork", "singlework", "masterwork",
+                     "bodywork", "delay"] {
+            if spec.params.iter().any(|p| p.name == knob) {
+                params.set(knob, ParamValue::Seconds(knob_ms as f64 / 1000.0));
+            }
+        }
+        // Keep root valid for the given nprocs.
+        if spec.params.iter().any(|p| p.name == "root") {
+            params.set("root", ParamValue::Count(knob_ms as usize % nprocs));
+        }
+        let trace = run_single(spec.name, &params, &RunOpts::default().procs(nprocs)).unwrap();
+        prop_assert!(check_wellformed(&trace).is_empty(), "{} malformed", spec.name);
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        match spec.expected_property {
+            Some(expected) => {
+                prop_assert!(
+                    report.severity_of(expected) > 0.0,
+                    "{}: {expected} undetected at {} procs, params {}",
+                    spec.name, nprocs, params.to_cli()
+                );
+            }
+            None => {
+                prop_assert!(
+                    report.is_clean(),
+                    "{}: negative case found {:?}",
+                    spec.name,
+                    report.findings
+                );
+            }
+        }
+    }
+
+    /// Traces serialize/deserialize losslessly for arbitrary programs.
+    #[test]
+    fn trace_serialization_lossless(
+        df in distr_strategy(),
+        nprocs in 2usize..6,
+    ) {
+        let spec = ats::core::catalog::find("imbalance_at_mpi_alltoall").unwrap();
+        let params = match ParamValues::from_args(spec, &[&format!("df={df}"), "r=1"]) {
+            Ok(p) => p,
+            Err(_) => ParamValues::defaults(spec),
+        };
+        let trace = run_single(
+            "imbalance_at_mpi_alltoall",
+            &params,
+            &RunOpts::default().procs(nprocs),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        ats::trace::io::write_jsonl(&trace, &mut buf).unwrap();
+        let back = ats::trace::io::read_jsonl(buf.as_slice()).unwrap();
+        prop_assert_eq!(&back.locations, &trace.locations);
+        prop_assert_eq!(&back.regions, &trace.regions);
+        prop_assert_eq!(&back.comms, &trace.comms);
+    }
+
+    /// OpenMP programs: join time equals the slowest thread, regardless of
+    /// the distribution shape.
+    #[test]
+    fn omp_join_equals_slowest_thread(
+        df in distr_strategy(),
+        nthreads in 1usize..7,
+    ) {
+        use ats::omp::{parallel, run_omp, OmpConfig};
+        use ats::runtime::MachineModel;
+        let dfc = df.clone();
+        let trace = run_omp(
+            OmpConfig { model: MachineModel::zero(), ..Default::default() },
+            move |m| {
+                parallel(m, nthreads, |th| {
+                    ats::core::par_do_omp_work(th, &dfc, 1.0);
+                });
+            },
+        );
+        prop_assert!(check_wellformed(&trace).is_empty());
+        let slowest = df
+            .values(nthreads, 1.0)
+            .into_iter()
+            .fold(0.0f64, f64::max)
+            .max(0.0);
+        let end = trace.end_time().as_secs();
+        prop_assert!((end - slowest).abs() < 1e-9, "end {end} vs slowest {slowest}");
+    }
+}
