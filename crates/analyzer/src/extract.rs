@@ -154,7 +154,24 @@ pub struct Extract {
 /// Scan the trace and build the [`Extract`].
 pub fn extract(trace: &Trace) -> Extract {
     let mut ex = Extract::default();
-    let mut coll_groups: HashMap<(u32, u64, CollOp), CollInstance> = HashMap::new();
+    // Pre-size the record vectors from a cheap tag-counting pass so the
+    // hot loop below never reallocates.
+    let (mut n_sends, mut n_recvs, mut n_collends) = (0usize, 0usize, 0usize);
+    for lt in &trace.locations {
+        for ev in &lt.events {
+            match ev.kind {
+                EventKind::Send { .. } => n_sends += 1,
+                EventKind::Recv { .. } => n_recvs += 1,
+                EventKind::CollEnd { .. } => n_collends += 1,
+                _ => {}
+            }
+        }
+    }
+    ex.sends.reserve(n_sends);
+    ex.recvs.reserve(n_recvs);
+    let n_locs = trace.num_locations().max(1);
+    let mut coll_groups: HashMap<(u32, u64, CollOp), CollInstance> =
+        HashMap::with_capacity(n_collends / n_locs + 1);
 
     let r_init = trace.find_region("MPI_Init");
     let r_fin = trace.find_region("MPI_Finalize");
@@ -173,9 +190,13 @@ pub fn extract(trace: &Trace) -> Extract {
     let is_crit = |r: ats_trace::RegionId| crit_pairs.iter().any(|(c, _)| *c == Some(r));
     let is_crit_body = |r: ats_trace::RegionId| crit_pairs.iter().any(|(_, b)| *b == Some(r));
 
+    // Mirrors `stack`'s regions contiguously so call paths intern straight
+    // from a slice — no per-event Vec allocation on this hot path.
+    let mut path_stack: Vec<RegionId> = Vec::new();
     for lt in &trace.locations {
         let loc = lt.location;
         let mut stack: Vec<(RegionId, VTime)> = Vec::new();
+        path_stack.clear();
         // Sends posted in a still-open frame, waiting for the frame's exit
         // time: (depth of owning frame, partially-filled record).
         let mut open_sends: Vec<(usize, SendRec)> = Vec::new();
@@ -188,14 +209,14 @@ pub fn extract(trace: &Trace) -> Extract {
             match ev.kind {
                 EventKind::Enter { region } => {
                     stack.push((region, ev.time));
+                    path_stack.push(region);
                     if is_crit_body(region) {
                         if let Some((_, visit)) = open_criticals.last_mut() {
                             visit.acquired = ev.time;
                         }
                     }
                     if is_crit(region) {
-                        let path_regions: Vec<RegionId> = stack.iter().map(|(r, _)| *r).collect();
-                        let path = ex.paths.intern(&path_regions);
+                        let path = ex.paths.intern(&path_stack);
                         open_criticals.push((
                             stack.len(),
                             CriticalVisit {
@@ -210,7 +231,12 @@ pub fn extract(trace: &Trace) -> Extract {
                 }
                 EventKind::Exit { region } => {
                     let depth = stack.len();
+                    // Intern before popping: the current path (ending at
+                    // `region`) is exactly the setup-record path below.
+                    let exit_path = (r_init == Some(region) || r_fin == Some(region))
+                        .then(|| ex.paths.intern(&path_stack));
                     let (top, entered) = stack.pop().expect("wellformed trace");
+                    path_stack.pop();
                     debug_assert_eq!(top, region);
                     // Flush operations owned by this frame.
                     while open_sends.last().is_some_and(|(d, _)| *d == depth) {
@@ -232,13 +258,7 @@ pub fn extract(trace: &Trace) -> Extract {
                             ex.criticals.push(visit);
                         }
                     }
-                    if r_init == Some(region) || r_fin == Some(region) {
-                        let path_regions: Vec<RegionId> = stack
-                            .iter()
-                            .map(|(r, _)| *r)
-                            .chain(std::iter::once(region))
-                            .collect();
-                        let path = ex.paths.intern(&path_regions);
+                    if let Some(path) = exit_path {
                         ex.setup.push(SetupRec {
                             loc,
                             path,
@@ -252,8 +272,7 @@ pub fn extract(trace: &Trace) -> Extract {
                     tag,
                     bytes,
                 } => {
-                    let path_regions: Vec<RegionId> = stack.iter().map(|(r, _)| *r).collect();
-                    let path = ex.paths.intern(&path_regions);
+                    let path = ex.paths.intern(&path_stack);
                     open_sends.push((
                         stack.len(),
                         SendRec {
@@ -276,8 +295,7 @@ pub fn extract(trace: &Trace) -> Extract {
                     bytes,
                     posted,
                 } => {
-                    let path_regions: Vec<RegionId> = stack.iter().map(|(r, _)| *r).collect();
-                    let path = ex.paths.intern(&path_regions);
+                    let path = ex.paths.intern(&path_stack);
                     open_recvs.push((
                         stack.len(),
                         RecvRec {
@@ -302,8 +320,7 @@ pub fn extract(trace: &Trace) -> Extract {
                     bytes,
                     entered,
                 } => {
-                    let path_regions: Vec<RegionId> = stack.iter().map(|(r, _)| *r).collect();
-                    let path = ex.paths.intern(&path_regions);
+                    let path = ex.paths.intern(&path_stack);
                     let inst = coll_groups
                         .entry((comm, seq, op))
                         .or_insert_with(|| CollInstance {
@@ -311,7 +328,7 @@ pub fn extract(trace: &Trace) -> Extract {
                             comm,
                             root,
                             seq,
-                            members: Vec::new(),
+                            members: Vec::with_capacity(n_locs),
                         });
                     inst.members.push(CollMember {
                         loc,
@@ -325,16 +342,31 @@ pub fn extract(trace: &Trace) -> Extract {
         }
     }
 
+    // Unstable sorts: cheaper than the stable ones (no temp allocation),
+    // and safe because every key is a total order — (comm, seq) and
+    // member locations are unique by construction, and the p2p keys
+    // carry enough trailing fields that ties only occur between fully
+    // identical records.
     let mut colls: Vec<CollInstance> = coll_groups.into_values().collect();
     for c in &mut colls {
-        c.members.sort_by_key(|m| m.loc);
+        c.members.sort_unstable_by_key(|m| m.loc);
     }
-    colls.sort_by_key(|c| (c.comm, c.seq));
+    colls.sort_unstable_by_key(|c| (c.comm, c.seq));
     ex.colls = colls;
     ex.sends
-        .sort_by_key(|s| (s.comm, s.loc, s.to, s.tag, s.post));
-    ex.recvs
-        .sort_by_key(|r| (r.comm, r.from, r.loc, r.tag, r.posted));
+        .sort_unstable_by_key(|s| (s.comm, s.loc, s.to, s.tag, s.post, s.exit, s.bytes, s.path));
+    ex.recvs.sort_unstable_by_key(|r| {
+        (
+            r.comm,
+            r.from,
+            r.loc,
+            r.tag,
+            r.posted,
+            r.completion,
+            r.bytes,
+            r.path,
+        )
+    });
     ex
 }
 

@@ -38,27 +38,29 @@ pub struct MatchedPair {
 /// arise from the substrate, but a tool must tolerate truncated traces)
 /// are dropped.
 pub fn match_messages(ex: &Extract) -> Vec<MatchedPair> {
-    let mut send_q: HashMap<(u32, u32, u32, i32), Vec<&SendRec>> = HashMap::new();
+    // Each queue carries its own consumption cursor, so pairing costs one
+    // hash lookup per receive instead of two.
+    let mut send_q: HashMap<(u32, u32, u32, i32), (Vec<&SendRec>, usize)> =
+        HashMap::with_capacity(ex.sends.len().min(64));
     for s in &ex.sends {
         send_q
             .entry((s.comm, s.loc.rank, s.to, s.tag))
             .or_default()
+            .0
             .push(s);
     }
     // `ex.sends` is sorted by post time within each key, so each queue is
     // FIFO already; pair receives in posted order.
     let mut pairs = Vec::with_capacity(ex.recvs.len());
-    let mut taken: HashMap<(u32, u32, u32, i32), usize> = HashMap::new();
     for r in &ex.recvs {
         let key = (r.comm, r.from, r.loc.rank, r.tag);
-        let idx = taken.entry(key).or_insert(0);
-        if let Some(q) = send_q.get(&key) {
-            if let Some(s) = q.get(*idx) {
+        if let Some((q, taken)) = send_q.get_mut(&key) {
+            if let Some(s) = q.get(*taken) {
                 pairs.push(MatchedPair {
                     send: **s,
                     recv: *r,
                 });
-                *idx += 1;
+                *taken += 1;
             }
         }
     }

@@ -1,0 +1,60 @@
+//! Criterion benchmark of the parallel experiment-execution engine:
+//! sweep throughput (configurations/second) as the worker count grows.
+//! Tracks the ISSUE-1 tentpole — serial sweeps were the suite's
+//! wall-clock bottleneck; this is where a regression would show first.
+
+use ats_harness::experiment::{Experiment, Sweep};
+use ats_harness::{pool, RunOpts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// The E-pos shape in miniature: a severity × repetition sweep of
+/// `late_sender` at 4 ranks — 8 configurations per run.
+fn sweep(jobs: usize) -> Experiment {
+    Experiment::new("late_sender")
+        .sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02, 0.04]))
+        .sweep(Sweep::counts("r", [1, 2]))
+        .opts(RunOpts::default().procs(4).jobs(jobs))
+}
+
+fn sweep_throughput(c: &mut Criterion) {
+    let configs = 8u64;
+    let mut g = c.benchmark_group("sweep_configs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(configs));
+    let mut jobs_axis = vec![1usize, 4, pool::auto_jobs().max(4)];
+    jobs_axis.dedup();
+    for jobs in jobs_axis {
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let (rows, stats) = sweep(jobs).run_with_stats().unwrap();
+                assert_eq!(rows.len(), configs as usize);
+                black_box((rows, stats))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn collective_sweep_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_barrier_grid");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(6));
+    for jobs in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let (rows, _) = Experiment::new("imbalance_at_mpi_barrier")
+                    .procs_grid([2, 4, 8])
+                    .sweep(Sweep::counts("r", [1, 2]))
+                    .opts(RunOpts::default().jobs(jobs))
+                    .run_with_stats()
+                    .unwrap();
+                black_box(rows)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sweep_throughput, collective_sweep_throughput);
+criterion_main!(benches);

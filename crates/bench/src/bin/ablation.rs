@@ -8,23 +8,33 @@
 //! 2. **Analyzer threshold vs. finding count** — the sensitivity knob the
 //!    paper says every tool has.
 //!
-//! Usage: `ablation`
+//! Usage: `ablation [jobs]`   (`jobs 0` = all cores)
 
 use ats_analyzer::{analyze, AnalyzerConfig};
 use ats_core::{pattern, properties::mpi_p2p, BaseComm, Distr};
+use ats_harness::pool;
 use ats_mpi::SimConfig;
 use ats_runtime::{MachineModel, VDur};
 
 fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
     println!("=== Ablation 1: eager threshold vs. LateReceiver visibility ===");
     println!("(standard-mode sends of 2 KiB; receiver 40ms late; 4 ranks)\n");
     println!(
         "{:<18} {:<10} LateReceiver severity",
         "eager threshold", "protocol"
     );
-    for threshold in [0usize, 1 << 10, 1 << 16, 1 << 20] {
+    // The four protocol configurations are independent: run them on the
+    // harness worker pool (4 ranks each → budgeted like a sweep) and
+    // print in threshold order afterwards.
+    let thresholds = [0usize, 1 << 10, 1 << 16, 1 << 20];
+    let eff_jobs = pool::effective_jobs(jobs, 4, pool::default_thread_budget());
+    let severities = pool::run_indexed(eff_jobs, thresholds.len(), |i| {
         let mut model = MachineModel::zero();
-        model.eager_threshold = threshold;
+        model.eager_threshold = thresholds[i];
         let config = SimConfig {
             nprocs: 4,
             model,
@@ -51,17 +61,15 @@ fn main() {
             }
         });
         let report = analyze(&trace, &AnalyzerConfig::default().threshold(0.0));
+        report.severity_of("LateReceiver")
+    });
+    for (threshold, severity) in thresholds.into_iter().zip(severities) {
         let protocol = if threshold >= 2048 {
             "eager"
         } else {
             "rendezvous"
         };
-        println!(
-            "{:<18} {:<10} {:.4}",
-            threshold,
-            protocol,
-            report.severity_of("LateReceiver")
-        );
+        println!("{threshold:<18} {protocol:<10} {severity:.4}");
     }
     println!("\n(with eager sends the sender never blocks: the property vanishes,");
     println!(" which is why the catalog's late_receiver uses MPI_Ssend)");

@@ -2,12 +2,20 @@
 //! process count grows, per property family — the "crossover shape" data
 //! a tool developer needs to set thresholds that survive scale.
 //!
-//! Usage: `scaling`
+//! Each property's process-count grid runs concurrently on the experiment
+//! engine's worker pool (the P=32 configuration dominates; the pool's
+//! oversubscription guard keeps `jobs × 32` rank threads within budget).
+//!
+//! Usage: `scaling [jobs]`   (`jobs 0` = all cores)
 
-use ats_analyzer::{analyze, AnalyzerConfig};
-use ats_harness::{run_single, ParamValues, RunOpts};
+use ats_analyzer::AnalyzerConfig;
+use ats_harness::{Experiment, RunOpts};
 
 fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
     let procs = [4usize, 8, 16, 32];
     let props = [
         "late_sender",
@@ -22,20 +30,24 @@ fn main() {
         print!(" P={p:<6}");
     }
     println!();
+    let mut total_secs = 0.0f64;
     for name in props {
-        let spec = ats_core::catalog::find(name).expect("in catalog");
-        let expected = spec.expected_property.expect("positive");
+        let (rows, stats) = Experiment::new(name)
+            .procs_grid(procs)
+            .opts(RunOpts::default().jobs(jobs))
+            .analyzer(AnalyzerConfig::default().threshold(0.0))
+            .run_with_stats()
+            .expect("runnable");
+        total_secs += stats.wall_secs;
         print!("{name:<28}");
-        for p in procs {
-            let params = ParamValues::defaults(spec);
-            let trace = run_single(name, &params, &RunOpts::default().procs(p)).expect("runnable");
-            let report = analyze(&trace, &AnalyzerConfig::default().threshold(0.0));
-            print!(" {:<8.4}", report.severity_of(expected));
+        for r in &rows {
+            print!(" {:<8.4}", r.detected_severity);
         }
         println!();
     }
+    println!("\n({} property grids in {total_secs:.2}s)", props.len());
     println!(
-        "\nreading: rooted 'late' properties intensify with P (more waiters per\n\
+        "reading: rooted 'late' properties intensify with P (more waiters per\n\
          late root); pairwise properties stay flat (the waiting fraction is\n\
          per-pair); 'early' root properties dilute with P (one waiting root\n\
          among P busy ranks)."

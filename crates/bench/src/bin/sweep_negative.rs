@@ -2,38 +2,56 @@
 //! (negative) property function across work amounts, repetitions and
 //! scales must produce zero findings.
 //!
-//! Usage: `sweep_negative`
+//! The process-count axis rides the experiment engine's `procs_grid`, so
+//! all 12 configurations per property execute on the worker pool at once.
+//!
+//! Usage: `sweep_negative [jobs]`   (`jobs 0` = all cores)
 
 use ats_harness::experiment::{Experiment, Sweep};
 use ats_harness::RunOpts;
 
 fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
     println!("=== E-neg: false-positive scan over the negative catalog ===\n");
     let mut all_ok = true;
+    let mut total_configs = 0usize;
+    let mut total_secs = 0.0f64;
     for spec in ats_core::CATALOG {
         if spec.expected_property.is_some() {
             continue;
         }
-        for nprocs in [2, 4, 8] {
-            let rows = Experiment::new(spec.name)
-                .sweep(Sweep::seconds("work", [0.001, 0.01, 0.05]))
-                .sweep(Sweep::counts("r", [1, 4]))
-                .opts(RunOpts::default().procs(nprocs))
-                .run()
-                .expect("runnable");
-            let fps: usize = rows.iter().map(|r| r.unexpected_findings).sum();
-            let ok = fps == 0;
-            all_ok &= ok;
-            println!(
-                "{:<28} procs={nprocs} configs={} false positives={fps} [{}]",
-                spec.name,
-                rows.len(),
-                if ok { "ok" } else { "FAIL" }
-            );
-        }
+        let (rows, stats) = Experiment::new(spec.name)
+            .procs_grid([2, 4, 8])
+            .sweep(Sweep::seconds("work", [0.001, 0.01, 0.05]))
+            .sweep(Sweep::counts("r", [1, 4]))
+            .opts(RunOpts::default().jobs(jobs))
+            .run_with_stats()
+            .expect("runnable");
+        total_configs += stats.configs;
+        total_secs += stats.wall_secs;
+        let fps: usize = rows.iter().map(|r| r.unexpected_findings).sum();
+        let ok = fps == 0;
+        all_ok &= ok;
+        println!(
+            "{:<28} procs={{2,4,8}} configs={} false positives={fps} [{}]",
+            spec.name,
+            rows.len(),
+            if ok { "ok" } else { "FAIL" }
+        );
     }
     println!(
-        "\nnegative correctness sweep: {}",
+        "\n{total_configs} configs in {total_secs:.2}s = {:.1} configs/sec",
+        if total_secs > 0.0 {
+            total_configs as f64 / total_secs
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "negative correctness sweep: {}",
         if all_ok { "ALL OK" } else { "FAILURES" }
     );
     std::process::exit(if all_ok { 0 } else { 1 });

@@ -2,23 +2,45 @@
 //! positive property function, sweep the severity knob and verify the
 //! analyzer's detected severity tracks it monotonically (Kendall tau = 1).
 //!
-//! Usage: `sweep_positive [nprocs]`
+//! Configurations execute on the harness's bounded worker pool; rows are
+//! deterministic (combo-ordered) for any `jobs` value. The run also emits
+//! a machine-readable `BENCH_sweep.json` (override the path with
+//! `ATS_BENCH_JSON`) so sweep throughput is tracked across revisions.
+//!
+//! Usage: `sweep_positive [nprocs] [jobs]`   (`jobs 0` = all cores)
 
 use ats_harness::experiment::{kendall_tau, to_markdown, Experiment, Sweep};
-use ats_harness::RunOpts;
+use ats_harness::{pool, RunOpts};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepBenchDoc {
+    experiment: &'static str,
+    nprocs: usize,
+    jobs_requested: usize,
+    jobs_effective: usize,
+    host_parallelism: usize,
+    properties: usize,
+    configs: usize,
+    wall_secs: f64,
+    configs_per_sec: f64,
+}
 
 fn main() {
-    let nprocs = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8usize);
+    let mut args = std::env::args().skip(1);
+    let nprocs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
     let knobs = [0.005, 0.01, 0.02, 0.04, 0.08];
     println!("=== E-pos: severity tracking across the positive catalog ===\n");
     let mut all_ok = true;
+    let mut properties = 0usize;
+    let mut configs = 0usize;
+    let mut wall_secs = 0.0f64;
+    let mut jobs_effective = 1usize;
     for spec in ats_core::CATALOG {
-        let Some(_) = spec.expected_property else {
+        if spec.expected_property.is_none() {
             continue;
-        };
+        }
         // Pick the severity knob by parameter name.
         let knob = spec
             .params
@@ -36,13 +58,18 @@ fn main() {
                 )
             })
             .map(|p| p.name);
+        let opts = RunOpts::default().procs(nprocs).jobs(jobs);
         let exp = match knob {
             Some(k) => Experiment::new(spec.name)
                 .sweep(Sweep::seconds(k, knobs))
-                .opts(RunOpts::default().procs(nprocs)),
-            None => Experiment::new(spec.name).opts(RunOpts::default().procs(nprocs)),
+                .opts(opts),
+            None => Experiment::new(spec.name).opts(opts),
         };
-        let rows = exp.run().expect("runnable");
+        let (rows, stats) = exp.run_with_stats().expect("runnable");
+        properties += 1;
+        configs += stats.configs;
+        wall_secs += stats.wall_secs;
+        jobs_effective = jobs_effective.max(stats.jobs);
         let sev: Vec<f64> = rows.iter().map(|r| r.detected_severity).collect();
         // Monotonicity is checked on the absolute waiting time: severity
         // is a fraction of total time and legitimately saturates when the
@@ -65,6 +92,33 @@ fn main() {
         if std::env::var("ATS_VERBOSE").is_ok() {
             println!("{}", to_markdown(&rows));
         }
+    }
+    let doc = SweepBenchDoc {
+        experiment: "E-pos",
+        nprocs,
+        jobs_requested: jobs,
+        jobs_effective,
+        host_parallelism: pool::auto_jobs(),
+        properties,
+        configs,
+        wall_secs,
+        configs_per_sec: if wall_secs > 0.0 {
+            configs as f64 / wall_secs
+        } else {
+            0.0
+        },
+    };
+    let json_path =
+        std::env::var("ATS_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_owned());
+    match std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&doc).expect("doc serializes"),
+    ) {
+        Ok(()) => println!(
+            "\n{configs} configs in {wall_secs:.2}s = {:.1} configs/sec (jobs={jobs_effective}) -> {json_path}",
+            doc.configs_per_sec
+        ),
+        Err(e) => eprintln!("\nwarning: could not write {json_path}: {e}"),
     }
     println!(
         "\npositive correctness sweep: {}",

@@ -9,10 +9,13 @@
 //! configuration.
 
 use crate::params::{ParamValue, ParamValues};
+use crate::pool;
 use crate::registry::{run_single, spec_of, RunError, RunOpts};
 use ats_analyzer::{analyze, AnalyzerConfig};
+use ats_core::catalog::PropertySpec;
 use serde::Serialize;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// One axis of a sweep: a parameter name and the values it takes.
 #[derive(Debug, Clone)]
@@ -67,6 +70,31 @@ pub struct ExperimentRow {
     pub events: usize,
 }
 
+/// Execution statistics for one [`Experiment::run_with_stats`] call.
+///
+/// Timing lives here — not in [`ExperimentRow`] — so row sequences stay
+/// byte-identical across `jobs` settings (the engine's determinism
+/// guarantee) while throughput remains observable.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentStats {
+    /// Number of configurations executed.
+    pub configs: usize,
+    /// Worker count requested (after `0 = auto` resolution).
+    pub jobs_requested: usize,
+    /// Worker count actually used after the oversubscription guard.
+    pub jobs: usize,
+    /// Thread budget the guard enforced (`jobs × nprocs ≤ budget`).
+    pub thread_budget: usize,
+    /// Largest process count among the configurations.
+    pub max_nprocs: usize,
+    /// End-to-end wall-clock for the whole sweep, in seconds.
+    pub wall_secs: f64,
+    /// Throughput: `configs / wall_secs`.
+    pub configs_per_sec: f64,
+    /// Per-configuration wall-clock, in cartesian-combo order.
+    pub config_wall_secs: Vec<f64>,
+}
+
 /// A family of runs over one property.
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -74,6 +102,9 @@ pub struct Experiment {
     pub property: String,
     /// Axes (cartesian product).
     pub sweeps: Vec<Sweep>,
+    /// Process-count axis. Empty = use `opts.nprocs` only. When set, the
+    /// grid is the *outer* loop of the cartesian product.
+    pub procs_grid: Vec<usize>,
     /// Execution options.
     pub opts: RunOpts,
     /// Analyzer configuration.
@@ -87,6 +118,7 @@ impl Experiment {
         Experiment {
             property: property.to_owned(),
             sweeps: Vec::new(),
+            procs_grid: Vec::new(),
             opts: RunOpts::default(),
             analyzer: AnalyzerConfig::default(),
         }
@@ -98,52 +130,134 @@ impl Experiment {
         self
     }
 
+    /// Builder: sweep the process count itself (outer axis).
+    pub fn procs_grid(mut self, procs: impl IntoIterator<Item = usize>) -> Self {
+        self.procs_grid = procs.into_iter().collect();
+        self
+    }
+
     /// Builder: set run options.
     pub fn opts(mut self, opts: RunOpts) -> Self {
         self.opts = opts;
         self
     }
 
-    /// Execute all configurations.
+    /// Builder: set the analyzer configuration.
+    pub fn analyzer(mut self, analyzer: AnalyzerConfig) -> Self {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// Execute all configurations (see [`Experiment::run_with_stats`]).
     pub fn run(&self) -> Result<Vec<ExperimentRow>, RunError> {
+        self.run_with_stats().map(|(rows, _)| rows)
+    }
+
+    /// Execute all configurations on a bounded worker pool and return the
+    /// rows plus throughput statistics.
+    ///
+    /// Workers (`opts.jobs`, `0 = available parallelism`) pull
+    /// configurations from a shared queue; the oversubscription guard
+    /// clamps the worker count so `jobs × nprocs` — each configuration
+    /// spawns `nprocs` virtual-rank threads internally — stays within
+    /// `opts.thread_budget`. Rows come back in cartesian-combo order
+    /// (process grid outer, parameter axes inner) regardless of
+    /// completion order, so any `jobs` setting yields the same sequence.
+    pub fn run_with_stats(&self) -> Result<(Vec<ExperimentRow>, ExperimentStats), RunError> {
         let spec = spec_of(&self.property)?;
-        let mut rows = Vec::new();
-        let combos = cartesian(&self.sweeps);
-        for combo in combos {
-            let mut params = ParamValues::defaults(spec);
-            for (name, value) in &combo {
-                params.set(name, value.clone());
-            }
-            let trace = run_single(&self.property, &params, &self.opts)?;
-            let report = analyze(&trace, &self.analyzer);
-            let total_alloc = trace.total_alloc_time().as_secs();
-            let (detected_severity, localized, unexpected) = match spec.expected_property {
-                Some(expected) => {
-                    let sev = report.severity_of(expected);
-                    let localized = report.findings_for(expected).iter().any(|f| {
-                        f.call_path.contains(spec.name) && f.call_path.contains(spec.localized_at)
-                    });
-                    let unexpected = report
-                        .findings
-                        .iter()
-                        .filter(|f| f.property != expected)
-                        .count();
-                    (sev, localized, unexpected)
-                }
-                None => (0.0, report.is_clean(), report.findings.len()),
-            };
-            rows.push(ExperimentRow {
-                property: self.property.clone(),
-                params: params.to_cli(),
-                nprocs: self.opts.nprocs,
-                detected_severity,
-                detected_wait_secs: detected_severity * total_alloc,
-                localized,
-                unexpected_findings: unexpected,
-                events: trace.num_events(),
-            });
+        let procs: Vec<usize> = if self.procs_grid.is_empty() {
+            vec![self.opts.nprocs]
+        } else {
+            self.procs_grid.clone()
+        };
+        let param_combos = cartesian(&self.sweeps);
+        let configs: Vec<(usize, &[(String, ParamValue)])> = procs
+            .iter()
+            .flat_map(|&p| param_combos.iter().map(move |c| (p, c.as_slice())))
+            .collect();
+        let max_nprocs = procs.iter().copied().max().unwrap_or(1);
+        let thread_budget = self
+            .opts
+            .thread_budget
+            .unwrap_or_else(pool::default_thread_budget);
+        let jobs_requested = if self.opts.jobs == 0 {
+            pool::auto_jobs()
+        } else {
+            self.opts.jobs
+        };
+        let jobs = pool::effective_jobs(jobs_requested, max_nprocs, thread_budget)
+            .min(configs.len().max(1));
+        let started = Instant::now();
+        let outcomes = pool::run_indexed(jobs, configs.len(), |i| {
+            let (nprocs, combo) = configs[i];
+            let config_started = Instant::now();
+            let row = self.run_config(spec, nprocs, combo);
+            (row, config_started.elapsed().as_secs_f64())
+        });
+        let wall_secs = started.elapsed().as_secs_f64();
+        let mut rows = Vec::with_capacity(outcomes.len());
+        let mut config_wall_secs = Vec::with_capacity(outcomes.len());
+        for (row, secs) in outcomes {
+            rows.push(row?);
+            config_wall_secs.push(secs);
         }
-        Ok(rows)
+        let stats = ExperimentStats {
+            configs: rows.len(),
+            jobs_requested,
+            jobs,
+            thread_budget,
+            max_nprocs,
+            wall_secs,
+            configs_per_sec: if wall_secs > 0.0 {
+                rows.len() as f64 / wall_secs
+            } else {
+                0.0
+            },
+            config_wall_secs,
+        };
+        Ok((rows, stats))
+    }
+
+    /// Run and score one configuration: run → trace → analyze → row.
+    fn run_config(
+        &self,
+        spec: &'static PropertySpec,
+        nprocs: usize,
+        combo: &[(String, ParamValue)],
+    ) -> Result<ExperimentRow, RunError> {
+        let mut params = ParamValues::defaults(spec);
+        for (name, value) in combo {
+            params.set(name, value.clone());
+        }
+        let opts = self.opts.clone().procs(nprocs);
+        let trace = run_single(&self.property, &params, &opts)?;
+        let report = analyze(&trace, &self.analyzer);
+        let total_alloc = trace.total_alloc_time().as_secs();
+        let (detected_severity, localized, unexpected) = match spec.expected_property {
+            Some(expected) => {
+                let sev = report.severity_of(expected);
+                let localized = report.findings_for(expected).iter().any(|f| {
+                    f.call_path.contains(spec.name) && f.call_path.contains(spec.localized_at)
+                });
+                let unexpected = report
+                    .findings
+                    .iter()
+                    .filter(|f| f.property != expected)
+                    .count();
+                (sev, localized, unexpected)
+            }
+            None => (0.0, report.is_clean(), report.findings.len()),
+        };
+        Ok(ExperimentRow {
+            property: self.property.clone(),
+            params: params.to_cli(),
+            nprocs,
+            detected_severity,
+            detected_wait_secs: detected_severity * total_alloc,
+            localized,
+            unexpected_findings: unexpected,
+            events: trace.num_events(),
+        })
     }
 }
 
@@ -271,5 +385,63 @@ mod tests {
     #[test]
     fn unknown_property_errors() {
         assert!(Experiment::new("warp_drive").run().is_err());
+        assert!(Experiment::new("warp_drive").run_with_stats().is_err());
+    }
+
+    /// The engine's central guarantee: any `jobs` setting yields the same
+    /// row sequence, for a severity × nprocs sweep (ISSUE: E-pos shape).
+    #[test]
+    fn parallel_rows_match_serial_rows_exactly() {
+        for property in ["late_sender", "imbalance_at_mpi_barrier"] {
+            let exp = |jobs: usize| {
+                let mut e = Experiment::new(property).procs_grid([2, 4]);
+                e = match property {
+                    "late_sender" => e.sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02])),
+                    _ => e.sweep(Sweep::counts("r", [1, 2, 3])),
+                };
+                e.opts(RunOpts::default().jobs(jobs))
+            };
+            let serial = exp(1).run_with_stats().unwrap();
+            let parallel = exp(8).run_with_stats().unwrap();
+            assert_eq!(serial.1.jobs, 1);
+            assert!(parallel.1.jobs > 1, "pool must actually parallelize");
+            // Byte-identical row sequences: compare serialized forms.
+            let a = serde_json::to_string(&serial.0).unwrap();
+            let b = serde_json::to_string(&parallel.0).unwrap();
+            assert_eq!(a, b, "{property}: jobs=1 vs jobs=8 rows diverge");
+        }
+    }
+
+    #[test]
+    fn stats_cover_every_config() {
+        let (rows, stats) = Experiment::new("late_sender")
+            .sweep(Sweep::seconds("extrawork", [0.005, 0.01]))
+            .procs_grid([2, 4])
+            .opts(RunOpts::default().jobs(2))
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(stats.configs, 4);
+        assert_eq!(stats.config_wall_secs.len(), 4);
+        assert_eq!(stats.max_nprocs, 4);
+        assert!(stats.wall_secs > 0.0);
+        assert!(stats.configs_per_sec > 0.0);
+        assert!(stats.jobs * stats.max_nprocs <= stats.thread_budget);
+        // Grid is the outer axis: rows 0-1 at P=2, rows 2-3 at P=4.
+        assert_eq!(
+            rows.iter().map(|r| r.nprocs).collect::<Vec<_>>(),
+            vec![2, 2, 4, 4]
+        );
+    }
+
+    #[test]
+    fn oversubscription_guard_clamps_wide_configs() {
+        let (_, stats) = Experiment::new("late_sender")
+            .sweep(Sweep::seconds("extrawork", [0.005, 0.01]))
+            .opts(RunOpts::default().procs(8).jobs(64).thread_budget(16))
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(stats.jobs_requested, 64);
+        assert_eq!(stats.jobs, 2, "64 workers × 8 ranks clamped to 16/8 = 2");
     }
 }

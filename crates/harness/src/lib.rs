@@ -9,7 +9,9 @@
 //! * [`generate`]: the source-code half — emits standalone Rust `main`s
 //!   for single-property test programs from the catalog signatures;
 //! * [`experiment`]: parameter sweeps and result tables (the ZENTURIO
-//!   role in the paper's tooling sketch);
+//!   role in the paper's tooling sketch), executed concurrently on the
+//!   [`pool`] worker pool with an oversubscription guard and
+//!   deterministic (combo-ordered) results;
 //! * [`timeline`]: Vampir-style timeline rendering (text and SVG) used to
 //!   regenerate the paper's Figures 3.2–3.4;
 //! * [`validation`]: the semantics-preservation procedure from the
@@ -23,6 +25,7 @@ pub mod correctness;
 pub mod experiment;
 pub mod generate;
 pub mod params;
+pub mod pool;
 pub mod profile;
 pub mod registry;
 pub mod resources;
@@ -30,6 +33,6 @@ pub mod timeline;
 pub mod validation;
 
 pub use correctness::{score_negative, score_positive, SuiteSummary, Verdict};
-pub use experiment::{Experiment, ExperimentRow, Sweep};
+pub use experiment::{Experiment, ExperimentRow, ExperimentStats, Sweep};
 pub use params::{ParamValue, ParamValues};
 pub use registry::{run_single, RunError, RunOpts};

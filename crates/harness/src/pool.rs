@@ -1,0 +1,152 @@
+//! A bounded worker pool for independent, index-addressed tasks.
+//!
+//! The experiment engine runs sweep configurations concurrently, but every
+//! configuration itself spawns `nprocs` virtual-rank threads inside
+//! [`ats_mpi::run`]. Naively multiplying the two axes oversubscribes the
+//! host, so the pool couples a work-stealing index queue (crossbeam scoped
+//! threads + an atomic cursor) with an explicit *thread budget*:
+//! `jobs × threads_per_task ≤ budget`. Results come back in submission
+//! (index) order regardless of completion order, which is what makes
+//! parallel sweeps byte-identical to serial ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The host's available parallelism (1 if it cannot be queried).
+pub fn auto_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Default thread budget for the oversubscription guard.
+///
+/// Rank threads spend most of their life blocked on virtual-time
+/// synchronization (condvars in the mailboxes), so the budget is a
+/// multiple of the hardware parallelism rather than equal to it; the
+/// floor keeps small hosts able to run at least one wide configuration
+/// next to a few narrow ones.
+pub fn default_thread_budget() -> usize {
+    (auto_jobs() * 8).max(32)
+}
+
+/// Clamp a requested worker count so `jobs × threads_per_task` stays
+/// within `budget`. `requested == 0` means "use [`auto_jobs`]".
+pub fn effective_jobs(requested: usize, threads_per_task: usize, budget: usize) -> usize {
+    let requested = if requested == 0 {
+        auto_jobs()
+    } else {
+        requested
+    };
+    let per_task = threads_per_task.max(1);
+    requested.clamp(1, (budget / per_task).max(1))
+}
+
+/// Run `f(0..n)` on up to `jobs` workers and return the results in index
+/// order. Workers claim indices from a shared atomic cursor, so long tasks
+/// do not convoy short ones; a `jobs <= 1` request takes a serial fast
+/// path with no threads at all. Panics in `f` propagate to the caller.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n);
+    if jobs == 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // Make later indices finish first by sleeping inversely.
+        let out = run_indexed(4, 16, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(((16 - i) % 5) as u64));
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches_parallel_path() {
+        let serial = run_indexed(1, 9, |i| i * i);
+        let parallel = run_indexed(8, 9, |i| i * i);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = run_indexed(6, 100, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let out: Vec<usize> = run_indexed(8, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn oversubscription_guard_budgets_jobs_times_nprocs() {
+        // 32-thread budget, 8 ranks per config: at most 4 workers.
+        assert_eq!(effective_jobs(16, 8, 32), 4);
+        // Never below one worker, even when one config exceeds the budget.
+        assert_eq!(effective_jobs(16, 64, 32), 1);
+        // Zero requests auto-detect but still respect the budget.
+        assert!(effective_jobs(0, 1, 32) >= 1);
+        // Small requests pass through untouched.
+        assert_eq!(effective_jobs(2, 4, 32), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn worker_panics_propagate() {
+        run_indexed(2, 4, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

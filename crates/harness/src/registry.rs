@@ -31,6 +31,14 @@ pub struct RunOpts {
     pub init_time: VDur,
     /// `MPI_Finalize` cost.
     pub finalize_time: VDur,
+    /// Experiment-engine worker count: how many configurations a sweep
+    /// may execute concurrently. `0` = the host's available parallelism.
+    /// Single runs ([`run_single`]) ignore this.
+    pub jobs: usize,
+    /// Oversubscription guard for sweeps: total simulated-rank threads
+    /// allowed at once (`jobs × nprocs ≤ budget`). `None` = an
+    /// auto-derived budget (see `pool::default_thread_budget`).
+    pub thread_budget: Option<usize>,
 }
 
 impl Default for RunOpts {
@@ -43,6 +51,8 @@ impl Default for RunOpts {
             work_mode: WorkMode::Virtual,
             init_time: VDur::ZERO,
             finalize_time: VDur::ZERO,
+            jobs: 0,
+            thread_budget: None,
         }
     }
 }
@@ -51,6 +61,18 @@ impl RunOpts {
     /// Builder: set the process count.
     pub fn procs(mut self, n: usize) -> Self {
         self.nprocs = n;
+        self
+    }
+
+    /// Builder: set the experiment-engine worker count (`0` = auto).
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n;
+        self
+    }
+
+    /// Builder: cap total simulated-rank threads across workers.
+    pub fn thread_budget(mut self, budget: usize) -> Self {
+        self.thread_budget = Some(budget);
         self
     }
 

@@ -8,7 +8,7 @@
 
 use crate::region::RegionMeta;
 use crate::trace::{CommDef, LocationTrace, Trace};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufWriter, Write};
 
 /// Errors arising while reading or writing traces.
 #[derive(Debug)]
@@ -57,8 +57,11 @@ pub fn from_json(s: &str) -> Result<Trace, TraceIoError> {
 
 /// Write a trace in JSONL form: first header line = region table, second
 /// header line = communicator definitions, then one line per location
-/// stream.
-pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+/// stream. The writer is buffered internally, so passing a raw `File` is
+/// fine; serialization goes through one flat buffer instead of a syscall
+/// per fragment.
+pub fn write_jsonl<W: Write>(trace: &Trace, w: W) -> Result<(), TraceIoError> {
+    let mut w = BufWriter::new(w);
     serde_json::to_writer(&mut w, &trace.regions)?;
     writeln!(w)?;
     serde_json::to_writer(&mut w, &trace.comms)?;
@@ -67,38 +70,44 @@ pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError
         serde_json::to_writer(&mut w, loc)?;
         writeln!(w)?;
     }
+    w.flush()?;
     Ok(())
 }
 
-/// Read a trace written by [`write_jsonl`].
-pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
-    let mut lines = r.lines();
-    let mut next_line = |what: &str| -> Result<String, TraceIoError> {
+/// Read a trace written by [`write_jsonl`]. One `String` line buffer is
+/// reused across the whole file — location streams can run to megabytes,
+/// and a per-line allocation (as `BufRead::lines` would do) dominates
+/// parse time on large traces.
+pub fn read_jsonl<R: BufRead>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut buf = String::new();
+    // Fill `buf` with the next non-blank line; false at end of input.
+    fn next_line<R: BufRead>(r: &mut R, buf: &mut String) -> Result<bool, TraceIoError> {
         loop {
-            match lines.next() {
-                Some(line) => {
-                    let line = line?;
-                    if !line.trim().is_empty() {
-                        return Ok(line);
-                    }
-                }
-                None => {
-                    return Err(TraceIoError::Format(format!(
-                        "truncated file: missing {what} header line"
-                    )))
-                }
+            buf.clear();
+            if r.read_line(buf)? == 0 {
+                return Ok(false);
+            }
+            if !buf.trim().is_empty() {
+                return Ok(true);
             }
         }
-    };
-    let regions: Vec<RegionMeta> = serde_json::from_str(&next_line("region-table")?)?;
-    let comms: Vec<CommDef> = serde_json::from_str(&next_line("communicator-table")?)?;
-    let mut locations = Vec::new();
-    for line in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    }
+    let header = |what: &str, buf: &mut String, r: &mut R| -> Result<(), TraceIoError> {
+        if next_line(r, buf)? {
+            Ok(())
+        } else {
+            Err(TraceIoError::Format(format!(
+                "truncated file: missing {what} header line"
+            )))
         }
-        let loc: LocationTrace = serde_json::from_str(&line)?;
+    };
+    header("region-table", &mut buf, &mut r)?;
+    let regions: Vec<RegionMeta> = serde_json::from_str(&buf)?;
+    header("communicator-table", &mut buf, &mut r)?;
+    let comms: Vec<CommDef> = serde_json::from_str(&buf)?;
+    let mut locations = Vec::new();
+    while next_line(&mut r, &mut buf)? {
+        let loc: LocationTrace = serde_json::from_str(&buf)?;
         locations.push(loc);
     }
     Ok(Trace::with_comms(regions, comms, locations))
@@ -155,6 +164,70 @@ mod tests {
         let back = read_jsonl(buf.as_slice()).unwrap();
         assert_eq!(back.regions, tr.regions);
         assert_eq!(back.locations, tr.locations);
+    }
+
+    /// A trace with several ranks and threads, a second region, and a
+    /// communicator table — every JSONL line kind at once.
+    fn multi_location_sample() -> Trace {
+        let regions = vec![
+            crate::region::RegionMeta {
+                name: "work".into(),
+                kind: RegionKind::Work,
+            },
+            crate::region::RegionMeta {
+                name: "MPI_Send".into(),
+                kind: RegionKind::MpiP2p,
+            },
+        ];
+        let locations = (0..3u32)
+            .flat_map(|rank| {
+                (0..2u32).map(move |thread| LocationTrace {
+                    location: LocationId { rank, thread },
+                    events: (0..4u64)
+                        .map(|i| {
+                            let region = RegionId(((i / 2) % 2) as u32);
+                            Event::new(
+                                VTime(10 * (i + 1)),
+                                if i % 2 == 0 {
+                                    EventKind::Enter { region }
+                                } else {
+                                    EventKind::Exit { region }
+                                },
+                            )
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        Trace::with_comms(
+            regions,
+            vec![
+                crate::trace::CommDef {
+                    id: 0,
+                    members: vec![0, 1, 2],
+                },
+                crate::trace::CommDef {
+                    id: 1,
+                    members: vec![0, 2],
+                },
+            ],
+            locations,
+        )
+    }
+
+    #[test]
+    fn jsonl_roundtrip_multi_location() {
+        let tr = multi_location_sample();
+        assert_eq!(tr.num_locations(), 6);
+        let mut buf = Vec::new();
+        write_jsonl(&tr, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.regions, tr.regions);
+        assert_eq!(back.comms, tr.comms);
+        assert_eq!(back.locations, tr.locations);
+        // And through the single-document format too.
+        let doc = from_json(&to_json(&tr)).unwrap();
+        assert_eq!(doc.locations, tr.locations);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! The parallel experiment engine's contract: any worker count yields
+//! the same rows in the same order, and the oversubscription guard keeps
+//! `jobs × nprocs` within the thread budget — so sweeps can saturate the
+//! host without changing a single result.
+
+use ats::harness::experiment::{Experiment, Sweep};
+use ats::harness::{pool, ExperimentRow, RunOpts};
+
+/// A severity × nprocs sweep per ISSUE 1: `late_sender` sweeps its
+/// severity knob, `imbalance_at_mpi_barrier` its repetition count, both
+/// across a process grid.
+fn epos_sweep(property: &str, jobs: usize) -> Experiment {
+    let e = Experiment::new(property).procs_grid([2, 4, 8]);
+    let e = match property {
+        "late_sender" => e.sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02, 0.04])),
+        "imbalance_at_mpi_barrier" => e.sweep(Sweep::counts("r", [1, 2, 4])),
+        other => panic!("no sweep shape for {other}"),
+    };
+    e.opts(RunOpts::default().jobs(jobs))
+}
+
+fn rendered(rows: &[ExperimentRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("rows serialize")
+}
+
+#[test]
+fn jobs_one_and_jobs_eight_rows_are_identical() {
+    for property in ["late_sender", "imbalance_at_mpi_barrier"] {
+        let (serial_rows, serial_stats) = epos_sweep(property, 1).run_with_stats().unwrap();
+        let (parallel_rows, parallel_stats) = epos_sweep(property, 8).run_with_stats().unwrap();
+        assert_eq!(serial_stats.jobs, 1);
+        assert!(parallel_stats.jobs > 1, "jobs=8 must run a real pool");
+        assert_eq!(serial_rows.len(), 12, "3 procs × 4 knob values");
+        // Same order, same severities — byte-identical serialized rows.
+        assert_eq!(
+            rendered(&serial_rows),
+            rendered(&parallel_rows),
+            "{property}: parallel rows diverge from serial rows"
+        );
+        // The sweep really sweeps: severities are positive everywhere and
+        // the knob ordering survives within each process count.
+        for r in &serial_rows {
+            assert!(r.detected_severity > 0.0, "{property}: {r:?}");
+            assert!(r.localized, "{property}: {r:?}");
+        }
+    }
+}
+
+#[test]
+fn guard_keeps_rank_threads_within_budget() {
+    let (_, stats) = epos_sweep("late_sender", 64)
+        .opts(RunOpts::default().jobs(64).thread_budget(24))
+        .run_with_stats()
+        .unwrap();
+    assert_eq!(stats.thread_budget, 24);
+    assert_eq!(stats.max_nprocs, 8);
+    assert_eq!(stats.jobs, 3, "64 requested, 24/8 = 3 granted");
+    assert!(stats.jobs * stats.max_nprocs <= stats.thread_budget);
+}
+
+#[test]
+fn auto_jobs_resolves_to_host_parallelism() {
+    let (_, stats) = epos_sweep("imbalance_at_mpi_barrier", 0)
+        .run_with_stats()
+        .unwrap();
+    assert_eq!(stats.jobs_requested, pool::auto_jobs());
+    assert!(stats.jobs >= 1);
+    let per_config = stats.config_wall_secs.len();
+    assert_eq!(per_config, stats.configs);
+    assert!(stats.config_wall_secs.iter().all(|s| *s >= 0.0));
+}
