@@ -1,0 +1,97 @@
+//! Trace ingestion: on-disk trace → [`Trace`] → [`AnalysisReport`].
+//!
+//! The analyzer consumes traces straight through the typed readers in
+//! `ats-trace` — [`read_auto`] deserializes JSONL lines directly into
+//! `Trace` structures and the ATSB binary codec decodes columns into event
+//! vectors, so no intermediate `serde_json::Value` tree (or any other
+//! dynamic representation) is ever built. On artifact-sized binary traces
+//! that makes ingestion allocation-bound on the event vectors alone.
+
+use crate::{analyze, AnalysisReport, AnalyzerConfig};
+use ats_trace::io::{read_auto, read_path, TraceIoError};
+use ats_trace::Trace;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Load a trace from `path`, sniffing the format (ATSB binary or JSONL).
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    read_path(path)
+}
+
+/// Read a trace from `r` (either format) and analyze it, returning both
+/// the trace and the report (rendering a report needs the trace).
+pub fn analyze_reader<R: BufRead>(
+    r: R,
+    config: &AnalyzerConfig,
+) -> Result<(Trace, AnalysisReport), TraceIoError> {
+    let trace = read_auto(r)?;
+    let report = analyze(&trace, config);
+    Ok((trace, report))
+}
+
+/// [`analyze_reader`] for a file path.
+pub fn analyze_path(
+    path: impl AsRef<Path>,
+    config: &AnalyzerConfig,
+) -> Result<(Trace, AnalysisReport), TraceIoError> {
+    let trace = load_trace(path)?;
+    let report = analyze(&trace, config);
+    Ok((trace, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_core::{properties::mpi_p2p, BaseComm};
+    use ats_mpi::SimConfig;
+    use ats_trace::io::TraceFormat;
+
+    fn late_sender_trace() -> Trace {
+        ats_mpi::run(SimConfig::with_procs(2), |p| {
+            let world = p.comm_world();
+            mpi_p2p::late_sender(p, &BaseComm::default(), 0.002, 0.02, 2, &world);
+        })
+    }
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ats-ingest-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn analyze_path_matches_in_memory_analysis_for_both_formats() {
+        let trace = late_sender_trace();
+        let direct = analyze(&trace, &AnalyzerConfig::default());
+        for (format, name) in [
+            (TraceFormat::Binary, "bin.atsb"),
+            (TraceFormat::Jsonl, "text.jsonl"),
+        ] {
+            let path = temp_file(name);
+            let file = std::fs::File::create(&path).unwrap();
+            format.write(&trace, file).unwrap();
+            let (loaded, report) = analyze_path(&path, &AnalyzerConfig::default()).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(loaded.locations, trace.locations, "{format}");
+            assert_eq!(
+                serde_json::to_string(&report.findings).unwrap(),
+                serde_json::to_string(&direct.findings).unwrap(),
+                "{format}: findings diverge from in-memory analysis"
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_reader_round_trips_binary_in_memory() {
+        let trace = late_sender_trace();
+        let mut buf = Vec::new();
+        ats_trace::binfmt::write_binary(&trace, &mut buf).unwrap();
+        let (loaded, report) = analyze_reader(buf.as_slice(), &AnalyzerConfig::default()).unwrap();
+        assert_eq!(loaded.locations, trace.locations);
+        assert!(report.severity_of("LateSender") > 0.0);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_trace("/nonexistent/ats-trace.atsb").unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+    }
+}

@@ -36,6 +36,7 @@ pub mod analyzer;
 pub mod asl;
 pub mod callpath;
 pub mod extract;
+pub mod ingest;
 pub mod patterns;
 pub mod phases;
 pub mod property;
@@ -44,6 +45,7 @@ pub mod severity;
 
 pub use analyzer::{analyze, AnalyzerConfig};
 pub use callpath::{PathId, PathTable};
+pub use ingest::{analyze_path, analyze_reader, load_trace};
 pub use phases::{analyze_phases, PhaseReport, PhaseSeries};
 pub use property::PropertyKind;
 pub use report::{diff, AnalysisReport, DiffEntry, Finding};

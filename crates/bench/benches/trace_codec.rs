@@ -1,0 +1,52 @@
+//! Criterion benchmark of the on-disk trace codecs: ATSB columnar binary
+//! vs JSONL encode/decode throughput on the figure-3.4 composite trace.
+//! Tracks the ISSUE-2 tentpole — artifact I/O was JSONL-only and
+//! allocation-heavy; a regression in the binary path would show here
+//! first. `trace_bench` (a bin, run in CI) records the same comparison as
+//! `BENCH_trace.json`.
+
+use ats_trace::{binfmt, io};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn codec_throughput(c: &mut Criterion) {
+    let trace = ats_bench::figure34_trace(8);
+    let mut jsonl = Vec::new();
+    io::write_jsonl(&trace, &mut jsonl).expect("jsonl encode");
+    let binary = binfmt::encode(&trace);
+
+    let mut g = c.benchmark_group("trace_codec");
+    g.throughput(Throughput::Bytes(jsonl.len() as u64));
+    g.bench_function("encode_jsonl", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            io::write_jsonl(black_box(&trace), &mut buf).unwrap();
+            black_box(buf)
+        })
+    });
+    g.bench_function("decode_jsonl", |b| {
+        b.iter(|| black_box(io::read_jsonl(black_box(jsonl.as_slice())).unwrap()))
+    });
+    g.throughput(Throughput::Bytes(binary.len() as u64));
+    g.bench_function("encode_binary", |b| {
+        b.iter(|| black_box(binfmt::encode(black_box(&trace))))
+    });
+    g.bench_function("decode_binary", |b| {
+        b.iter(|| black_box(binfmt::decode(black_box(&binary)).unwrap()))
+    });
+    g.finish();
+}
+
+fn auto_sniff(c: &mut Criterion) {
+    let trace = ats_bench::figure34_trace(8);
+    let binary = binfmt::encode(&trace);
+    let mut g = c.benchmark_group("trace_read_auto");
+    g.throughput(Throughput::Bytes(binary.len() as u64));
+    g.bench_function("binary", |b| {
+        b.iter(|| black_box(io::read_auto(black_box(&binary[..])).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, codec_throughput, auto_sniff);
+criterion_main!(benches);

@@ -1,32 +1,32 @@
-//! A standalone EXPERT-like analysis CLI: reads a JSONL trace produced by
-//! the suite (or runs a named property function) and prints the analysis.
+//! A standalone EXPERT-like analysis CLI: reads a stored trace (ATSB
+//! binary or JSONL, auto-detected) or runs a named property function, and
+//! prints the analysis. Optionally saves the analyzed trace back to disk.
 //!
 //! Usage:
-//!   expert_cli --trace FILE.jsonl
+//!   expert_cli --trace FILE
 //!   expert_cli --run PROPERTY [key=value ...] [--procs N]
+//!   ... [--save FILE] [--format {jsonl,binary}]   (default format: binary)
 
 use ats_analyzer::{analyze, AnalyzerConfig};
+use ats_bench::{flag, format_flag, split_flags};
 use ats_harness::{run_single, ParamValues, RunOpts};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = if let Some(i) = args.iter().position(|a| a == "--trace") {
-        let path = args.get(i + 1).expect("--trace needs a file");
-        let file = std::fs::File::open(path).expect("open trace");
-        ats_trace::io::read_jsonl(std::io::BufReader::new(file)).expect("parse trace")
-    } else if let Some(i) = args.iter().position(|a| a == "--run") {
-        let name = args.get(i + 1).expect("--run needs a property").clone();
-        let spec = ats_core::catalog::find(&name).unwrap_or_else(|| {
+    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
+    let trace = if let Some(path) = flag(&flags, "trace") {
+        ats_trace::io::read_path(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })
+    } else if let Some(name) = flag(&flags, "run") {
+        let spec = ats_core::catalog::find(name).unwrap_or_else(|| {
             eprintln!("unknown property `{name}`; see the `catalog` binary");
             std::process::exit(2);
         });
-        let procs = args
-            .iter()
-            .position(|a| a == "--procs")
-            .and_then(|i| args.get(i + 1))
+        let procs = flag(&flags, "procs")
             .and_then(|v| v.parse().ok())
             .unwrap_or(8);
-        let kv: Vec<&str> = args[i + 2..]
+        let kv: Vec<&str> = positionals
             .iter()
             .map(String::as_str)
             .filter(|a| a.contains('='))
@@ -35,13 +35,28 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         });
-        run_single(&name, &params, &RunOpts::default().procs(procs)).expect("in catalog")
+        run_single(name, &params, &RunOpts::default().procs(procs)).expect("in catalog")
     } else {
         eprintln!(
-            "usage: expert_cli --trace FILE.jsonl | --run PROPERTY [key=value ...] [--procs N]"
+            "usage: expert_cli --trace FILE | --run PROPERTY [key=value ...] [--procs N]\n\
+             \x20      [--save FILE] [--format {{jsonl,binary}}]"
         );
         std::process::exit(2);
     };
+    if let Some(path) = flag(&flags, "save") {
+        let format = format_flag(&flags);
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        format
+            .write(&trace, std::io::BufWriter::new(file))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("saved {format} trace to {path}");
+    }
     let report = analyze(&trace, &AnalyzerConfig::default());
     println!("{}", report.render(&trace));
 }

@@ -2,18 +2,20 @@
 //! executions of the single-property test program for
 //! `imbalance_at_mpi_barrier` with different parameters.
 //!
-//! Usage: `figure32 [nprocs] [--svg DIR]`
+//! Usage: `figure32 [nprocs] [--svg DIR] [--trace-dir DIR] [--format {jsonl,binary}]`
 
+use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
 use ats_harness::timeline;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let nprocs = args.first().and_then(|a| a.parse().ok()).unwrap_or(8usize);
-    let svg_dir = args
-        .iter()
-        .position(|a| a == "--svg")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
+    let nprocs = positionals
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8usize);
+    let svg_dir = flag(&flags, "svg");
+    let trace_dir = flag(&flags, "trace-dir");
+    let format = format_flag(&flags);
 
     println!("=== Figure 3.2: single-property test program, two parameterizations ===");
     println!("(program: imbalance_at_mpi_barrier; {nprocs} ranks; realistic model");
@@ -33,9 +35,14 @@ fn main() {
         println!(
             "(the paper notes the init/finalize overhead property is 'hard to avoid\n in the view of the small sizes of the test programs')\n"
         );
-        if let Some(dir) = &svg_dir {
+        if let Some(dir) = svg_dir {
             let path = format!("{dir}/figure32_run{}.svg", idx + 1);
             std::fs::write(&path, timeline::render_svg(&trace, 400)).expect("write svg");
+            println!("wrote {path}");
+        }
+        if let Some(dir) = trace_dir {
+            let stem = format!("figure32_run{}", idx + 1);
+            let path = write_trace_artifact(&trace, dir, &stem, format);
             println!("wrote {path}");
         }
     }

@@ -3,18 +3,20 @@
 //! severities — "to quickly determine how many different performance
 //! properties can be detected by a performance tool".
 //!
-//! Usage: `figure33 [nprocs] [--svg DIR]`
+//! Usage: `figure33 [nprocs] [--svg DIR] [--trace-dir DIR] [--format {jsonl,binary}]`
 
+use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
 use ats_harness::timeline;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let nprocs = args.first().and_then(|a| a.parse().ok()).unwrap_or(8usize);
-    let svg_dir = args
-        .iter()
-        .position(|a| a == "--svg")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
+    let nprocs = positionals
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8usize);
+    let svg_dir = flag(&flags, "svg");
+    let trace_dir = flag(&flags, "trace-dir");
+    let format = format_flag(&flags);
 
     println!("=== Figure 3.3: all MPI property functions in one program ===\n");
     let trace = ats_bench::figure33_trace(nprocs);
@@ -37,9 +39,13 @@ fn main() {
             report.severity_of(prop) * 100.0
         );
     }
-    if let Some(dir) = &svg_dir {
+    if let Some(dir) = svg_dir {
         let path = format!("{dir}/figure33.svg");
         std::fs::write(&path, timeline::render_svg(&trace, 500)).expect("write svg");
+        println!("wrote {path}");
+    }
+    if let Some(dir) = trace_dir {
+        let path = write_trace_artifact(&trace, dir, "figure33", format);
         println!("wrote {path}");
     }
 }

@@ -2,18 +2,20 @@
 //! functions executing in parallel in different communicators (lower half:
 //! point-to-point set; upper half: collective set).
 //!
-//! Usage: `figure34 [nprocs] [--svg DIR]`
+//! Usage: `figure34 [nprocs] [--svg DIR] [--trace-dir DIR] [--format {jsonl,binary}]`
 
+use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
 use ats_harness::timeline;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let nprocs = args.first().and_then(|a| a.parse().ok()).unwrap_or(16usize);
-    let svg_dir = args
-        .iter()
-        .position(|a| a == "--svg")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
+    let nprocs = positionals
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16usize);
+    let svg_dir = flag(&flags, "svg");
+    let trace_dir = flag(&flags, "trace-dir");
+    let format = format_flag(&flags);
 
     println!("=== Figure 3.4: two communicators, different property sets in parallel ===");
     println!(
@@ -30,9 +32,13 @@ fn main() {
     for c in &trace.comms {
         println!("  comm {:>2}: members {:?}", c.id, c.members);
     }
-    if let Some(dir) = &svg_dir {
+    if let Some(dir) = svg_dir {
         let path = format!("{dir}/figure34.svg");
         std::fs::write(&path, timeline::render_svg(&trace, 500)).expect("write svg");
+        println!("wrote {path}");
+    }
+    if let Some(dir) = trace_dir {
+        let path = write_trace_artifact(&trace, dir, "figure34", format);
         println!("wrote {path}");
     }
 }

@@ -6,14 +6,38 @@
 //! `MPI_Bcast()` call inside `late_broadcast()`, and attributes it to the
 //! upper communicator's non-root ranks (communicator-local root 1).
 //!
-//! Usage: `figure35 [nprocs]`
+//! With `--trace FILE` the analysis runs on a stored trace artifact
+//! (e.g. one written by `figure34 --trace-dir`; ATSB binary or JSONL,
+//! auto-detected) instead of re-executing the composite program.
+//!
+//! Usage: `figure35 [nprocs] [--trace FILE]`
+
+use ats_bench::{flag, split_flags};
 
 fn main() {
-    let nprocs = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(16usize);
-    let trace = ats_bench::figure34_trace(nprocs);
+    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
+    let (trace, nprocs) = match flag(&flags, "trace") {
+        Some(path) => {
+            let trace = ats_trace::io::read_path(path).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            });
+            let nprocs = trace
+                .locations
+                .iter()
+                .map(|l| l.location.rank as usize + 1)
+                .max()
+                .unwrap_or(0);
+            (trace, nprocs)
+        }
+        None => {
+            let nprocs = positionals
+                .first()
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(16usize);
+            (ats_bench::figure34_trace(nprocs), nprocs)
+        }
+    };
     let report = ats_analyzer::analyze(&trace, &ats_analyzer::AnalyzerConfig::default());
     println!("{}", report.render(&trace));
 

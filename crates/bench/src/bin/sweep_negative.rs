@@ -4,17 +4,25 @@
 //!
 //! The process-count axis rides the experiment engine's `procs_grid`, so
 //! all 12 configurations per property execute on the worker pool at once.
+//! With `--trace-dir DIR` each property's default-parameter trace is
+//! stored as an artifact (`--format` selects the encoding; default: ATSB
+//! binary).
 //!
-//! Usage: `sweep_negative [jobs]`   (`jobs 0` = all cores)
+//! Usage: `sweep_negative [jobs] [--trace-dir DIR] [--format {jsonl,binary}]`
+//!        (`jobs 0` = all cores)
 
+use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
 use ats_harness::experiment::{Experiment, Sweep};
-use ats_harness::RunOpts;
+use ats_harness::{run_single, ParamValues, RunOpts};
 
 fn main() {
-    let jobs: usize = std::env::args()
-        .nth(1)
+    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
+    let jobs: usize = positionals
+        .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(0);
+    let trace_dir = flag(&flags, "trace-dir");
+    let format = format_flag(&flags);
     println!("=== E-neg: false-positive scan over the negative catalog ===\n");
     let mut all_ok = true;
     let mut total_configs = 0usize;
@@ -41,6 +49,13 @@ fn main() {
             rows.len(),
             if ok { "ok" } else { "FAIL" }
         );
+        if let Some(dir) = trace_dir {
+            let params = ParamValues::defaults(spec);
+            let trace =
+                run_single(spec.name, &params, &RunOpts::default().procs(4)).expect("runnable");
+            let path = write_trace_artifact(&trace, dir, spec.name, format);
+            println!("  wrote {path}");
+        }
     }
     println!(
         "\n{total_configs} configs in {total_secs:.2}s = {:.1} configs/sec",

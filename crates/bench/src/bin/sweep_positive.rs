@@ -3,14 +3,20 @@
 //! analyzer's detected severity tracks it monotonically (Kendall tau = 1).
 //!
 //! Configurations execute on the harness's bounded worker pool; rows are
-//! deterministic (combo-ordered) for any `jobs` value. The run also emits
-//! a machine-readable `BENCH_sweep.json` (override the path with
-//! `ATS_BENCH_JSON`) so sweep throughput is tracked across revisions.
+//! deterministic (combo-ordered) for any `jobs` value, and event buffers
+//! are recycled between configurations through the harness's trace pool.
+//! The run also emits a machine-readable `BENCH_sweep.json` (override the
+//! path with `ATS_BENCH_JSON`) so sweep throughput is tracked across
+//! revisions. With `--trace-dir DIR` it additionally stores each
+//! property's default-parameter trace as an artifact (`--format` selects
+//! the encoding; default: ATSB binary).
 //!
-//! Usage: `sweep_positive [nprocs] [jobs]`   (`jobs 0` = all cores)
+//! Usage: `sweep_positive [nprocs] [jobs] [--trace-dir DIR] [--format {jsonl,binary}]`
+//!        (`jobs 0` = all cores)
 
+use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
 use ats_harness::experiment::{kendall_tau, to_markdown, Experiment, Sweep};
-use ats_harness::{pool, RunOpts};
+use ats_harness::{pool, run_single, ParamValues, RunOpts};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,9 +33,12 @@ struct SweepBenchDoc {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
+    let mut args = positionals.into_iter();
     let nprocs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
     let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let trace_dir = flag(&flags, "trace-dir");
+    let format = format_flag(&flags);
     let knobs = [0.005, 0.01, 0.02, 0.04, 0.08];
     println!("=== E-pos: severity tracking across the positive catalog ===\n");
     let mut all_ok = true;
@@ -62,8 +71,8 @@ fn main() {
         let exp = match knob {
             Some(k) => Experiment::new(spec.name)
                 .sweep(Sweep::seconds(k, knobs))
-                .opts(opts),
-            None => Experiment::new(spec.name).opts(opts),
+                .opts(opts.clone()),
+            None => Experiment::new(spec.name).opts(opts.clone()),
         };
         let (rows, stats) = exp.run_with_stats().expect("runnable");
         properties += 1;
@@ -91,6 +100,12 @@ fn main() {
         );
         if std::env::var("ATS_VERBOSE").is_ok() {
             println!("{}", to_markdown(&rows));
+        }
+        if let Some(dir) = trace_dir {
+            let params = ParamValues::defaults(spec);
+            let trace = run_single(spec.name, &params, &opts).expect("runnable");
+            let path = write_trace_artifact(&trace, dir, spec.name, format);
+            println!("  wrote {path}");
         }
     }
     let doc = SweepBenchDoc {

@@ -1,0 +1,143 @@
+//! Trace-codec benchmark: sizes and encode/decode throughput of the ATSB
+//! columnar binary format against the JSONL text format, measured on the
+//! Figure 3.4 composite trace. Emits a machine-readable `BENCH_trace.json`
+//! (override the path with `ATS_BENCH_JSON`) so codec performance is
+//! tracked across revisions, and fails if the binary form loses the ≥5×
+//! size advantage the format exists for — or worse, stops round-tripping.
+//!
+//! Usage: `trace_bench [nprocs] [reps]`   (defaults: 16 ranks, 5 reps)
+
+use ats_trace::{binfmt, io};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct TraceBenchDoc {
+    experiment: &'static str,
+    nprocs: usize,
+    events: usize,
+    reps: usize,
+    jsonl_bytes: usize,
+    binary_bytes: usize,
+    /// `jsonl_bytes / binary_bytes` — the size advantage.
+    size_ratio: f64,
+    jsonl_encode_secs: f64,
+    jsonl_decode_secs: f64,
+    binary_encode_secs: f64,
+    binary_decode_secs: f64,
+    /// Throughput over each format's own byte volume, best-of-`reps`.
+    binary_encode_mb_per_sec: f64,
+    binary_decode_mb_per_sec: f64,
+    jsonl_encode_mb_per_sec: f64,
+    jsonl_decode_mb_per_sec: f64,
+    /// `jsonl_secs / binary_secs` — the wall-clock advantage.
+    encode_speedup: f64,
+    decode_speedup: f64,
+}
+
+/// Best-of-`reps` wall time for `f`, plus its (last) result.
+fn timed<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn mb_per_sec(bytes: usize, secs: f64) -> f64 {
+    if secs > 0.0 {
+        bytes as f64 / 1e6 / secs
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nprocs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5).max(1);
+    println!("=== trace codec: ATSB binary vs JSONL on the figure-3.4 composite ===\n");
+    let trace = ats_bench::figure34_trace(nprocs);
+    let events = trace.num_events();
+
+    let (jsonl_encode_secs, jsonl) = timed(reps, || {
+        let mut buf = Vec::new();
+        io::write_jsonl(&trace, &mut buf).expect("jsonl encode");
+        buf
+    });
+    let (jsonl_decode_secs, from_jsonl) = timed(reps, || {
+        io::read_jsonl(jsonl.as_slice()).expect("jsonl decode")
+    });
+    let (binary_encode_secs, binary) = timed(reps, || binfmt::encode(&trace));
+    let (binary_decode_secs, from_binary) =
+        timed(reps, || binfmt::decode(&binary).expect("binary decode"));
+
+    let original = serde_json::to_string(&trace).expect("trace serializes");
+    let lossless = serde_json::to_string(&from_binary).expect("trace serializes") == original
+        && serde_json::to_string(&from_jsonl).expect("trace serializes") == original;
+
+    let doc = TraceBenchDoc {
+        experiment: "trace-codec",
+        nprocs,
+        events,
+        reps,
+        jsonl_bytes: jsonl.len(),
+        binary_bytes: binary.len(),
+        size_ratio: jsonl.len() as f64 / binary.len() as f64,
+        jsonl_encode_secs,
+        jsonl_decode_secs,
+        binary_encode_secs,
+        binary_decode_secs,
+        binary_encode_mb_per_sec: mb_per_sec(binary.len(), binary_encode_secs),
+        binary_decode_mb_per_sec: mb_per_sec(binary.len(), binary_decode_secs),
+        jsonl_encode_mb_per_sec: mb_per_sec(jsonl.len(), jsonl_encode_secs),
+        jsonl_decode_mb_per_sec: mb_per_sec(jsonl.len(), jsonl_decode_secs),
+        encode_speedup: jsonl_encode_secs / binary_encode_secs.max(1e-12),
+        decode_speedup: jsonl_decode_secs / binary_decode_secs.max(1e-12),
+    };
+    println!(
+        "{nprocs} ranks, {events} events: jsonl {} B, binary {} B ({:.1}x smaller)",
+        doc.jsonl_bytes, doc.binary_bytes, doc.size_ratio
+    );
+    println!(
+        "encode: jsonl {:.3} ms, binary {:.3} ms ({:.1}x faster, {:.0} MB/s)",
+        jsonl_encode_secs * 1e3,
+        binary_encode_secs * 1e3,
+        doc.encode_speedup,
+        doc.binary_encode_mb_per_sec
+    );
+    println!(
+        "decode: jsonl {:.3} ms, binary {:.3} ms ({:.1}x faster, {:.0} MB/s)",
+        jsonl_decode_secs * 1e3,
+        binary_decode_secs * 1e3,
+        doc.decode_speedup,
+        doc.binary_decode_mb_per_sec
+    );
+    println!("round-trip lossless (both formats): {lossless}");
+
+    let json_path =
+        std::env::var("ATS_BENCH_JSON").unwrap_or_else(|_| "BENCH_trace.json".to_owned());
+    match std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&doc).expect("doc serializes"),
+    ) {
+        Ok(()) => println!("-> {json_path}"),
+        Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+    }
+
+    // Losslessness and the size floor are structural properties of the
+    // codec and gate the exit code; the wall-clock speedups are reported
+    // but not gated (CI machines are too noisy for hard timing asserts).
+    let ok = lossless && doc.size_ratio >= 5.0;
+    if !ok {
+        eprintln!(
+            "FAIL: lossless={lossless}, size_ratio={:.2} (need >= 5)",
+            doc.size_ratio
+        );
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

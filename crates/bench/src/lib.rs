@@ -23,7 +23,7 @@ use ats_core::CompositeParams;
 use ats_harness::registry::{run_composite_all_mpi, run_composite_two_comms};
 use ats_harness::RunOpts;
 use ats_runtime::VDur;
-use ats_trace::Trace;
+use ats_trace::{Trace, TraceFormat};
 
 /// Shared configuration for the figure binaries: the paper's programs at
 /// reproduction scale.
@@ -83,6 +83,72 @@ pub fn figure34_trace(nprocs: usize) -> Trace {
 /// Default per-step work used in overhead measurements.
 pub const OVERHEAD_STEP: VDur = VDur(2_000_000); // 2ms
 
+/// Split raw CLI arguments into positionals and `--name value` flag pairs.
+///
+/// The figure and sweep binaries take a couple of positional arguments
+/// (`nprocs`, `jobs`) plus optional flags (`--svg DIR`, `--trace-dir DIR`,
+/// `--format FMT`); this keeps their hand-rolled parsing uniform. A flag
+/// without a value is a usage error (exit code 2).
+pub fn split_flags(args: Vec<String>) -> (Vec<String>, Vec<(String, String)>) {
+    let mut positionals = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.strip_prefix("--") {
+            Some(name) => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("flag --{name} needs a value");
+                    std::process::exit(2);
+                });
+                flags.push((name.to_owned(), value));
+            }
+            None => positionals.push(arg),
+        }
+    }
+    (positionals, flags)
+}
+
+/// Look up a flag by name in the pairs produced by [`split_flags`].
+pub fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Resolve the `--format` flag: absent means the artifact default
+/// ([`TraceFormat::Binary`]); an unknown value is a usage error.
+pub fn format_flag(flags: &[(String, String)]) -> TraceFormat {
+    match flag(flags, "format") {
+        None => TraceFormat::default(),
+        Some(v) => match v.parse() {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Write `trace` as `dir/stem.{ext}` in `format` and return the path.
+/// I/O failures are fatal: an artifact run that cannot save its artifacts
+/// should fail loudly, not half-succeed.
+pub fn write_trace_artifact(trace: &Trace, dir: &str, stem: &str, format: TraceFormat) -> String {
+    let path = format!("{dir}/{stem}.{}", format.extension());
+    let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    });
+    format
+        .write(trace, std::io::BufWriter::new(file))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +167,37 @@ mod tests {
         let t = figure34_trace(8);
         // world + two halves.
         assert!(t.comms.len() >= 3, "comms: {:?}", t.comms);
+    }
+
+    #[test]
+    fn split_flags_separates_positionals_and_pairs() {
+        let (pos, flags) = split_flags(vec![
+            "8".to_owned(),
+            "--svg".to_owned(),
+            "out".to_owned(),
+            "extrawork=0.02".to_owned(),
+        ]);
+        assert_eq!(pos, ["8", "extrawork=0.02"]);
+        assert_eq!(flag(&flags, "svg"), Some("out"));
+        assert_eq!(flag(&flags, "format"), None);
+        assert_eq!(format_flag(&flags), TraceFormat::Binary);
+        let (_, flags) = split_flags(vec!["--format".to_owned(), "jsonl".to_owned()]);
+        assert_eq!(format_flag(&flags), TraceFormat::Jsonl);
+    }
+
+    #[test]
+    fn trace_artifacts_round_trip_in_both_formats() {
+        let trace = figure34_trace(4);
+        let dir = std::env::temp_dir().join(format!("ats-artifact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_str().unwrap();
+        for format in [TraceFormat::Binary, TraceFormat::Jsonl] {
+            let path = write_trace_artifact(&trace, dir_s, "figure34", format);
+            assert!(path.ends_with(format.extension()), "{path}");
+            let loaded = ats_trace::io::read_path(&path).unwrap();
+            assert_eq!(loaded.locations, trace.locations, "{format}");
+            std::fs::remove_file(&path).ok();
+        }
+        std::fs::remove_dir(&dir).ok();
     }
 }

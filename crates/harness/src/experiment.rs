@@ -13,6 +13,7 @@ use crate::pool;
 use crate::registry::{run_single, spec_of, RunError, RunOpts};
 use ats_analyzer::{analyze, AnalyzerConfig};
 use ats_core::catalog::PropertySpec;
+use ats_trace::{PoolStats, TracePool};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -93,6 +94,9 @@ pub struct ExperimentStats {
     pub configs_per_sec: f64,
     /// Per-configuration wall-clock, in cartesian-combo order.
     pub config_wall_secs: Vec<f64>,
+    /// Event-buffer pool counters for the sweep (reuse hits/misses and
+    /// buffers recycled). Capacity reuse only — rows are unaffected.
+    pub trace_pool: PoolStats,
 }
 
 /// A family of runs over one property.
@@ -187,11 +191,16 @@ impl Experiment {
         };
         let jobs = pool::effective_jobs(jobs_requested, max_nprocs, thread_budget)
             .min(configs.len().max(1));
+        // All workers share one event-buffer pool: each finished (analyzed)
+        // trace donates its grown vectors to whichever configuration runs
+        // next. Capacity reuse only — rows stay byte-identical for any
+        // `jobs` value.
+        let trace_pool = self.opts.trace_pool.clone().unwrap_or_default();
         let started = Instant::now();
         let outcomes = pool::run_indexed(jobs, configs.len(), |i| {
             let (nprocs, combo) = configs[i];
             let config_started = Instant::now();
-            let row = self.run_config(spec, nprocs, combo);
+            let row = self.run_config(spec, nprocs, combo, &trace_pool);
             (row, config_started.elapsed().as_secs_f64())
         });
         let wall_secs = started.elapsed().as_secs_f64();
@@ -214,6 +223,7 @@ impl Experiment {
                 0.0
             },
             config_wall_secs,
+            trace_pool: trace_pool.stats(),
         };
         Ok((rows, stats))
     }
@@ -224,12 +234,17 @@ impl Experiment {
         spec: &'static PropertySpec,
         nprocs: usize,
         combo: &[(String, ParamValue)],
+        trace_pool: &TracePool,
     ) -> Result<ExperimentRow, RunError> {
         let mut params = ParamValues::defaults(spec);
         for (name, value) in combo {
             params.set(name, value.clone());
         }
-        let opts = self.opts.clone().procs(nprocs);
+        let opts = self
+            .opts
+            .clone()
+            .procs(nprocs)
+            .trace_pool(trace_pool.clone());
         let trace = run_single(&self.property, &params, &opts)?;
         let report = analyze(&trace, &self.analyzer);
         let total_alloc = trace.total_alloc_time().as_secs();
@@ -248,6 +263,10 @@ impl Experiment {
             }
             None => (0.0, report.is_clean(), report.findings.len()),
         };
+        let events = trace.num_events();
+        // The trace has been fully scored; donate its event buffers to the
+        // next configuration.
+        trace_pool.recycle(trace);
         Ok(ExperimentRow {
             property: self.property.clone(),
             params: params.to_cli(),
@@ -256,7 +275,7 @@ impl Experiment {
             detected_wait_secs: detected_severity * total_alloc,
             localized,
             unexpected_findings: unexpected,
-            events: trace.num_events(),
+            events,
         })
     }
 }
@@ -443,5 +462,54 @@ mod tests {
             .unwrap();
         assert_eq!(stats.jobs_requested, 64);
         assert_eq!(stats.jobs, 2, "64 workers × 8 ranks clamped to 16/8 = 2");
+    }
+
+    /// The engine pools event buffers between configurations: after the
+    /// first config primes the pool, later configs are served from
+    /// recycled capacity, and rows are unaffected.
+    #[test]
+    fn sweep_reuses_event_buffers_between_configs() {
+        let exp = |pool: TracePool| {
+            Experiment::new("late_sender")
+                .sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02]))
+                .opts(RunOpts::default().procs(4).jobs(1).trace_pool(pool))
+        };
+        let pool = TracePool::new();
+        let (rows, stats) = exp(pool.clone()).run_with_stats().unwrap();
+        let s = pool.stats();
+        assert_eq!(s.recycled, 3 * 4, "3 configs × 4 ranks recycled");
+        assert_eq!(s.misses, 4, "only the first config allocates");
+        assert_eq!(s.hits, 2 * 4, "configs 2 and 3 reuse config 1's buffers");
+        assert_eq!(stats.trace_pool, s);
+        // Identical rows without an external pool (the engine then uses a
+        // private one internally).
+        let baseline = Experiment::new("late_sender")
+            .sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02]))
+            .opts(RunOpts::default().procs(4).jobs(1))
+            .run()
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&rows).unwrap(),
+            serde_json::to_string(&baseline).unwrap(),
+            "pooling must not change any row"
+        );
+    }
+
+    /// A pool shared across parallel workers keeps rows byte-identical —
+    /// the determinism guarantee extends to pooled runs at any `jobs`.
+    #[test]
+    fn pooled_parallel_rows_match_pooled_serial_rows() {
+        let exp = |jobs: usize| {
+            Experiment::new("late_sender")
+                .sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02]))
+                .procs_grid([2, 4])
+                .opts(RunOpts::default().jobs(jobs).trace_pool(TracePool::new()))
+        };
+        let serial = exp(1).run().unwrap();
+        let parallel = exp(8).run().unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+        );
     }
 }

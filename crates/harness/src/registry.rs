@@ -12,7 +12,7 @@ use ats_core::{composite, properties, with_omp, BaseComm, CompositeParams};
 use ats_mpi::SimConfig;
 use ats_omp::OmpConfig;
 use ats_runtime::{MachineModel, VDur, WorkMode};
-use ats_trace::Trace;
+use ats_trace::{Trace, TracePool};
 
 /// How to execute a generated test program.
 #[derive(Debug, Clone)]
@@ -39,6 +39,11 @@ pub struct RunOpts {
     /// allowed at once (`jobs × nprocs ≤ budget`). `None` = an
     /// auto-derived budget (see `pool::default_thread_budget`).
     pub thread_budget: Option<usize>,
+    /// Event-buffer pool handed to every run launched through these
+    /// options (`None` = the experiment engine creates a private one per
+    /// sweep; single runs allocate fresh vectors). Pooling reuses capacity
+    /// only — traces and sweep rows are byte-identical with or without it.
+    pub trace_pool: Option<TracePool>,
 }
 
 impl Default for RunOpts {
@@ -53,6 +58,7 @@ impl Default for RunOpts {
             finalize_time: VDur::ZERO,
             jobs: 0,
             thread_budget: None,
+            trace_pool: None,
         }
     }
 }
@@ -76,6 +82,12 @@ impl RunOpts {
         self
     }
 
+    /// Builder: recycle event buffers through `pool` across runs.
+    pub fn trace_pool(mut self, pool: TracePool) -> Self {
+        self.trace_pool = Some(pool);
+        self
+    }
+
     /// Builder: use the default (non-zero) machine model with init/finalize
     /// costs, as a real 2002 cluster run would look.
     pub fn realistic(mut self) -> Self {
@@ -93,6 +105,7 @@ impl RunOpts {
             seed: self.seed,
             init_time: self.init_time,
             finalize_time: self.finalize_time,
+            trace_pool: self.trace_pool.clone(),
             ..Default::default()
         }
     }
@@ -102,6 +115,7 @@ impl RunOpts {
             model: self.model.clone(),
             work_mode: self.work_mode,
             seed: self.seed,
+            trace_pool: self.trace_pool.clone(),
             ..Default::default()
         }
     }

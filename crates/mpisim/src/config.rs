@@ -1,6 +1,7 @@
 //! Simulation run configuration.
 
 use ats_runtime::{MachineModel, VDur, WorkMode};
+use ats_trace::TracePool;
 use std::time::Duration;
 
 /// Configuration of one simulated MPI run.
@@ -30,6 +31,10 @@ pub struct SimConfig {
     /// Calibrated busy-loop rate for real work mode (`None` = library
     /// default; see [`ats_runtime::work::DEFAULT_ITERS_PER_SEC`]).
     pub calibration: Option<f64>,
+    /// Event-buffer pool the run's ranks draw from (`None` = fresh
+    /// vectors). Pooling reuses capacity only; recorded traces are
+    /// identical either way.
+    pub trace_pool: Option<TracePool>,
 }
 
 impl Default for SimConfig {
@@ -44,6 +49,7 @@ impl Default for SimConfig {
             instrumented: true,
             progress_timeout: Duration::from_secs(30),
             calibration: None,
+            trace_pool: None,
         }
     }
 }
@@ -85,6 +91,12 @@ impl SimConfig {
     pub fn setup_costs(mut self, init: VDur, finalize: VDur) -> Self {
         self.init_time = init;
         self.finalize_time = finalize;
+        self
+    }
+
+    /// Builder: draw event buffers from `pool` instead of allocating.
+    pub fn trace_pool(mut self, pool: TracePool) -> Self {
+        self.trace_pool = Some(pool);
         self
     }
 }

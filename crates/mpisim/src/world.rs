@@ -80,11 +80,14 @@ where
     F: Fn(&mut Proc) -> R + Sync,
 {
     assert!(config.nprocs > 0, "need at least one process");
-    let collector = if config.instrumented {
+    let mut collector = if config.instrumented {
         TraceCollector::new()
     } else {
         TraceCollector::disabled()
     };
+    if let Some(pool) = &config.trace_pool {
+        collector = collector.with_pool(pool.clone());
+    }
     // Pre-intern the substrate's region names in a fixed order so region
     // ids do not depend on which rank thread first reaches which call.
     {

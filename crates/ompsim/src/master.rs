@@ -69,6 +69,9 @@ pub struct OmpConfig {
     pub timeout: Duration,
     /// Real-work calibration.
     pub calibration: Option<f64>,
+    /// Event-buffer pool for the run's threads (`None` = fresh vectors).
+    /// Pooling reuses capacity only; recorded traces are identical.
+    pub trace_pool: Option<ats_trace::TracePool>,
 }
 
 impl Default for OmpConfig {
@@ -80,6 +83,7 @@ impl Default for OmpConfig {
             instrumented: true,
             timeout: Duration::from_secs(30),
             calibration: None,
+            trace_pool: None,
         }
     }
 }
@@ -197,11 +201,14 @@ pub fn run_omp<F>(config: OmpConfig, f: F) -> Trace
 where
     F: FnOnce(&mut SeqMaster),
 {
-    let collector = if config.instrumented {
+    let mut collector = if config.instrumented {
         TraceCollector::new()
     } else {
         TraceCollector::disabled()
     };
+    if let Some(pool) = &config.trace_pool {
+        collector = collector.with_pool(pool.clone());
+    }
     // Deterministic region-id assignment for the substrate's own names.
     for (name, kind) in [
         ("do_work", RegionKind::Work),

@@ -1,0 +1,865 @@
+//! Compact binary trace codec ("ATSB").
+//!
+//! JSONL traces are convenient to inspect but expensive at scale: a 16-rank
+//! composite run serializes every event as a self-describing JSON object,
+//! spending most of its bytes on key names and decimal digits and most of
+//! its time inside serde. This module provides the columnar on-disk format
+//! used for artifacts instead. Layout (all integers little-endian, `v` =
+//! LEB128 varint, `z` = zigzag varint):
+//!
+//! ```text
+//! magic "ATSB" | version u16 | flags u16
+//! region table:  count v, then per region: name-len v, name bytes, kind u8
+//! comm table:    count v, then per comm:   id v, member count v, members v*
+//! locations:     count v, then per location block:
+//!   rank v | thread v | event count n v
+//!   tag column      n × u8            (0=Enter 1=Exit 2=Send 3=Recv 4=CollEnd)
+//!   time column     n × z             (delta from previous event, wrapping)
+//!   Enter/Exit      region v          (in event order)
+//!   Send            to v*  comm v*  tag z*  bytes v*
+//!   Recv            from v* comm v* tag z* bytes v* posted z* (delta from time)
+//!   CollEnd         op u8* comm v* root v* (0=none, r+1) seq v* bytes v*
+//!                   entered z* (delta from time)
+//! ```
+//!
+//! Grouping same-typed fields into columns keeps each varint stream
+//! homogeneous (timestamps are near-monotone, ranks are small), which is
+//! where the size win over row-major encoding comes from. Timestamp and
+//! `posted`/`entered` deltas use *wrapping* subtraction, so the codec is
+//! lossless for arbitrary `u64` sequences — monotonicity is an invariant of
+//! well-formed traces, not of the format.
+//!
+//! Versioning policy: `VERSION` is bumped on any layout change; readers
+//! accept `1..=VERSION` and reject newer files with a clean
+//! [`TraceIoError::Format`] (never a panic), so old binaries fail loudly on
+//! future artifacts. The `flags` word is reserved (writers emit 0, readers
+//! ignore it) to leave room for backwards-compatible extensions.
+//!
+//! Decoding is strict: every read is bounds-checked, counts are validated
+//! against the remaining buffer before any allocation, unknown tags / kinds
+//! / ops and trailing garbage are format errors.
+
+use crate::event::{CollOp, Event, EventKind, LocationId};
+use crate::io::TraceIoError;
+use crate::region::{RegionId, RegionKind, RegionMeta};
+use crate::trace::{CommDef, LocationTrace, Trace};
+use ats_runtime::VTime;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+/// File magic: the first four bytes of every binary trace.
+pub const MAGIC: [u8; 4] = *b"ATSB";
+
+/// Current (and newest understood) format version.
+pub const VERSION: u16 = 1;
+
+const TAG_ENTER: u8 = 0;
+const TAG_EXIT: u8 = 1;
+const TAG_SEND: u8 = 2;
+const TAG_RECV: u8 = 3;
+const TAG_COLL: u8 = 4;
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint<B: BufMut>(buf: &mut B, mut v: u64) {
+    while v >= 0x80 {
+        buf.put_u8((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.put_u8(v as u8);
+}
+
+fn tag_of(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::Enter { .. } => TAG_ENTER,
+        EventKind::Exit { .. } => TAG_EXIT,
+        EventKind::Send { .. } => TAG_SEND,
+        EventKind::Recv { .. } => TAG_RECV,
+        EventKind::CollEnd { .. } => TAG_COLL,
+    }
+}
+
+fn kind_code(kind: RegionKind) -> u8 {
+    match kind {
+        RegionKind::Work => 0,
+        RegionKind::MpiP2p => 1,
+        RegionKind::MpiCollective => 2,
+        RegionKind::MpiSetup => 3,
+        RegionKind::OmpParallel => 4,
+        RegionKind::OmpSync => 5,
+        RegionKind::OmpWorkshare => 6,
+        RegionKind::Property => 7,
+        RegionKind::User => 8,
+    }
+}
+
+fn kind_from_code(code: u8) -> Option<RegionKind> {
+    Some(match code {
+        0 => RegionKind::Work,
+        1 => RegionKind::MpiP2p,
+        2 => RegionKind::MpiCollective,
+        3 => RegionKind::MpiSetup,
+        4 => RegionKind::OmpParallel,
+        5 => RegionKind::OmpSync,
+        6 => RegionKind::OmpWorkshare,
+        7 => RegionKind::Property,
+        8 => RegionKind::User,
+        _ => return None,
+    })
+}
+
+fn op_code(op: CollOp) -> u8 {
+    match op {
+        CollOp::Barrier => 0,
+        CollOp::Bcast => 1,
+        CollOp::Scatter => 2,
+        CollOp::Scatterv => 3,
+        CollOp::Gather => 4,
+        CollOp::Gatherv => 5,
+        CollOp::Reduce => 6,
+        CollOp::Allreduce => 7,
+        CollOp::Allgather => 8,
+        CollOp::Alltoall => 9,
+        CollOp::Alltoallv => 10,
+        CollOp::Scan => 11,
+        CollOp::OmpBarrier => 12,
+        CollOp::OmpFork => 13,
+        CollOp::OmpJoin => 14,
+    }
+}
+
+fn op_from_code(code: u8) -> Option<CollOp> {
+    Some(match code {
+        0 => CollOp::Barrier,
+        1 => CollOp::Bcast,
+        2 => CollOp::Scatter,
+        3 => CollOp::Scatterv,
+        4 => CollOp::Gather,
+        5 => CollOp::Gatherv,
+        6 => CollOp::Reduce,
+        7 => CollOp::Allreduce,
+        8 => CollOp::Allgather,
+        9 => CollOp::Alltoall,
+        10 => CollOp::Alltoallv,
+        11 => CollOp::Scan,
+        12 => CollOp::OmpBarrier,
+        13 => CollOp::OmpFork,
+        14 => CollOp::OmpJoin,
+        _ => return None,
+    })
+}
+
+/// Encode a trace into an owned binary buffer.
+pub fn encode(trace: &Trace) -> Bytes {
+    // ~4 bytes/event after delta+varint compression; headroom avoids one
+    // realloc on the common figure-sized traces.
+    let mut buf = BytesMut::with_capacity(256 + trace.num_events() * 6);
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0); // flags, reserved
+    put_varint(&mut buf, trace.regions.len() as u64);
+    for meta in &trace.regions {
+        put_varint(&mut buf, meta.name.len() as u64);
+        buf.put_slice(meta.name.as_bytes());
+        buf.put_u8(kind_code(meta.kind));
+    }
+    put_varint(&mut buf, trace.comms.len() as u64);
+    for comm in &trace.comms {
+        put_varint(&mut buf, comm.id as u64);
+        put_varint(&mut buf, comm.members.len() as u64);
+        for &m in &comm.members {
+            put_varint(&mut buf, m as u64);
+        }
+    }
+    put_varint(&mut buf, trace.locations.len() as u64);
+    for loc in &trace.locations {
+        encode_location(&mut buf, loc);
+    }
+    buf.freeze()
+}
+
+fn encode_location(buf: &mut BytesMut, loc: &LocationTrace) {
+    put_varint(buf, loc.location.rank as u64);
+    put_varint(buf, loc.location.thread as u64);
+    put_varint(buf, loc.events.len() as u64);
+    for e in &loc.events {
+        buf.put_u8(tag_of(&e.kind));
+    }
+    let mut prev = 0u64;
+    for e in &loc.events {
+        put_varint(buf, zigzag(e.time.0.wrapping_sub(prev) as i64));
+        prev = e.time.0;
+    }
+    for e in &loc.events {
+        if let EventKind::Enter { region } | EventKind::Exit { region } = e.kind {
+            put_varint(buf, region.0 as u64);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::Send { to, .. } = e.kind {
+            put_varint(buf, to as u64);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::Send { comm, .. } = e.kind {
+            put_varint(buf, comm as u64);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::Send { tag, .. } = e.kind {
+            put_varint(buf, zigzag(tag as i64));
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::Send { bytes, .. } = e.kind {
+            put_varint(buf, bytes);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::Recv { from, .. } = e.kind {
+            put_varint(buf, from as u64);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::Recv { comm, .. } = e.kind {
+            put_varint(buf, comm as u64);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::Recv { tag, .. } = e.kind {
+            put_varint(buf, zigzag(tag as i64));
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::Recv { bytes, .. } = e.kind {
+            put_varint(buf, bytes);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::Recv { posted, .. } = e.kind {
+            put_varint(buf, zigzag(posted.0.wrapping_sub(e.time.0) as i64));
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::CollEnd { op, .. } = e.kind {
+            buf.put_u8(op_code(op));
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::CollEnd { comm, .. } = e.kind {
+            put_varint(buf, comm as u64);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::CollEnd { root, .. } = e.kind {
+            put_varint(buf, root.map(|r| r as u64 + 1).unwrap_or(0));
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::CollEnd { seq, .. } = e.kind {
+            put_varint(buf, seq);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::CollEnd { bytes, .. } = e.kind {
+            put_varint(buf, bytes);
+        }
+    }
+    for e in &loc.events {
+        if let EventKind::CollEnd { entered, .. } = e.kind {
+            put_varint(buf, zigzag(entered.0.wrapping_sub(e.time.0) as i64));
+        }
+    }
+}
+
+/// A bounds-checked cursor over the encoded buffer. Every primitive read
+/// reports *where* and *what* failed, so corrupt-input errors are
+/// actionable.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn fail(&self, what: &str) -> TraceIoError {
+        TraceIoError::Format(format!(
+            "binary trace: truncated or corrupt at byte {}: {what}",
+            self.pos
+        ))
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, TraceIoError> {
+        match self.data.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(self.fail(what)),
+        }
+    }
+
+    fn slice(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceIoError> {
+        if self.remaining() < n {
+            return Err(self.fail(what));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16_le(&mut self, what: &str) -> Result<u16, TraceIoError> {
+        let s = self.slice(2, what)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64, TraceIoError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8(what)?;
+            let low = (b & 0x7f) as u64;
+            if shift == 63 && low > 1 {
+                return Err(self.fail("varint overflows u64"));
+            }
+            v |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.fail("varint longer than 10 bytes"))
+    }
+
+    fn varint_u32(&mut self, what: &str) -> Result<u32, TraceIoError> {
+        let v = self.varint(what)?;
+        u32::try_from(v).map_err(|_| self.fail(what))
+    }
+
+    fn varint_i32(&mut self, what: &str) -> Result<i32, TraceIoError> {
+        let v = unzigzag(self.varint(what)?);
+        i32::try_from(v).map_err(|_| self.fail(what))
+    }
+
+    /// A varint element count, validated against the remaining buffer
+    /// (every counted element occupies at least one byte), so a corrupted
+    /// count cannot trigger a giant allocation.
+    fn count(&mut self, what: &str) -> Result<usize, TraceIoError> {
+        let v = self.varint(what)?;
+        if v > self.remaining() as u64 {
+            return Err(self.fail(what));
+        }
+        Ok(v as usize)
+    }
+}
+
+/// Decode a binary trace from an in-memory buffer.
+pub fn decode(data: &[u8]) -> Result<Trace, TraceIoError> {
+    let mut r = Reader::new(data);
+    if r.slice(4, "magic")? != &MAGIC[..] {
+        return Err(TraceIoError::Format(
+            "binary trace: bad magic (not an ATSB file)".to_owned(),
+        ));
+    }
+    let version = r.u16_le("version")?;
+    if version == 0 || version > VERSION {
+        return Err(TraceIoError::Format(format!(
+            "binary trace: unsupported format version {version} (this reader understands 1..={VERSION})"
+        )));
+    }
+    let _flags = r.u16_le("flags")?;
+
+    let n_regions = r.count("region count")?;
+    let mut regions = Vec::with_capacity(n_regions);
+    for i in 0..n_regions {
+        let len = r.count("region name length")?;
+        let name = std::str::from_utf8(r.slice(len, "region name")?)
+            .map_err(|_| {
+                TraceIoError::Format(format!("binary trace: region {i} name is not UTF-8"))
+            })?
+            .to_owned();
+        let code = r.u8("region kind")?;
+        let kind = kind_from_code(code).ok_or_else(|| {
+            TraceIoError::Format(format!("binary trace: unknown region kind code {code}"))
+        })?;
+        regions.push(RegionMeta { name, kind });
+    }
+
+    let n_comms = r.count("communicator count")?;
+    let mut comms = Vec::with_capacity(n_comms);
+    for _ in 0..n_comms {
+        let id = r.varint_u32("communicator id")?;
+        let n_members = r.count("communicator member count")?;
+        let mut members = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            members.push(r.varint_u32("communicator member")?);
+        }
+        comms.push(CommDef { id, members });
+    }
+
+    let n_locs = r.count("location count")?;
+    let mut locations = Vec::with_capacity(n_locs);
+    for _ in 0..n_locs {
+        locations.push(decode_location(&mut r)?);
+    }
+    if r.remaining() != 0 {
+        return Err(TraceIoError::Format(format!(
+            "binary trace: {} trailing bytes after last location block",
+            r.remaining()
+        )));
+    }
+    Ok(Trace::with_comms(regions, comms, locations))
+}
+
+fn decode_location(r: &mut Reader<'_>) -> Result<LocationTrace, TraceIoError> {
+    let rank = r.varint_u32("location rank")?;
+    let thread = r.varint_u32("location thread")?;
+    let n = r.count("event count")?;
+
+    let tags = r.slice(n, "event tag column")?;
+    let (mut n_region, mut n_send, mut n_recv, mut n_coll) = (0usize, 0usize, 0usize, 0usize);
+    for &t in tags {
+        match t {
+            TAG_ENTER | TAG_EXIT => n_region += 1,
+            TAG_SEND => n_send += 1,
+            TAG_RECV => n_recv += 1,
+            TAG_COLL => n_coll += 1,
+            _ => {
+                return Err(TraceIoError::Format(format!(
+                    "binary trace: unknown event tag {t}"
+                )))
+            }
+        }
+    }
+
+    let mut times = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        prev = prev.wrapping_add(unzigzag(r.varint("time column")?) as u64);
+        times.push(prev);
+    }
+
+    fn column_u32(r: &mut Reader<'_>, n: usize, what: &str) -> Result<Vec<u32>, TraceIoError> {
+        let mut col = Vec::with_capacity(n);
+        for _ in 0..n {
+            col.push(r.varint_u32(what)?);
+        }
+        Ok(col)
+    }
+    fn column_u64(r: &mut Reader<'_>, n: usize, what: &str) -> Result<Vec<u64>, TraceIoError> {
+        let mut col = Vec::with_capacity(n);
+        for _ in 0..n {
+            col.push(r.varint(what)?);
+        }
+        Ok(col)
+    }
+    fn column_i32(r: &mut Reader<'_>, n: usize, what: &str) -> Result<Vec<i32>, TraceIoError> {
+        let mut col = Vec::with_capacity(n);
+        for _ in 0..n {
+            col.push(r.varint_i32(what)?);
+        }
+        Ok(col)
+    }
+    fn column_delta(r: &mut Reader<'_>, n: usize, what: &str) -> Result<Vec<i64>, TraceIoError> {
+        let mut col = Vec::with_capacity(n);
+        for _ in 0..n {
+            col.push(unzigzag(r.varint(what)?));
+        }
+        Ok(col)
+    }
+
+    let regions = column_u32(r, n_region, "region column")?;
+    let send_to = column_u32(r, n_send, "send-to column")?;
+    let send_comm = column_u32(r, n_send, "send-comm column")?;
+    let send_tag = column_i32(r, n_send, "send-tag column")?;
+    let send_bytes = column_u64(r, n_send, "send-bytes column")?;
+    let recv_from = column_u32(r, n_recv, "recv-from column")?;
+    let recv_comm = column_u32(r, n_recv, "recv-comm column")?;
+    let recv_tag = column_i32(r, n_recv, "recv-tag column")?;
+    let recv_bytes = column_u64(r, n_recv, "recv-bytes column")?;
+    let recv_posted = column_delta(r, n_recv, "recv-posted column")?;
+    let mut coll_op = Vec::with_capacity(n_coll);
+    for _ in 0..n_coll {
+        let code = r.u8("coll-op column")?;
+        coll_op.push(op_from_code(code).ok_or_else(|| {
+            TraceIoError::Format(format!("binary trace: unknown collective op code {code}"))
+        })?);
+    }
+    let coll_comm = column_u32(r, n_coll, "coll-comm column")?;
+    let coll_root = column_u64(r, n_coll, "coll-root column")?;
+    let coll_seq = column_u64(r, n_coll, "coll-seq column")?;
+    let coll_bytes = column_u64(r, n_coll, "coll-bytes column")?;
+    let coll_entered = column_delta(r, n_coll, "coll-entered column")?;
+
+    let (mut ir, mut is, mut iv, mut ic) = (0usize, 0usize, 0usize, 0usize);
+    let mut events = Vec::with_capacity(n);
+    for (i, &t) in tags.iter().enumerate() {
+        let time = VTime(times[i]);
+        let kind = match t {
+            TAG_ENTER | TAG_EXIT => {
+                let region = RegionId(regions[ir]);
+                ir += 1;
+                if t == TAG_ENTER {
+                    EventKind::Enter { region }
+                } else {
+                    EventKind::Exit { region }
+                }
+            }
+            TAG_SEND => {
+                let k = EventKind::Send {
+                    to: send_to[is],
+                    comm: send_comm[is],
+                    tag: send_tag[is],
+                    bytes: send_bytes[is],
+                };
+                is += 1;
+                k
+            }
+            TAG_RECV => {
+                let k = EventKind::Recv {
+                    from: recv_from[iv],
+                    comm: recv_comm[iv],
+                    tag: recv_tag[iv],
+                    bytes: recv_bytes[iv],
+                    posted: VTime(time.0.wrapping_add(recv_posted[iv] as u64)),
+                };
+                iv += 1;
+                k
+            }
+            _ => {
+                let root = match coll_root[ic] {
+                    0 => None,
+                    v => Some(u32::try_from(v - 1).map_err(|_| {
+                        TraceIoError::Format(format!(
+                            "binary trace: collective root {} exceeds u32",
+                            v - 1
+                        ))
+                    })?),
+                };
+                let k = EventKind::CollEnd {
+                    op: coll_op[ic],
+                    comm: coll_comm[ic],
+                    root,
+                    seq: coll_seq[ic],
+                    bytes: coll_bytes[ic],
+                    entered: VTime(time.0.wrapping_add(coll_entered[ic] as u64)),
+                };
+                ic += 1;
+                k
+            }
+        };
+        events.push(Event::new(time, kind));
+    }
+    Ok(LocationTrace {
+        location: LocationId::new(rank, thread),
+        events,
+    })
+}
+
+/// Write a trace in binary form, mirroring [`crate::io::write_jsonl`].
+pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    w.write_all(&encode(trace))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a trace written by [`write_binary`], mirroring
+/// [`crate::io::read_jsonl`].
+pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{read_jsonl, write_jsonl};
+
+    fn sample() -> Trace {
+        let regions = vec![
+            RegionMeta {
+                name: "work".into(),
+                kind: RegionKind::Work,
+            },
+            RegionMeta {
+                name: "MPI_Send".into(),
+                kind: RegionKind::MpiP2p,
+            },
+            RegionMeta {
+                name: "MPI_Bcast".into(),
+                kind: RegionKind::MpiCollective,
+            },
+        ];
+        let comms = vec![
+            CommDef {
+                id: 0,
+                members: vec![0, 1, 2, 3],
+            },
+            CommDef {
+                id: 1,
+                members: vec![0, 2],
+            },
+        ];
+        let locations = (0..4u32)
+            .map(|rank| {
+                let mut events = vec![
+                    Event::new(
+                        VTime(5),
+                        EventKind::Enter {
+                            region: RegionId(0),
+                        },
+                    ),
+                    Event::new(
+                        VTime(1_000_000 + rank as u64),
+                        EventKind::Send {
+                            to: (rank + 1) % 4,
+                            comm: 0,
+                            tag: -7,
+                            bytes: 1 << 20,
+                        },
+                    ),
+                    Event::new(
+                        VTime(2_000_000),
+                        EventKind::Recv {
+                            from: (rank + 3) % 4,
+                            comm: 0,
+                            tag: -7,
+                            bytes: 1 << 20,
+                            posted: VTime(900_000),
+                        },
+                    ),
+                    Event::new(
+                        VTime(3_000_000),
+                        EventKind::CollEnd {
+                            op: CollOp::Bcast,
+                            comm: 1,
+                            root: Some(2),
+                            seq: 11,
+                            bytes: 4096,
+                            entered: VTime(2_500_000),
+                        },
+                    ),
+                    Event::new(
+                        VTime(3_000_001),
+                        EventKind::CollEnd {
+                            op: CollOp::Barrier,
+                            comm: 0,
+                            root: None,
+                            seq: 12,
+                            bytes: 0,
+                            entered: VTime(3_000_000),
+                        },
+                    ),
+                    Event::new(
+                        VTime(4_000_000),
+                        EventKind::Exit {
+                            region: RegionId(0),
+                        },
+                    ),
+                ];
+                if rank == 0 {
+                    events.insert(
+                        1,
+                        Event::new(
+                            VTime(6),
+                            EventKind::Enter {
+                                region: RegionId(1),
+                            },
+                        ),
+                    );
+                    events.insert(
+                        2,
+                        Event::new(
+                            VTime(7),
+                            EventKind::Exit {
+                                region: RegionId(1),
+                            },
+                        ),
+                    );
+                }
+                LocationTrace {
+                    location: LocationId::rank(rank),
+                    events,
+                }
+            })
+            .collect();
+        Trace::with_comms(regions, comms, locations)
+    }
+
+    fn assert_traces_equal(a: &Trace, b: &Trace) {
+        assert_eq!(a.regions, b.regions);
+        assert_eq!(a.comms, b.comms);
+        assert_eq!(a.locations, b.locations);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless() {
+        let tr = sample();
+        let back = decode(&encode(&tr)).unwrap();
+        assert_traces_equal(&tr, &back);
+    }
+
+    #[test]
+    fn writer_reader_mirror_the_jsonl_api() {
+        let tr = sample();
+        let mut buf = Vec::new();
+        write_binary(&tr, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_traces_equal(&tr, &back);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let tr = Trace::with_comms(vec![], vec![], vec![]);
+        let back = decode(&encode(&tr)).unwrap();
+        assert_traces_equal(&tr, &back);
+    }
+
+    #[test]
+    fn non_monotone_and_extreme_timestamps_roundtrip() {
+        // The delta encoding must wrap losslessly even for hostile inputs.
+        let events = vec![
+            Event::new(
+                VTime(u64::MAX),
+                EventKind::Enter {
+                    region: RegionId(0),
+                },
+            ),
+            Event::new(
+                VTime(0),
+                EventKind::Exit {
+                    region: RegionId(0),
+                },
+            ),
+            Event::new(
+                VTime(u64::MAX / 2),
+                EventKind::Recv {
+                    from: u32::MAX,
+                    comm: u32::MAX,
+                    tag: i32::MIN,
+                    bytes: u64::MAX,
+                    posted: VTime(u64::MAX),
+                },
+            ),
+        ];
+        let tr = Trace::with_comms(
+            vec![RegionMeta {
+                name: "x".into(),
+                kind: RegionKind::User,
+            }],
+            vec![],
+            vec![LocationTrace {
+                location: LocationId::new(u32::MAX, u32::MAX),
+                events,
+            }],
+        );
+        let back = decode(&encode(&tr)).unwrap();
+        assert_traces_equal(&tr, &back);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_jsonl() {
+        let tr = sample();
+        let bin = encode(&tr);
+        let mut jsonl = Vec::new();
+        write_jsonl(&tr, &mut jsonl).unwrap();
+        assert!(
+            bin.len() * 5 <= jsonl.len(),
+            "binary {} bytes vs jsonl {} bytes",
+            bin.len(),
+            jsonl.len()
+        );
+        // And the JSONL path still reads its own output, proving the two
+        // formats describe the same trace.
+        let via_jsonl = read_jsonl(jsonl.as_slice()).unwrap();
+        assert_traces_equal(&tr, &via_jsonl);
+    }
+
+    #[test]
+    fn bad_magic_is_a_clean_error() {
+        let err = decode(b"NOPE\x01\x00\x00\x00").unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC);
+        buf.put_u16_le(VERSION + 1);
+        buf.put_u16_le(0);
+        let err = decode(&buf).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains(&format!("unsupported format version {}", VERSION + 1)));
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_never_a_panic() {
+        let full = encode(&sample());
+        for len in 0..full.len() {
+            let err = decode(&full[..len]).unwrap_err();
+            assert!(
+                matches!(err, TraceIoError::Format(_)),
+                "prefix of {len} bytes must be a Format error"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut data = encode(&sample()).to_vec();
+        data.push(0);
+        let err = decode(&data).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn corrupt_interior_bytes_never_panic() {
+        // Flip every byte to 0xff one at a time; decoding must either
+        // succeed or fail cleanly, never panic or over-allocate.
+        let full = encode(&sample()).to_vec();
+        for i in 0..full.len() {
+            let mut data = full.clone();
+            data[i] = 0xff;
+            let _ = decode(&data);
+        }
+    }
+
+    #[test]
+    fn unknown_event_tag_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(0);
+        put_varint(&mut buf, 0); // regions
+        put_varint(&mut buf, 0); // comms
+        put_varint(&mut buf, 1); // one location
+        put_varint(&mut buf, 0); // rank
+        put_varint(&mut buf, 0); // thread
+        put_varint(&mut buf, 1); // one event
+        buf.put_u8(9); // bogus tag
+        buf.put_u8(0); // time delta
+        let err = decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("unknown event tag"));
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1234567, -7654321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

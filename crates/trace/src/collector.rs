@@ -1,6 +1,7 @@
 //! Gathering per-participant streams into a global [`Trace`].
 
 use crate::local::LocalTrace;
+use crate::pool::TracePool;
 use crate::region::{RegionKind, RegionTable};
 use crate::trace::{CommDef, LocationTrace, Trace};
 use parking_lot::Mutex;
@@ -16,6 +17,7 @@ pub struct TraceCollector {
     done: Arc<Mutex<Vec<LocationTrace>>>,
     comms: Arc<Mutex<Vec<CommDef>>>,
     enabled: bool,
+    pool: Option<TracePool>,
 }
 
 impl TraceCollector {
@@ -26,7 +28,20 @@ impl TraceCollector {
             done: Arc::new(Mutex::new(Vec::new())),
             comms: Arc::new(Mutex::new(Vec::new())),
             enabled: true,
+            pool: None,
         }
+    }
+
+    /// Hand out event buffers from `pool` instead of fresh vectors.
+    /// Pooling only affects capacity, never recorded contents.
+    pub fn with_pool(mut self, pool: TracePool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The buffer pool this collector draws from, if any.
+    pub fn pool(&self) -> Option<&TracePool> {
+        self.pool.as_ref()
     }
 
     /// A collector whose [`LocalTrace`]s are disabled — used to run the same
@@ -52,12 +67,15 @@ impl TraceCollector {
         self.regions.intern(name, kind)
     }
 
-    /// Create the local trace for one participant.
+    /// Create the local trace for one participant, drawing its event
+    /// buffer from the attached pool when one is present.
     pub fn local(&self, location: crate::event::LocationId) -> LocalTrace {
-        if self.enabled {
-            LocalTrace::new(location)
-        } else {
-            LocalTrace::disabled(location)
+        if !self.enabled {
+            return LocalTrace::disabled(location);
+        }
+        match &self.pool {
+            Some(pool) => LocalTrace::with_buffer(location, pool.take()),
+            None => LocalTrace::new(location),
         }
     }
 
@@ -144,6 +162,37 @@ mod tests {
         let c = TraceCollector::new();
         let _other = c.clone();
         let _ = c.finish();
+    }
+
+    #[test]
+    fn pooled_collector_reuses_buffers_without_changing_contents() {
+        use crate::pool::TracePool;
+        let pool = TracePool::new();
+        let run = |pool: Option<TracePool>| {
+            let c = match pool {
+                Some(p) => TraceCollector::new().with_pool(p),
+                None => TraceCollector::new(),
+            };
+            let r = c.intern("work", RegionKind::Work);
+            for rank in 0..3u32 {
+                let mut lt = c.local(LocationId::rank(rank));
+                for i in 0..50u64 {
+                    lt.enter(VTime(i * 2), r);
+                    lt.exit(VTime(i * 2 + 1), r);
+                }
+                c.submit(lt);
+            }
+            c.finish()
+        };
+        let fresh = run(None);
+        let first = run(Some(pool.clone()));
+        assert_eq!(pool.recycle(first), 3);
+        let second = run(Some(pool.clone()));
+        // Second pooled run was served entirely from recycled capacity …
+        assert_eq!(pool.stats().hits, 3);
+        // … and recorded exactly the same trace as an unpooled collector.
+        assert_eq!(second.locations, fresh.locations);
+        assert_eq!(second.regions, fresh.regions);
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! Trace serialization.
 //!
-//! Traces are stored as a single JSON document (small experiments) or as
+//! Traces are stored as a single JSON document (small experiments), as
 //! JSON-lines (one header line with the region table, then one line per
-//! location stream) for larger ones. Both formats round-trip exactly; the
-//! JSONL reader tolerates trailing blank lines so files can be concatenated
-//! by shell tooling.
+//! location stream), or in the compact columnar binary form of
+//! [`crate::binfmt`] (the default for artifacts). All formats round-trip
+//! exactly; [`read_auto`] sniffs the leading bytes so consumers never need
+//! to know which one they were handed. The JSONL reader tolerates trailing
+//! blank lines so files can be concatenated by shell tooling, but rejects
+//! CRLF-damaged and truncated streams with an error naming the line.
 
 use crate::region::RegionMeta;
 use crate::trace::{CommDef, LocationTrace, Trace};
 use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
 
 /// Errors arising while reading or writing traces.
 #[derive(Debug)]
@@ -45,6 +49,57 @@ impl From<serde_json::Error> for TraceIoError {
     }
 }
 
+/// The on-disk trace encodings understood by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// Human-inspectable JSON-lines ([`write_jsonl`] / [`read_jsonl`]).
+    Jsonl,
+    /// Columnar binary ([`crate::binfmt`]); the artifact default.
+    #[default]
+    Binary,
+}
+
+impl TraceFormat {
+    /// Conventional file extension for this format.
+    pub fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Binary => "atsb",
+        }
+    }
+
+    /// Write `trace` to `w` in this format.
+    pub fn write<W: Write>(self, trace: &Trace, w: W) -> Result<(), TraceIoError> {
+        match self {
+            TraceFormat::Jsonl => write_jsonl(trace, w),
+            TraceFormat::Binary => crate::binfmt::write_binary(trace, w),
+        }
+    }
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "jsonl" | "json" => Ok(TraceFormat::Jsonl),
+            "binary" | "bin" | "atsb" => Ok(TraceFormat::Binary),
+            other => Err(format!(
+                "unknown trace format {other:?} (expected \"jsonl\" or \"binary\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Binary => "binary",
+        })
+    }
+}
+
 /// Serialize a whole trace as one pretty JSON document.
 pub fn to_json(trace: &Trace) -> String {
     serde_json::to_string_pretty(trace).expect("trace serialization cannot fail")
@@ -74,43 +129,107 @@ pub fn write_jsonl<W: Write>(trace: &Trace, w: W) -> Result<(), TraceIoError> {
     Ok(())
 }
 
-/// Read a trace written by [`write_jsonl`]. One `String` line buffer is
-/// reused across the whole file — location streams can run to megabytes,
-/// and a per-line allocation (as `BufRead::lines` would do) dominates
-/// parse time on large traces.
-pub fn read_jsonl<R: BufRead>(mut r: R) -> Result<Trace, TraceIoError> {
-    let mut buf = String::new();
-    // Fill `buf` with the next non-blank line; false at end of input.
-    fn next_line<R: BufRead>(r: &mut R, buf: &mut String) -> Result<bool, TraceIoError> {
+/// Line-by-line JSONL cursor: one reused `String` buffer (location streams
+/// can run to megabytes, so a per-line allocation as `BufRead::lines` would
+/// do dominates parse time) plus a physical line counter, so every parse
+/// failure names the offending line.
+struct JsonlLines<R> {
+    r: R,
+    buf: String,
+    lineno: usize,
+}
+
+impl<R: BufRead> JsonlLines<R> {
+    /// Advance to the next non-blank line; false at end of input.
+    /// Any carriage return is rejected outright: the writers emit bare LF,
+    /// so a CR means the file went through CRLF translation and byte-exact
+    /// round-tripping is already lost.
+    fn advance(&mut self) -> Result<bool, TraceIoError> {
         loop {
-            buf.clear();
-            if r.read_line(buf)? == 0 {
+            self.buf.clear();
+            if self.r.read_line(&mut self.buf)? == 0 {
                 return Ok(false);
             }
-            if !buf.trim().is_empty() {
+            self.lineno += 1;
+            if self.buf.contains('\r') {
+                return Err(TraceIoError::Format(format!(
+                    "line {}: carriage return in JSONL trace (CRLF-damaged file; expected LF-only line endings)",
+                    self.lineno
+                )));
+            }
+            if !self.buf.trim().is_empty() {
                 return Ok(true);
             }
         }
     }
-    let header = |what: &str, buf: &mut String, r: &mut R| -> Result<(), TraceIoError> {
-        if next_line(r, buf)? {
-            Ok(())
-        } else {
-            Err(TraceIoError::Format(format!(
-                "truncated file: missing {what} header line"
-            )))
-        }
+
+    /// Parse the current line, labelling errors with the line number and
+    /// flagging a missing final newline as likely truncation.
+    fn parse<T: serde::de::DeserializeOwned>(&self, what: &str) -> Result<T, TraceIoError> {
+        serde_json::from_str(&self.buf).map_err(|e| {
+            let damage = if self.buf.ends_with('\n') {
+                "malformed"
+            } else {
+                "truncated or malformed"
+            };
+            TraceIoError::Format(format!("line {}: {damage} {what}: {e}", self.lineno))
+        })
+    }
+}
+
+/// Read a trace written by [`write_jsonl`]. Structural damage (missing
+/// headers, CRLF translation, truncated or malformed lines) is reported as
+/// [`TraceIoError::Format`] naming the physical line.
+pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
+    let mut lines = JsonlLines {
+        r,
+        buf: String::new(),
+        lineno: 0,
     };
-    header("region-table", &mut buf, &mut r)?;
-    let regions: Vec<RegionMeta> = serde_json::from_str(&buf)?;
-    header("communicator-table", &mut buf, &mut r)?;
-    let comms: Vec<CommDef> = serde_json::from_str(&buf)?;
+    if !lines.advance()? {
+        return Err(TraceIoError::Format(
+            "truncated file: missing region-table header line".to_owned(),
+        ));
+    }
+    let regions: Vec<RegionMeta> = lines.parse("region-table header")?;
+    if !lines.advance()? {
+        return Err(TraceIoError::Format(
+            "truncated file: missing communicator-table header line".to_owned(),
+        ));
+    }
+    let comms: Vec<CommDef> = lines.parse("communicator-table header")?;
     let mut locations = Vec::new();
-    while next_line(&mut r, &mut buf)? {
-        let loc: LocationTrace = serde_json::from_str(&buf)?;
+    while lines.advance()? {
+        let loc: LocationTrace = lines.parse("location stream")?;
         locations.push(loc);
     }
     Ok(Trace::with_comms(regions, comms, locations))
+}
+
+/// Read a trace in either on-disk format, sniffing the leading bytes: a
+/// [`crate::binfmt::MAGIC`] prefix means binary, anything else is parsed as
+/// JSONL.
+pub fn read_auto<R: BufRead>(mut r: R) -> Result<Trace, TraceIoError> {
+    let peek = r.fill_buf()?;
+    let magic = &crate::binfmt::MAGIC;
+    let is_binary = if peek.len() >= magic.len() {
+        peek.starts_with(magic)
+    } else {
+        // A file shorter than the magic is invalid either way; an ATSB
+        // prefix routes it to the binary reader's truncation error.
+        !peek.is_empty() && magic.starts_with(peek)
+    };
+    if is_binary {
+        crate::binfmt::read_binary(r)
+    } else {
+        read_jsonl(r)
+    }
+}
+
+/// Open `path` and read it with [`read_auto`].
+pub fn read_path(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    let file = std::fs::File::open(path)?;
+    read_auto(std::io::BufReader::new(file))
 }
 
 #[cfg(test)]
@@ -279,5 +398,91 @@ mod tests {
             from_json("{not json").unwrap_err(),
             TraceIoError::Json(_)
         ));
+    }
+
+    #[test]
+    fn crlf_stream_is_rejected_with_line_number() {
+        let tr = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&tr, &mut buf).unwrap();
+        let crlf = String::from_utf8(buf).unwrap().replace('\n', "\r\n");
+        let err = read_jsonl(crlf.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("carriage return"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_stream_names_the_line() {
+        let tr = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&tr, &mut buf).unwrap();
+        // Chop the single location line (line 3) in half, losing its
+        // newline: a classic partial download / interrupted write.
+        let cut = buf.len() - 12;
+        let err = read_jsonl(&buf[..cut]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("truncated"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_line_is_a_format_error_with_line_number() {
+        let err = read_jsonl(&b"{oops\n"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("region-table"), "{msg}");
+    }
+
+    #[test]
+    fn read_auto_dispatches_on_leading_bytes() {
+        let tr = multi_location_sample();
+        let mut jsonl = Vec::new();
+        write_jsonl(&tr, &mut jsonl).unwrap();
+        let via_jsonl = read_auto(jsonl.as_slice()).unwrap();
+        assert_eq!(via_jsonl.locations, tr.locations);
+        let mut bin = Vec::new();
+        crate::binfmt::write_binary(&tr, &mut bin).unwrap();
+        let via_bin = read_auto(bin.as_slice()).unwrap();
+        assert_eq!(via_bin.locations, tr.locations);
+        assert_eq!(via_bin.comms, tr.comms);
+    }
+
+    #[test]
+    fn read_auto_on_empty_input_is_a_jsonl_header_error() {
+        let err = read_auto(&b""[..]).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn trace_format_parses_and_names_extensions() {
+        use std::str::FromStr;
+        assert_eq!(TraceFormat::from_str("jsonl").unwrap(), TraceFormat::Jsonl);
+        assert_eq!(
+            TraceFormat::from_str("binary").unwrap(),
+            TraceFormat::Binary
+        );
+        assert_eq!(TraceFormat::from_str("atsb").unwrap(), TraceFormat::Binary);
+        assert!(TraceFormat::from_str("xml").is_err());
+        assert_eq!(TraceFormat::default(), TraceFormat::Binary);
+        assert_eq!(TraceFormat::Binary.extension(), "atsb");
+        assert_eq!(TraceFormat::Jsonl.extension(), "jsonl");
+        assert_eq!(TraceFormat::Binary.to_string(), "binary");
+    }
+
+    #[test]
+    fn trace_format_write_matches_direct_writers() {
+        let tr = sample();
+        let mut direct = Vec::new();
+        write_jsonl(&tr, &mut direct).unwrap();
+        let mut via_enum = Vec::new();
+        TraceFormat::Jsonl.write(&tr, &mut via_enum).unwrap();
+        assert_eq!(direct, via_enum);
+        let mut bin = Vec::new();
+        TraceFormat::Binary.write(&tr, &mut bin).unwrap();
+        assert_eq!(read_auto(bin.as_slice()).unwrap().locations, tr.locations);
     }
 }

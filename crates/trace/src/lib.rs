@@ -11,7 +11,10 @@
 //!   [`LocalTrace`] per participant,
 //! * a [`TraceCollector`] gathers the per-participant streams into a global
 //!   [`Trace`],
-//! * the analyzer and the timeline renderer *consume* [`Trace`]s.
+//! * the analyzer and the timeline renderer *consume* [`Trace`]s,
+//! * [`io`] / [`binfmt`] persist them (JSONL for inspection, the columnar
+//!   ATSB binary format for artifacts), and a [`TracePool`] recycles event
+//!   buffers between runs so sweeps stop re-growing vectors from zero.
 //!
 //! Events carry virtual timestamps ([`ats_runtime::VTime`]) and reproduce
 //! the information a 2002-era measurement system records: region
@@ -19,10 +22,12 @@
 //! payload size — the paper's §1 "correct sender and receiver ranks,
 //! message tags, and communicator IDs"), and collective completion records.
 
+pub mod binfmt;
 pub mod collector;
 pub mod event;
 pub mod io;
 pub mod local;
+pub mod pool;
 pub mod region;
 pub mod stats;
 pub mod trace;
@@ -30,7 +35,9 @@ pub mod wellformed;
 
 pub use collector::TraceCollector;
 pub use event::{CollOp, Event, EventKind, LocationId};
+pub use io::TraceFormat;
 pub use local::LocalTrace;
+pub use pool::{PoolStats, TracePool};
 pub use region::{RegionId, RegionKind, RegionMeta, RegionTable};
 pub use stats::{RegionProfile, TraceStats};
 pub use trace::{CommDef, LocationTrace, Trace};

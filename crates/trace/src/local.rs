@@ -33,6 +33,20 @@ impl LocalTrace {
         }
     }
 
+    /// Start an enabled trace for `location` that records into `buf`,
+    /// reusing its capacity (contents are cleared). This is how a
+    /// [`crate::TracePool`] hands pre-grown allocations to fresh
+    /// participants between sweep configurations.
+    pub fn with_buffer(location: LocationId, mut buf: Vec<Event>) -> Self {
+        buf.clear();
+        LocalTrace {
+            location,
+            events: buf,
+            stack: Vec::new(),
+            enabled: true,
+        }
+    }
+
     /// Start a disabled (non-recording) trace for `location`.
     pub fn disabled(location: LocationId) -> Self {
         let mut t = Self::new(location);

@@ -94,13 +94,24 @@ impl RegionTable {
     }
 
     /// The name of `id`, or `"<unknown>"` for a foreign id.
-    pub fn name(&self, id: RegionId) -> String {
-        self.inner
-            .read()
-            .metas
-            .get(id.0 as usize)
-            .map(|m| m.name.clone())
-            .unwrap_or_else(|| "<unknown>".to_owned())
+    ///
+    /// Returns a borrow instead of cloning: this lookup sits on the
+    /// analyzer-report and timeline-render hot paths, where a `String`
+    /// allocation per call dominated.
+    pub fn name(&self, id: RegionId) -> &str {
+        let guard = self.inner.read();
+        match guard.metas.get(id.0 as usize) {
+            // SAFETY: extending the borrow past the read guard is sound
+            // because the table is append-only: `intern` only ever pushes
+            // new entries and nothing mutates or removes an existing
+            // `RegionMeta`, so the `String`'s heap buffer never moves (a
+            // `Vec` reallocation moves the `RegionMeta` structs, not the
+            // heap data their `String`s point to). The buffer stays alive
+            // for at least `&self`'s lifetime since `self` holds an `Arc`
+            // on the table.
+            Some(m) => unsafe { &*(m.name.as_str() as *const str) },
+            None => "<unknown>",
+        }
     }
 
     /// The kind of `id`.
@@ -179,6 +190,21 @@ mod tests {
         let t = RegionTable::new();
         assert_eq!(t.name(RegionId(99)), "<unknown>");
         assert_eq!(t.kind(RegionId(99)), None);
+    }
+
+    #[test]
+    fn name_reference_survives_table_growth() {
+        // `name` hands out a borrow into the table; interning hundreds more
+        // regions forces the metas Vec to reallocate repeatedly, which must
+        // not invalidate it (the String heap data does not move).
+        let t = RegionTable::new();
+        let id = t.intern("first", RegionKind::Work);
+        let name = t.name(id);
+        for i in 0..1000 {
+            t.intern(&format!("r{i}"), RegionKind::User);
+        }
+        assert_eq!(name, "first");
+        assert_eq!(t.name(id), "first");
     }
 
     #[test]

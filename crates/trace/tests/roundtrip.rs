@@ -1,0 +1,195 @@
+//! Property tests for the ATSB binary codec: encode/decode is lossless
+//! over arbitrary well-formed traces, and corrupt input of any shape
+//! produces a clean error, never a panic.
+
+use ats_runtime::VTime;
+use ats_trace::binfmt;
+use ats_trace::io::{read_jsonl, write_jsonl};
+use ats_trace::{
+    CollOp, CommDef, Event, EventKind, LocationId, LocationTrace, RegionId, RegionKind, RegionMeta,
+    Trace,
+};
+use proptest::prelude::*;
+
+const KINDS: [RegionKind; 9] = [
+    RegionKind::Work,
+    RegionKind::MpiP2p,
+    RegionKind::MpiCollective,
+    RegionKind::MpiSetup,
+    RegionKind::OmpParallel,
+    RegionKind::OmpSync,
+    RegionKind::OmpWorkshare,
+    RegionKind::Property,
+    RegionKind::User,
+];
+
+const OPS: [CollOp; 15] = [
+    CollOp::Barrier,
+    CollOp::Bcast,
+    CollOp::Scatter,
+    CollOp::Scatterv,
+    CollOp::Gather,
+    CollOp::Gatherv,
+    CollOp::Reduce,
+    CollOp::Allreduce,
+    CollOp::Allgather,
+    CollOp::Alltoall,
+    CollOp::Alltoallv,
+    CollOp::Scan,
+    CollOp::OmpBarrier,
+    CollOp::OmpFork,
+    CollOp::OmpJoin,
+];
+
+fn arb_region_kind() -> impl Strategy<Value = RegionKind> {
+    (0..KINDS.len()).prop_map(|i| KINDS[i])
+}
+
+fn arb_coll_op() -> impl Strategy<Value = CollOp> {
+    (0..OPS.len()).prop_map(|i| OPS[i])
+}
+
+fn arb_event_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        (0u32..16).prop_map(|r| EventKind::Enter {
+            region: RegionId(r)
+        }),
+        (0u32..16).prop_map(|r| EventKind::Exit {
+            region: RegionId(r)
+        }),
+        (any::<u32>(), any::<u32>(), any::<i32>(), any::<u64>()).prop_map(
+            |(to, comm, tag, bytes)| EventKind::Send {
+                to,
+                comm,
+                tag,
+                bytes
+            }
+        ),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<i32>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(from, comm, tag, bytes, posted)| EventKind::Recv {
+                from,
+                comm,
+                tag,
+                bytes,
+                posted: VTime(posted),
+            }),
+        (
+            arb_coll_op(),
+            any::<u32>(),
+            proptest::option::of(any::<u32>()),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(op, comm, root, seq, bytes, entered)| EventKind::CollEnd {
+                op,
+                comm,
+                root,
+                seq,
+                bytes,
+                entered: VTime(entered),
+            }),
+    ]
+}
+
+/// Arbitrary traces in the canonical form `Trace::with_comms` produces:
+/// unique sorted comm ids, unique sorted locations, per-location monotone
+/// timestamps (built from prefix-summed deltas). Payload fields span their
+/// full value ranges.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let regions = proptest::collection::vec(
+        ("[a-zA-Z0-9_]{0,12}", arb_region_kind())
+            .prop_map(|(name, kind)| RegionMeta { name, kind }),
+        0..6,
+    );
+    let comms =
+        proptest::collection::btree_map(0u32..32, proptest::collection::vec(0u32..64, 0..8), 0..4)
+            .prop_map(|m| {
+                m.into_iter()
+                    .map(|(id, members)| CommDef { id, members })
+                    .collect::<Vec<_>>()
+            });
+    let locations = proptest::collection::btree_map(
+        (0u32..32, 0u32..4),
+        proptest::collection::vec((0u64..1_000_000_000, arb_event_kind()), 0..40),
+        0..5,
+    )
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|((rank, thread), deltas)| {
+                let mut t = 0u64;
+                let events = deltas
+                    .into_iter()
+                    .map(|(d, kind)| {
+                        t += d;
+                        Event::new(VTime(t), kind)
+                    })
+                    .collect();
+                LocationTrace {
+                    location: LocationId::new(rank, thread),
+                    events,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    (regions, comms, locations).prop_map(|(r, c, l)| Trace::with_comms(r, c, l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_roundtrip_equals_original(tr in arb_trace()) {
+        let back = binfmt::decode(&binfmt::encode(&tr)).unwrap();
+        prop_assert_eq!(&back.regions, &tr.regions);
+        prop_assert_eq!(&back.comms, &tr.comms);
+        prop_assert_eq!(&back.locations, &tr.locations);
+    }
+
+    #[test]
+    fn jsonl_and_binary_decode_to_the_same_trace(tr in arb_trace()) {
+        let mut jsonl = Vec::new();
+        write_jsonl(&tr, &mut jsonl).unwrap();
+        let via_jsonl = read_jsonl(jsonl.as_slice()).unwrap();
+        let via_binary = binfmt::decode(&binfmt::encode(&tr)).unwrap();
+        prop_assert_eq!(&via_jsonl.regions, &via_binary.regions);
+        prop_assert_eq!(&via_jsonl.comms, &via_binary.comms);
+        prop_assert_eq!(&via_jsonl.locations, &via_binary.locations);
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly(tr in arb_trace(), frac in 0.0f64..1.0) {
+        let full = binfmt::encode(&tr);
+        let cut = ((full.len() as f64) * frac) as usize;
+        if cut < full.len() {
+            prop_assert!(binfmt::decode(&full[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Either a clean error or (vanishingly unlikely) a parse; no panic,
+        // no unbounded allocation.
+        let _ = binfmt::decode(&data);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        tr in arb_trace(),
+        idx in any::<proptest::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut data = binfmt::encode(&tr).to_vec();
+        if !data.is_empty() {
+            let i = idx.index(data.len());
+            data[i] = byte;
+            let _ = binfmt::decode(&data);
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! ats apps                            the application collection index
 //! ats resources                       the paper's ch. 2 suite collection
 //! ats generate DIR                    emit generated single-property programs
-//! ats analyze FILE.jsonl [--json]     analyze a serialized trace
+//! ats analyze FILE [--json]           analyze a serialized trace (binary or JSONL)
 //! ats profile PROPERTY [k=v ...]     flat time profile of a property run
 //! ats asl SET.asl PROPERTY [k=v ...] evaluate a declarative property set
 //! ats phases PROPERTY [k=v ...]      windowed severity series + trend
@@ -134,15 +134,11 @@ fn profile_cmd(args: &[String]) {
 
 fn analyze_cmd(args: &[String]) {
     let Some(path) = args.first() else {
-        eprintln!("usage: ats analyze FILE.jsonl [--json]");
+        eprintln!("usage: ats analyze FILE [--json]   (ATSB binary or JSONL, auto-detected)");
         std::process::exit(2);
     };
-    let file = std::fs::File::open(path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
-        std::process::exit(2);
-    });
-    let trace = ats::trace::io::read_jsonl(std::io::BufReader::new(file)).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
+    let trace = ats::trace::io::read_path(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
     });
     let report = analyze(&trace, &AnalyzerConfig::default());

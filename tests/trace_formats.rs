@@ -1,0 +1,127 @@
+//! The on-disk trace format contract (ISSUE 2): analysis results are
+//! independent of how the trace traveled — in memory, through JSONL text,
+//! or through the ATSB columnar binary codec — the paper's figure-3.5
+//! localization survives a binary round-trip, and pooled event buffers
+//! never change a sweep row.
+
+use ats::analyzer::{analyze, AnalyzerConfig};
+use ats::core::CompositeParams;
+use ats::harness::experiment::{Experiment, Sweep};
+use ats::harness::registry::run_composite_two_comms;
+use ats::harness::{ExperimentRow, RunOpts};
+use ats::trace::{binfmt, io, Trace, TracePool};
+
+/// The Figure 3.4 composite: two communicators running different property
+/// sets in parallel, at reproduction scale (realistic model, visible
+/// init/finalize — the same program `ats-bench` renders).
+fn composite(nprocs: usize) -> Trace {
+    let params = CompositeParams {
+        basework: 0.005,
+        extrawork: 0.02,
+        reps: 2,
+        ..Default::default()
+    };
+    run_composite_two_comms(&params, &RunOpts::default().procs(nprocs).realistic())
+}
+
+fn findings_json(trace: &Trace) -> String {
+    let report = analyze(trace, &AnalyzerConfig::default());
+    serde_json::to_string_pretty(&report.findings).expect("findings serialize")
+}
+
+#[test]
+fn analysis_is_identical_across_in_memory_jsonl_and_binary() {
+    let trace = composite(8);
+    let direct = findings_json(&trace);
+
+    let mut jsonl = Vec::new();
+    io::write_jsonl(&trace, &mut jsonl).unwrap();
+    let via_jsonl = io::read_jsonl(jsonl.as_slice()).unwrap();
+
+    let mut binary = Vec::new();
+    binfmt::write_binary(&trace, &mut binary).unwrap();
+    let via_binary = binfmt::read_binary(binary.as_slice()).unwrap();
+
+    for (label, loaded) in [("jsonl", &via_jsonl), ("binary", &via_binary)] {
+        assert_eq!(loaded.locations, trace.locations, "{label}: events differ");
+        assert_eq!(loaded.comms, trace.comms, "{label}: comms differ");
+        assert_eq!(
+            findings_json(loaded),
+            direct,
+            "{label}: analysis diverges from the in-memory trace"
+        );
+    }
+
+    // And the sniffing reader dispatches both encodings to the same trace.
+    for (label, bytes) in [("jsonl", &jsonl), ("binary", &binary)] {
+        let sniffed = io::read_auto(bytes.as_slice()).unwrap();
+        assert_eq!(
+            findings_json(&sniffed),
+            direct,
+            "read_auto({label}) diverges"
+        );
+    }
+}
+
+#[test]
+fn figure35_localization_survives_a_binary_round_trip() {
+    let nprocs = 16usize;
+    let trace = composite(nprocs);
+    let mut binary = Vec::new();
+    binfmt::write_binary(&trace, &mut binary).unwrap();
+    let trace = binfmt::read_binary(binary.as_slice()).unwrap();
+
+    let report = analyze(&trace, &AnalyzerConfig::default());
+    let hits = report.findings_for("LateBroadcast");
+    assert!(!hits.is_empty(), "LateBroadcast not detected");
+    assert!(
+        hits.iter()
+            .any(|f| f.call_path.contains("late_broadcast") && f.call_path.contains("MPI_Bcast")),
+        "not localized at late_broadcast/MPI_Bcast"
+    );
+    let got: Vec<u32> = report
+        .locations_for("LateBroadcast")
+        .iter()
+        .map(|l| l.rank)
+        .collect();
+    let expected: Vec<u32> = (nprocs as u32 / 2..nprocs as u32)
+        .filter(|&r| r != nprocs as u32 / 2 + 1)
+        .collect();
+    assert_eq!(
+        got, expected,
+        "blamed ranks differ after the binary round-trip"
+    );
+}
+
+fn sweep_rows(jobs: usize, pool: Option<TracePool>) -> Vec<ExperimentRow> {
+    let mut opts = RunOpts::default().jobs(jobs);
+    if let Some(p) = pool {
+        opts = opts.trace_pool(p);
+    }
+    Experiment::new("late_sender")
+        .procs_grid([2, 4])
+        .sweep(Sweep::seconds("extrawork", [0.005, 0.02]))
+        .opts(opts)
+        .run_with_stats()
+        .expect("runnable")
+        .0
+}
+
+#[test]
+fn pooled_sweep_rows_are_byte_identical_for_any_jobs_value() {
+    let baseline = serde_json::to_string_pretty(&sweep_rows(1, None)).unwrap();
+    let shared = TracePool::new();
+    for jobs in [1usize, 8] {
+        let rows = sweep_rows(jobs, Some(shared.clone()));
+        assert_eq!(
+            serde_json::to_string_pretty(&rows).unwrap(),
+            baseline,
+            "jobs={jobs}: pooled rows diverge from the unpooled serial baseline"
+        );
+    }
+    // The shared pool really got exercised: the second sweep reused
+    // buffers the first one recycled.
+    let stats = shared.stats();
+    assert!(stats.recycled > 0, "{stats:?}");
+    assert!(stats.hits > 0, "{stats:?}");
+}
