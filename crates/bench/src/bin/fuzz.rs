@@ -1,0 +1,224 @@
+//! Fuzz campaign driver: generate, execute, and oracle-score seeded
+//! composite scenarios, shrink and persist anything that violates, and
+//! emit a machine-readable `BENCH_fuzz.json` (override the path with
+//! `ATS_BENCH_JSON`). Exits nonzero on any oracle violation or generator
+//! nondeterminism — with the honest default analyzer a run is a
+//! correctness gate, not just a throughput benchmark.
+//!
+//! Usage: `fuzz [count] [seed] [jobs] [--nprocs N] [--corpus DIR]
+//!              [--replay] [--threshold T] [--no-shrink]`
+//!   (defaults: 200 scenarios, seed 0xA75F022, jobs auto)
+//!
+//! `--replay` re-runs every minimized scenario persisted under the corpus
+//! directory instead of generating new ones: the regression guard for
+//! previously-found analyzer defects. `--threshold` mis-calibrates the
+//! analyzer under test — handy for watching the oracle catch a broken
+//! tool (never use it in CI).
+
+use ats_analyzer::AnalyzerConfig;
+use ats_fuzz::campaign::{run_campaign, FuzzConfig, FuzzStats};
+use ats_fuzz::{corpus, OracleConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+
+#[derive(Serialize)]
+struct FuzzBenchDoc {
+    experiment: &'static str,
+    base_seed: u64,
+    nprocs: usize,
+    #[serde(flatten)]
+    stats: FuzzStats,
+}
+
+struct Cli {
+    count: usize,
+    seed: u64,
+    jobs: usize,
+    nprocs: usize,
+    corpus_dir: Option<PathBuf>,
+    replay: bool,
+    threshold: Option<f64>,
+    shrink: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        count: 200,
+        seed: 0xA75_F022,
+        jobs: 0,
+        nprocs: 8,
+        corpus_dir: None,
+        replay: false,
+        threshold: None,
+        shrink: true,
+    };
+    let mut positional = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nprocs" => {
+                cli.nprocs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--nprocs N");
+            }
+            "--corpus" => {
+                cli.corpus_dir = Some(PathBuf::from(args.next().expect("--corpus DIR")));
+            }
+            "--replay" => cli.replay = true,
+            "--threshold" => {
+                cli.threshold = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threshold T"),
+                );
+            }
+            "--no-shrink" => cli.shrink = false,
+            other => {
+                match positional {
+                    0 => cli.count = other.parse().expect("count"),
+                    1 => {
+                        cli.seed = if let Some(hex) = other.strip_prefix("0x") {
+                            u64::from_str_radix(hex, 16).expect("seed")
+                        } else {
+                            other.parse().expect("seed")
+                        };
+                    }
+                    2 => cli.jobs = other.parse().expect("jobs"),
+                    _ => panic!("unexpected argument `{other}`"),
+                }
+                positional += 1;
+            }
+        }
+    }
+    cli
+}
+
+fn oracle_config(cli: &Cli) -> OracleConfig {
+    let mut cfg = OracleConfig::default();
+    if let Some(t) = cli.threshold {
+        cfg.analyzer = AnalyzerConfig::default().threshold(t);
+    }
+    cfg
+}
+
+fn replay_corpus(cli: &Cli) -> i32 {
+    let dir = cli
+        .corpus_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(corpus::DEFAULT_DIR));
+    let cfg = oracle_config(cli);
+    let opts = ats_harness::RunOpts::default().procs(cli.nprocs);
+    let results = match corpus::replay(&dir, &cfg, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "=== replaying {} corpus entries from {} ===\n",
+        results.len(),
+        dir.display()
+    );
+    let mut failing = 0;
+    for r in &results {
+        let status = if r.violations.is_empty() {
+            "ok"
+        } else {
+            "VIOLATES"
+        };
+        println!("{:10} {}", status, r.entry.scenario);
+        for v in &r.violations {
+            println!("           {}: {}", v.kind, v.detail);
+            failing += 1;
+        }
+    }
+    if failing > 0 {
+        eprintln!("\nFAIL: {failing} violation(s) across the corpus");
+        1
+    } else {
+        println!("\nall corpus entries clean");
+        0
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    if cli.replay {
+        std::process::exit(replay_corpus(&cli));
+    }
+
+    let cfg = FuzzConfig {
+        base_seed: cli.seed,
+        count: cli.count,
+        jobs: cli.jobs,
+        gen: ats_fuzz::GenConfig {
+            nprocs: cli.nprocs,
+            ..ats_fuzz::GenConfig::default()
+        },
+        oracle: oracle_config(&cli),
+        opts: ats_harness::RunOpts::default().procs(cli.nprocs),
+        shrink: cli.shrink,
+        corpus_dir: cli.corpus_dir.clone(),
+    };
+    println!(
+        "=== fuzz: {} scenarios, seed {:#x}, {} ranks ===\n",
+        cfg.count, cfg.base_seed, cli.nprocs
+    );
+    let result = match run_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = &result.stats;
+    println!(
+        "{} scenarios ({} phases, {} events) in {:.2}s with {} worker(s): {:.1} scenarios/s",
+        stats.scenarios,
+        stats.phases_executed,
+        stats.events,
+        stats.wall_secs,
+        stats.jobs,
+        stats.scenarios_per_sec
+    );
+    println!(
+        "violations: {} across {} scenario(s); regen mismatches: {}",
+        stats.violations, stats.violating_scenarios, stats.regen_mismatches
+    );
+    for m in &result.minimized {
+        println!("\nminimized witness: {}", m.scenario);
+        for v in &m.violations {
+            println!("  {}: {}", v.kind, v.detail);
+        }
+        if let Some(path) = &m.persisted {
+            println!("  -> {}", path.display());
+        }
+    }
+
+    let doc = FuzzBenchDoc {
+        experiment: "fuzz",
+        base_seed: cfg.base_seed,
+        nprocs: cli.nprocs,
+        stats: stats.clone(),
+    };
+    let json_path =
+        std::env::var("ATS_BENCH_JSON").unwrap_or_else(|_| "BENCH_fuzz.json".to_owned());
+    match std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&doc).expect("doc serializes"),
+    ) {
+        Ok(()) => println!("-> {json_path}"),
+        Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+    }
+
+    let ok = stats.violations == 0 && stats.regen_mismatches == 0;
+    if !ok {
+        eprintln!(
+            "FAIL: {} violation(s), {} regen mismatch(es)",
+            stats.violations, stats.regen_mismatches
+        );
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -46,8 +46,42 @@ pub struct ParamSpec {
     pub kind: ParamKind,
     /// Default value (in the command-line syntax).
     pub default: &'static str,
+    /// Inclusive lower bound of the legal range (command-line syntax);
+    /// `""` means unbounded below. Distribution parameters leave both
+    /// bounds empty.
+    pub min: &'static str,
+    /// Inclusive upper bound of the legal range; `""` means unbounded
+    /// above (e.g. a root rank, bounded only by the communicator size).
+    pub max: &'static str,
     /// Human-readable meaning.
     pub help: &'static str,
+}
+
+impl ParamSpec {
+    /// The declared `[min, max]` range as floats, substituting `0` /
+    /// `+inf` for missing bounds. Meaningful for `Seconds` and `Count`
+    /// parameters; `Distribution` parameters report the full range.
+    pub fn range_f64(&self) -> (f64, f64) {
+        let lo = self.min.parse::<f64>().unwrap_or(0.0);
+        let hi = self.max.parse::<f64>().unwrap_or(f64::INFINITY);
+        (lo, hi)
+    }
+
+    /// True if either bound is declared.
+    pub fn has_range(&self) -> bool {
+        !self.min.is_empty() || !self.max.is_empty()
+    }
+
+    /// Render the declared range as `[min, max]` (with `..` for a
+    /// missing bound), or `None` when no bound is declared.
+    pub fn range_display(&self) -> Option<String> {
+        if !self.has_range() {
+            return None;
+        }
+        let lo = if self.min.is_empty() { ".." } else { self.min };
+        let hi = if self.max.is_empty() { ".." } else { self.max };
+        Some(format!("[{lo}, {hi}]"))
+    }
 }
 
 /// Metadata for one property function.
@@ -75,54 +109,72 @@ const P_REPS: ParamSpec = ParamSpec {
     name: "r",
     kind: ParamKind::Count,
     default: "3",
+    min: "1",
+    max: "64",
     help: "repetitions of the property body",
 };
 const P_ROOT: ParamSpec = ParamSpec {
     name: "root",
     kind: ParamKind::Count,
     default: "0",
+    min: "0",
+    max: "",
     help: "root rank (communicator-local)",
 };
 const P_BASEWORK: ParamSpec = ParamSpec {
     name: "basework",
     kind: ParamKind::Seconds,
     default: "0.01",
+    min: "0",
+    max: "1",
     help: "work performed by every rank",
 };
 const P_EXTRAWORK: ParamSpec = ParamSpec {
     name: "extrawork",
     kind: ParamKind::Seconds,
     default: "0.04",
+    min: "0",
+    max: "1",
     help: "additional work for the late side (the severity knob)",
 };
 const P_ROOTWORK: ParamSpec = ParamSpec {
     name: "rootwork",
     kind: ParamKind::Seconds,
     default: "0.005",
+    min: "0",
+    max: "1",
     help: "work performed by the root",
 };
 const P_BASEEXTRA: ParamSpec = ParamSpec {
     name: "baseextrawork",
     kind: ParamKind::Seconds,
     default: "0.04",
+    min: "0",
+    max: "1",
     help: "additional work for the non-root ranks (the severity knob)",
 };
 const P_DISTR: ParamSpec = ParamSpec {
     name: "df",
     kind: ParamKind::Distribution,
     default: "block2:low=0.01,high=0.05",
+    min: "",
+    max: "",
     help: "work distribution over the group",
 };
 const P_NTHREADS: ParamSpec = ParamSpec {
     name: "nthreads",
     kind: ParamKind::Count,
     default: "4",
+    min: "1",
+    max: "16",
     help: "OpenMP team size",
 };
 const P_WORK: ParamSpec = ParamSpec {
     name: "work",
     kind: ParamKind::Seconds,
     default: "0.01",
+    min: "0",
+    max: "1",
     help: "balanced per-participant work",
 };
 
@@ -157,6 +209,8 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "postwork",
                 kind: ParamKind::Seconds,
                 default: "0.01",
+                min: "0",
+                max: "1",
                 help: "work overlapped between MPI_Irecv and MPI_Wait",
             },
             P_REPS,
@@ -175,6 +229,8 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "delay",
                 kind: ParamKind::Seconds,
                 default: "0.04",
+                min: "0",
+                max: "1",
                 help: "gap between the early (wrong-order) and the awaited message",
             },
             P_REPS,
@@ -276,6 +332,8 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "df",
                 kind: ParamKind::Distribution,
                 default: "block2:low=0.05,high=0.01",
+                min: "",
+                max: "",
                 help: "work distribution (descending shapes produce prefix waits)",
             },
             P_REPS,
@@ -294,6 +352,8 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "growth",
                 kind: ParamKind::Seconds,
                 default: "0.5",
+                min: "0",
+                max: "4",
                 help: "per-iteration scale growth (iteration i runs at 1 + growth*i)",
             },
             P_REPS,
@@ -313,6 +373,8 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "extrastep",
                 kind: ParamKind::Seconds,
                 default: "0.01",
+                min: "0",
+                max: "1",
                 help: "per-iteration increase of the heavy half's extra work",
             },
             P_REPS,
@@ -369,6 +431,8 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "singlework",
                 kind: ParamKind::Seconds,
                 default: "0.02",
+                min: "0",
+                max: "1",
                 help: "serialized work inside the single construct",
             },
             P_REPS,
@@ -387,12 +451,16 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "masterwork",
                 kind: ParamKind::Seconds,
                 default: "0.02",
+                min: "0",
+                max: "1",
                 help: "serialized work on the master thread",
             },
             ParamSpec {
                 name: "otherwork",
                 kind: ParamKind::Seconds,
                 default: "0.002",
+                min: "0",
+                max: "1",
                 help: "work on the non-master threads",
             },
             P_REPS,
@@ -411,12 +479,16 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "bodywork",
                 kind: ParamKind::Seconds,
                 default: "0.01",
+                min: "0",
+                max: "1",
                 help: "time inside the critical section per visit",
             },
             ParamSpec {
                 name: "outsidework",
                 kind: ParamKind::Seconds,
                 default: "0.0",
+                min: "0",
+                max: "1",
                 help: "parallel work between visits",
             },
             P_REPS,
@@ -436,6 +508,8 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "growth",
                 kind: ParamKind::Seconds,
                 default: "0.5",
+                min: "0",
+                max: "4",
                 help: "per-iteration scale growth",
             },
             P_REPS,
@@ -454,12 +528,16 @@ pub const CATALOG: &[PropertySpec] = &[
                 name: "bodywork",
                 kind: ParamKind::Seconds,
                 default: "0.01",
+                min: "0",
+                max: "1",
                 help: "time holding the lock per visit",
             },
             ParamSpec {
                 name: "outsidework",
                 kind: ParamKind::Seconds,
                 default: "0.0",
+                min: "0",
+                max: "1",
                 help: "parallel work between visits",
             },
             P_REPS,
@@ -617,6 +695,48 @@ mod tests {
         assert!(find("late_sender").is_some());
         assert!(find("nonexistent").is_none());
         assert_eq!(find("late_broadcast").unwrap().localized_at, "MPI_Bcast");
+    }
+
+    #[test]
+    fn every_numeric_param_declares_a_range_containing_its_default() {
+        for p in CATALOG {
+            for param in p.params {
+                match param.kind {
+                    ParamKind::Seconds | ParamKind::Count => {
+                        assert!(
+                            param.has_range(),
+                            "{}.{} has no range metadata",
+                            p.name,
+                            param.name
+                        );
+                        let (lo, hi) = param.range_f64();
+                        let d: f64 = param.default.parse().unwrap();
+                        assert!(
+                            lo <= d && d <= hi,
+                            "{}.{}: default {d} outside [{lo}, {hi}]",
+                            p.name,
+                            param.name
+                        );
+                    }
+                    ParamKind::Distribution => {
+                        assert!(
+                            !param.has_range(),
+                            "{}.{}: distributions take no numeric range",
+                            p.name,
+                            param.name
+                        );
+                        assert_eq!(param.range_f64(), (0.0, f64::INFINITY));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_display_renders_bounds() {
+        assert_eq!(P_REPS.range_display().unwrap(), "[1, 64]");
+        assert_eq!(P_ROOT.range_display().unwrap(), "[0, ..]");
+        assert!(P_DISTR.range_display().is_none());
     }
 
     #[test]

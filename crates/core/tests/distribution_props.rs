@@ -1,0 +1,188 @@
+//! Property-based tests for distribution edge cases (paper §3.1.2):
+//! degenerate group sizes, remainder ranks of the three-way shapes,
+//! zero-width blocks, and structural invariants that must hold for every
+//! shape at every size.
+
+use ats_core::Distr;
+use proptest::prelude::*;
+
+/// Finite, reasonably-sized work values (seconds-ish magnitudes).
+fn work_value() -> impl Strategy<Value = f64> {
+    (0.0f64..10.0).prop_map(|v| (v * 1e6).round() / 1e6)
+}
+
+/// Any parameterized (non-custom) shape with values from `work_value`.
+fn any_distr() -> impl Strategy<Value = Distr> {
+    prop_oneof![
+        work_value().prop_map(Distr::same),
+        (work_value(), work_value()).prop_map(|(l, h)| Distr::cyclic2(l, h)),
+        (work_value(), work_value()).prop_map(|(l, h)| Distr::block2(l, h)),
+        (work_value(), work_value()).prop_map(|(l, h)| Distr::linear(l, h)),
+        (work_value(), work_value(), 0usize..32).prop_map(|(l, h, n)| Distr::peak(l, h, n)),
+        (work_value(), work_value(), work_value()).prop_map(|(l, m, h)| Distr::cyclic3(l, m, h)),
+        (work_value(), work_value(), work_value()).prop_map(|(l, m, h)| Distr::block3(l, m, h)),
+    ]
+}
+
+proptest! {
+    /// Every shape yields exactly one value per participant, all finite.
+    #[test]
+    fn values_cover_the_group(d in any_distr(), sz in 1usize..40) {
+        let vals = d.values(sz, 1.0);
+        prop_assert_eq!(vals.len(), sz);
+        prop_assert!(vals.iter().all(|v| v.is_finite()));
+    }
+
+    /// A group of one is always balanced: whatever the shape, a single
+    /// participant cannot be imbalanced against anyone.
+    #[test]
+    fn singleton_groups_are_balanced(d in any_distr()) {
+        prop_assert!(d.is_balanced(1));
+        prop_assert_eq!(d.imbalance(1, 1.0), 0.0);
+    }
+
+    /// `df_peak` at `sz = 1`: the clamped peak rank *is* rank 0, so the
+    /// sole participant receives `high`, not `low`.
+    #[test]
+    fn peak_singleton_takes_high(low in work_value(), high in work_value(), n in 0usize..32) {
+        let d = Distr::peak(low, high, n);
+        prop_assert_eq!(d.values(1, 1.0), vec![high]);
+    }
+
+    /// `df_peak`: exactly one participant gets `high` (all others `low`),
+    /// and an out-of-range peak index clamps to the last rank.
+    #[test]
+    fn peak_has_exactly_one_peak(
+        low in work_value(),
+        extra in 0.001f64..10.0,
+        n in 0usize..32,
+        sz in 1usize..20,
+    ) {
+        let high = low + extra; // strictly distinguishable from low
+        let d = Distr::peak(low, high, n);
+        let vals = d.values(sz, 1.0);
+        let peaks = vals.iter().filter(|&&v| (v - high).abs() < 1e-12).count();
+        prop_assert_eq!(peaks, 1, "{:?}", vals);
+        let expected_idx = n.min(sz - 1);
+        prop_assert!((vals[expected_idx] - high).abs() < 1e-12);
+    }
+
+    /// `df_cyclic3` remainder ranks: rank `i` always gets the `i % 3`-th
+    /// value, regardless of how the group size relates to 3.
+    #[test]
+    fn cyclic3_remainder_ranks(
+        low in work_value(), med in work_value(), high in work_value(),
+        sz in 1usize..30,
+    ) {
+        let d = Distr::cyclic3(low, med, high);
+        let vals = d.values(sz, 1.0);
+        for (i, v) in vals.iter().enumerate() {
+            let expect = [low, med, high][i % 3];
+            prop_assert!((v - expect).abs() < 1e-12, "rank {i} of {sz}: {v} != {expect}");
+        }
+    }
+
+    /// `df_block3` with fewer participants than blocks: ceil-sized blocks
+    /// mean small groups lose the *later* blocks entirely — `sz = 2`
+    /// yields `[low, med]` (no high block), `sz = 1` just `[low]`.
+    #[test]
+    fn block3_small_groups_drop_later_blocks(
+        low in work_value(), med in work_value(), high in work_value(),
+    ) {
+        let d = Distr::block3(low, med, high);
+        prop_assert_eq!(d.values(1, 1.0), vec![low]);
+        prop_assert_eq!(d.values(2, 1.0), vec![low, med]);
+        prop_assert_eq!(d.values(3, 1.0), vec![low, med, high]);
+    }
+
+    /// `df_block3` block widths at any size: the first two blocks take
+    /// `ceil(sz/3)` members each and the last takes the remainder (which
+    /// may be zero-width).
+    #[test]
+    fn block3_widths_follow_ceil(
+        low in 0.0f64..1.0, med in 2.0f64..3.0, high in 4.0f64..5.0,
+        sz in 1usize..40,
+    ) {
+        let d = Distr::block3(low, med, high);
+        let vals = d.values(sz, 1.0);
+        let third = sz.div_ceil(3);
+        let lows = vals.iter().filter(|&&v| v < 1.5).count();
+        let meds = vals.iter().filter(|&&v| (1.5..3.5).contains(&v)).count();
+        let highs = vals.iter().filter(|&&v| v > 3.5).count();
+        prop_assert_eq!(lows, third.min(sz));
+        prop_assert_eq!(meds, sz.saturating_sub(third).min(third));
+        prop_assert_eq!(highs, sz.saturating_sub(2 * third));
+    }
+
+    /// `df_block2` zero-width second block: with `sz = 1` the first
+    /// (ceil-sized) block swallows the whole group and `high` never
+    /// appears.
+    #[test]
+    fn block2_singleton_is_all_low(low in work_value(), high in work_value()) {
+        let d = Distr::block2(low, high);
+        prop_assert_eq!(d.values(1, 1.0), vec![low]);
+    }
+
+    /// `df_block2` split point: exactly `ceil(sz/2)` members get `low`.
+    #[test]
+    fn block2_first_block_is_ceil_half(sz in 1usize..40) {
+        let d = Distr::block2(1.0, 2.0);
+        let vals = d.values(sz, 1.0);
+        let lows = vals.iter().filter(|&&v| v == 1.0).count();
+        prop_assert_eq!(lows, sz.div_ceil(2));
+        // And the blocks are contiguous.
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// `df_linear` degenerate group: a singleton takes `low` exactly
+    /// (never NaN from the 0/0 interpolation).
+    #[test]
+    fn linear_singleton_takes_low(low in work_value(), high in work_value()) {
+        let d = Distr::linear(low, high);
+        prop_assert_eq!(d.values(1, 1.0), vec![low]);
+    }
+
+    /// `df_linear` endpoints and monotonicity for `sz >= 2`.
+    #[test]
+    fn linear_hits_both_endpoints(low in work_value(), high in work_value(), sz in 2usize..40) {
+        let d = Distr::linear(low, high);
+        let vals = d.values(sz, 1.0);
+        prop_assert!((vals[0] - low).abs() < 1e-9);
+        prop_assert!((vals[sz - 1] - high).abs() < 1e-9);
+        if high >= low {
+            prop_assert!(vals.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        } else {
+            prop_assert!(vals.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        }
+    }
+
+    /// Scaling is proportional for every shape, rank, and size.
+    #[test]
+    fn scale_is_proportional(d in any_distr(), sz in 1usize..20, scale in 0.0f64..100.0) {
+        let base = d.values(sz, 1.0);
+        let scaled = d.values(sz, scale);
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert!((b * scale - s).abs() < 1e-9 * (1.0 + b.abs() * scale));
+        }
+    }
+
+    /// Imbalance is non-negative and zero exactly when balanced.
+    #[test]
+    fn imbalance_is_nonnegative(d in any_distr(), sz in 1usize..20) {
+        let imb = d.imbalance(sz, 1.0);
+        prop_assert!(imb >= 0.0);
+        if d.is_balanced(sz) {
+            prop_assert!(imb < 1e-9);
+        } else {
+            prop_assert!(imb > 0.0);
+        }
+    }
+
+    /// Display/FromStr round-trips for every generated shape.
+    #[test]
+    fn display_parse_round_trips(d in any_distr()) {
+        let printed = d.to_string();
+        let back: Distr = printed.parse().unwrap();
+        prop_assert_eq!(back, d);
+    }
+}

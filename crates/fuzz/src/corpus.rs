@@ -1,0 +1,181 @@
+//! The on-disk corpus of minimized violating scenarios.
+//!
+//! Every violating scenario the shrinker minimizes is persisted twice:
+//! the spec as pretty JSON (`s<seed-hex>.json`, with the compact text
+//! form and the violations embedded for human triage) and the executed
+//! trace in the ATSB binary format (`s<seed-hex>.atsb`). The JSON spec is
+//! the replayable artifact — `replay` re-executes the scenario through
+//! the oracle, which is how a fixed analyzer proves the regression is
+//! gone (and CI proves it never comes back).
+
+use crate::oracle::{self, OracleConfig, Violation};
+use crate::scenario::Scenario;
+use ats_trace::{binfmt, Trace};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Default corpus directory, relative to the repository root.
+pub const DEFAULT_DIR: &str = "artifacts/fuzz-corpus";
+
+/// The persisted JSON document for one corpus entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusDoc {
+    /// The minimized scenario spec.
+    pub scenario: Scenario,
+    /// Its compact one-line text form, for humans grepping the corpus.
+    pub text: String,
+    /// The violations the scenario reproduced when it was persisted.
+    pub violations: Vec<Violation>,
+}
+
+/// One loaded corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Path of the `.json` spec.
+    pub path: PathBuf,
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Violations recorded at persist time.
+    pub violations: Vec<Violation>,
+}
+
+/// File stem for a scenario: the seed in fixed-width hex, so corpus
+/// listings sort deterministically.
+pub fn stem(sc: &Scenario) -> String {
+    format!("s{:016x}", sc.seed)
+}
+
+/// Persist a minimized scenario and its trace under `dir`. Returns the
+/// path of the JSON spec.
+pub fn persist(
+    dir: &Path,
+    sc: &Scenario,
+    violations: &[Violation],
+    trace: &Trace,
+) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let stem = stem(sc);
+    let doc = CorpusDoc {
+        scenario: sc.clone(),
+        text: sc.to_string(),
+        violations: violations.to_vec(),
+    };
+    let json_path = dir.join(format!("{stem}.json"));
+    let json = serde_json::to_string_pretty(&doc).expect("corpus doc serializes");
+    fs::write(&json_path, json).map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    let atsb_path = dir.join(format!("{stem}.atsb"));
+    let file =
+        fs::File::create(&atsb_path).map_err(|e| format!("create {}: {e}", atsb_path.display()))?;
+    binfmt::write_binary(trace, file).map_err(|e| format!("{}: {e}", atsb_path.display()))?;
+    Ok(json_path)
+}
+
+/// Load every `.json` spec under `dir`, sorted by file name. A missing
+/// directory is an empty corpus.
+pub fn load(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("read {}: {e}", dir.display())),
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+    };
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let doc: CorpusDoc =
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push(CorpusEntry {
+            path,
+            scenario: doc.scenario,
+            violations: doc.violations,
+        });
+    }
+    Ok(out)
+}
+
+/// Result of replaying one corpus entry.
+#[derive(Debug)]
+pub struct ReplayResult {
+    /// The entry.
+    pub entry: CorpusEntry,
+    /// Violations under the *current* oracle configuration (empty means
+    /// the defect the entry witnessed is fixed).
+    pub violations: Vec<Violation>,
+}
+
+/// Re-run every corpus entry through the oracle with the given
+/// configuration. With an honest analyzer this is the regression guard:
+/// every entry must come back violation-free.
+pub fn replay(
+    dir: &Path,
+    cfg: &OracleConfig,
+    opts: &ats_harness::RunOpts,
+) -> Result<Vec<ReplayResult>, String> {
+    load(dir)?
+        .into_iter()
+        .map(|entry| {
+            let violations = oracle::violations_of(&entry.scenario, cfg, opts)
+                .map_err(|e| format!("{}: {e}", entry.path.display()))?;
+            Ok(ReplayResult { entry, violations })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenConfig};
+    use ats_harness::RunOpts;
+
+    /// Unique temp dir per test (no tempfile crate in the workspace).
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ats-fuzz-corpus-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persist_load_replay_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let sc = generate(11, &GenConfig::default());
+        let cfg = OracleConfig::default();
+        let opts = RunOpts::default();
+        let run = oracle::check(&sc, &cfg, &opts).unwrap();
+        persist(&dir, &sc, &run.violations, &run.trace).unwrap();
+
+        let entries = load(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].scenario, sc);
+
+        // The binary trace decodes to the executed trace.
+        let atsb = dir.join(format!("{}.atsb", stem(&sc)));
+        let decoded = binfmt::read_binary(fs::File::open(&atsb).unwrap()).unwrap();
+        assert_eq!(decoded.num_events(), run.trace.num_events());
+
+        // Replaying under the honest oracle stays clean.
+        let results = replay(&dir, &cfg, &opts).unwrap();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].violations.is_empty());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = tmp_dir("missing");
+        assert!(load(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stems_sort_by_seed() {
+        let a = generate(1, &GenConfig::default());
+        let b = generate(0x100, &GenConfig::default());
+        assert!(stem(&a) < stem(&b));
+    }
+}

@@ -1,0 +1,495 @@
+//! The serializable composite-scenario specification.
+//!
+//! A [`Scenario`] describes one composite test program: an ordered list of
+//! *slots*, each of which partitions `MPI_COMM_WORLD` with a [`Split`] and
+//! places catalog property functions (positive cases and well-tuned
+//! padding) on the resulting groups. All phases of one slot execute
+//! concurrently on disjoint groups; slots are separated by a world
+//! barrier, so every slot starts from aligned clocks.
+//!
+//! Scenarios have two interchangeable wire forms: JSON (one object per
+//! line in JSONL corpora, via serde) and a compact single-line text form
+//! (`Display` / `FromStr`) for log output and quick manual authoring.
+//! Both round-trip exactly, and serialization is byte-stable: parameters
+//! live in a `BTreeMap`, so the same scenario value always serializes to
+//! the same bytes — the property the determinism gate in CI checks.
+
+use ats_core::catalog::{self, Paradigm};
+use ats_harness::ParamValues;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// How one slot partitions the world into groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Split {
+    /// One group: the whole world (no `MPI_Comm_split` is issued).
+    Whole,
+    /// `groups` contiguous balanced blocks (group `g` covers global ranks
+    /// `[g*n/G, (g+1)*n/G)`), like a row decomposition.
+    Block {
+        /// Number of groups.
+        groups: usize,
+    },
+    /// Round-robin groups (`color = rank % groups`); `groups = 2` is the
+    /// classic even/odd split of the paper's two-communicator composite.
+    Stride {
+        /// Number of groups.
+        groups: usize,
+    },
+}
+
+impl Split {
+    /// Number of groups this split produces.
+    pub fn num_groups(&self) -> usize {
+        match self {
+            Split::Whole => 1,
+            Split::Block { groups } | Split::Stride { groups } => *groups,
+        }
+    }
+
+    /// The group (color) of a global rank.
+    pub fn color(&self, rank: usize, nprocs: usize) -> usize {
+        match self {
+            Split::Whole => 0,
+            Split::Block { groups } => (0..*groups)
+                .find(|&g| rank < (g + 1) * nprocs / groups)
+                .expect("rank < nprocs"),
+            Split::Stride { groups } => rank % groups,
+        }
+    }
+
+    /// Size of group `g` under `nprocs` ranks.
+    pub fn group_size(&self, g: usize, nprocs: usize) -> usize {
+        match self {
+            Split::Whole => nprocs,
+            Split::Block { groups } => (g + 1) * nprocs / groups - g * nprocs / groups,
+            Split::Stride { groups } => nprocs / groups + usize::from(g < nprocs % groups),
+        }
+    }
+}
+
+impl fmt::Display for Split {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Split::Whole => write!(f, "whole"),
+            Split::Block { groups } => write!(f, "block{groups}"),
+            Split::Stride { groups } => write!(f, "stride{groups}"),
+        }
+    }
+}
+
+impl FromStr for Split {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "whole" {
+            return Ok(Split::Whole);
+        }
+        let parse_groups = |rest: &str| {
+            rest.parse::<usize>()
+                .map_err(|_| format!("bad group count in split `{s}`"))
+        };
+        if let Some(rest) = s.strip_prefix("block") {
+            return Ok(Split::Block {
+                groups: parse_groups(rest)?,
+            });
+        }
+        if let Some(rest) = s.strip_prefix("stride") {
+            return Ok(Split::Stride {
+                groups: parse_groups(rest)?,
+            });
+        }
+        Err(format!("unknown split `{s}`"))
+    }
+}
+
+/// One property-function invocation placed on one group of a slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Group (color) this phase runs on; `0` for [`Split::Whole`].
+    pub group: usize,
+    /// Catalog property-function name.
+    pub property: String,
+    /// Concrete parameter assignment in command-line value syntax
+    /// (ordered map ⇒ byte-stable serialization).
+    pub params: BTreeMap<String, String>,
+}
+
+impl Phase {
+    /// Resolve the stored strings into typed [`ParamValues`] (defaults
+    /// filled in for unset parameters).
+    pub fn param_values(&self) -> Result<ParamValues, String> {
+        let spec = catalog::find(&self.property)
+            .ok_or_else(|| format!("unknown property `{}`", self.property))?;
+        let args: Vec<String> = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        ParamValues::from_args(spec, &refs).map_err(|e| format!("{}: {e}", self.property))
+    }
+
+    /// True if this phase is a well-tuned padding phase (a catalog
+    /// negative case, expected to stay finding-free).
+    pub fn is_padding(&self) -> bool {
+        catalog::find(&self.property).map(|s| s.paradigm) == Some(Paradigm::Negative)
+    }
+}
+
+/// One slot: a world partition plus the phases running on its groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Slot {
+    /// How the world is partitioned for this slot.
+    pub split: Split,
+    /// Phases, at most one per group, on distinct groups.
+    pub phases: Vec<Phase>,
+}
+
+/// A complete composite scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The generator seed this scenario was derived from (kept for
+    /// provenance; replaying does not re-generate).
+    pub seed: u64,
+    /// World size.
+    pub nprocs: usize,
+    /// Slots, executed in order with a world barrier between them.
+    pub slots: Vec<Slot>,
+}
+
+/// The trace region wrapped around the phase with global index `idx`
+/// (two-digit zero padding; slash-terminated matching in the oracle keeps
+/// wider indices unambiguous too).
+pub fn region_name(idx: usize) -> String {
+    format!("fz{idx:02}")
+}
+
+/// Name of the region wrapping the inter-slot world barrier. Waits inside
+/// it are expected by construction (groups finish at different times) and
+/// are never counted as oracle violations.
+pub const SYNC_REGION: &str = "fuzz_sync";
+
+impl Scenario {
+    /// All phases with their global index: `(global_idx, slot_idx, phase)`.
+    pub fn indexed_phases(&self) -> Vec<(usize, usize, &Phase)> {
+        let mut out = Vec::new();
+        for (si, slot) in self.slots.iter().enumerate() {
+            for ph in &slot.phases {
+                out.push((out.len(), si, ph));
+            }
+        }
+        out
+    }
+
+    /// Total number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.slots.iter().map(|s| s.phases.len()).sum()
+    }
+
+    /// Structural validity: catalog names, group indices in range, at
+    /// most one phase per group, parseable parameters, roots inside their
+    /// group, and every group of at least two ranks (MPI properties need
+    /// a partner). Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nprocs == 0 {
+            return Err("nprocs must be positive".into());
+        }
+        if self.slots.is_empty() {
+            return Err("scenario has no slots".into());
+        }
+        for (si, slot) in self.slots.iter().enumerate() {
+            let groups = slot.split.num_groups();
+            if groups == 0 || groups > self.nprocs {
+                return Err(format!(
+                    "slot {si}: {groups} groups over {} ranks",
+                    self.nprocs
+                ));
+            }
+            for g in 0..groups {
+                if slot.split.group_size(g, self.nprocs) < 2 {
+                    return Err(format!("slot {si}: group {g} has fewer than 2 ranks"));
+                }
+            }
+            let mut seen = Vec::new();
+            for ph in &slot.phases {
+                if ph.group >= groups {
+                    return Err(format!(
+                        "slot {si}: phase on group {} of {groups}",
+                        ph.group
+                    ));
+                }
+                if seen.contains(&ph.group) {
+                    return Err(format!("slot {si}: two phases on group {}", ph.group));
+                }
+                seen.push(ph.group);
+                let v = ph.param_values().map_err(|e| format!("slot {si}: {e}"))?;
+                if ph.params.contains_key("root") {
+                    let sz = slot.split.group_size(ph.group, self.nprocs);
+                    if v.count("root") >= sz {
+                        return Err(format!(
+                            "slot {si}: {} root {} outside group of {sz}",
+                            ph.property,
+                            v.count("root")
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize one scenario per line (JSONL).
+    pub fn to_jsonl(scenarios: &[Scenario]) -> String {
+        let mut out = String::new();
+        for s in scenarios {
+            out.push_str(&serde_json::to_string(s).expect("scenario serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL corpus (blank lines skipped).
+    pub fn from_jsonl(text: &str) -> Result<Vec<Scenario>, String> {
+        text.lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .map(|(i, l)| serde_json::from_str(l).map_err(|e| format!("line {}: {e}", i + 1)))
+            .collect()
+    }
+}
+
+impl fmt::Display for Scenario {
+    /// Compact one-line text form:
+    /// `seed=0x… nprocs=8 | stride2 g0:late_sender basework=0.01 r=2 + g1:balanced_mpi_barrier work=0.01 | whole g0:…`
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={:#x} nprocs={}", self.seed, self.nprocs)?;
+        for slot in &self.slots {
+            write!(f, " | {}", slot.split)?;
+            for (j, ph) in slot.phases.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " +")?;
+                }
+                write!(f, " g{}:{}", ph.group, ph.property)?;
+                for (k, v) in &ph.params {
+                    write!(f, " {k}={v}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Scenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut sections = s.split('|').map(str::trim);
+        let head = sections.next().ok_or("empty scenario")?;
+        let mut seed = None;
+        let mut nprocs = None;
+        for tok in head.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("seed=") {
+                let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                };
+                seed = Some(parsed.map_err(|_| format!("bad seed `{v}`"))?);
+            } else if let Some(v) = tok.strip_prefix("nprocs=") {
+                nprocs = Some(v.parse().map_err(|_| format!("bad nprocs `{v}`"))?);
+            } else {
+                return Err(format!("unexpected token `{tok}` in scenario header"));
+            }
+        }
+        let mut slots = Vec::new();
+        for section in sections {
+            let mut chunks = section.split('+').map(str::trim);
+            let first = chunks.next().ok_or("empty slot")?;
+            let mut toks = first.split_whitespace();
+            let split: Split = toks.next().ok_or("slot without split")?.parse()?;
+            let mut phases = Vec::new();
+            let first_phase: Vec<&str> = toks.collect();
+            let phase_chunks =
+                std::iter::once(first_phase).chain(chunks.map(|c| c.split_whitespace().collect()));
+            for chunk in phase_chunks {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let header = chunk[0];
+                let (g, prop) = header
+                    .strip_prefix('g')
+                    .and_then(|h| h.split_once(':'))
+                    .ok_or_else(|| format!("bad phase header `{header}`"))?;
+                let group = g.parse().map_err(|_| format!("bad group in `{header}`"))?;
+                let mut params = BTreeMap::new();
+                for kv in &chunk[1..] {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad parameter `{kv}`"))?;
+                    params.insert(k.to_owned(), v.to_owned());
+                }
+                phases.push(Phase {
+                    group,
+                    property: prop.to_owned(),
+                    params,
+                });
+            }
+            slots.push(Slot { split, phases });
+        }
+        Ok(Scenario {
+            seed: seed.ok_or("missing seed=")?,
+            nprocs: nprocs.ok_or("missing nprocs=")?,
+            slots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(group: usize, property: &str, params: &[(&str, &str)]) -> Phase {
+        Phase {
+            group,
+            property: property.to_owned(),
+            params: params
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        }
+    }
+
+    fn sample() -> Scenario {
+        Scenario {
+            seed: 0xDEAD_BEEF,
+            nprocs: 8,
+            slots: vec![
+                Slot {
+                    split: Split::Stride { groups: 2 },
+                    phases: vec![
+                        phase(
+                            0,
+                            "late_sender",
+                            &[("basework", "0.005"), ("extrawork", "0.03"), ("r", "2")],
+                        ),
+                        phase(1, "balanced_mpi_barrier", &[("work", "0.01"), ("r", "1")]),
+                    ],
+                },
+                Slot {
+                    split: Split::Whole,
+                    phases: vec![phase(
+                        0,
+                        "imbalance_at_mpi_barrier",
+                        &[("df", "block2:low=0.005,high=0.03"), ("r", "2")],
+                    )],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn split_covers_all_ranks_exactly_once() {
+        for split in [
+            Split::Whole,
+            Split::Block { groups: 3 },
+            Split::Stride { groups: 3 },
+            Split::Block { groups: 2 },
+            Split::Stride { groups: 4 },
+        ] {
+            for nprocs in [4, 7, 8, 9, 16] {
+                if split.num_groups() > nprocs {
+                    continue;
+                }
+                let mut sizes = vec![0usize; split.num_groups()];
+                for rank in 0..nprocs {
+                    sizes[split.color(rank, nprocs)] += 1;
+                }
+                for (g, &count) in sizes.iter().enumerate() {
+                    assert_eq!(
+                        count,
+                        split.group_size(g, nprocs),
+                        "{split} g{g} over {nprocs}"
+                    );
+                }
+                assert_eq!(sizes.iter().sum::<usize>(), nprocs);
+            }
+        }
+    }
+
+    #[test]
+    fn block_split_is_contiguous() {
+        let split = Split::Block { groups: 3 };
+        let colors: Vec<usize> = (0..8).map(|r| split.color(r, 8)).collect();
+        assert!(colors.windows(2).all(|w| w[0] <= w[1]), "{colors:?}");
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_stable() {
+        let s = sample();
+        let a = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, s);
+        let b = serde_json::to_string(&back).unwrap();
+        assert_eq!(a, b, "serialization must be byte-stable");
+    }
+
+    #[test]
+    fn text_form_round_trips() {
+        let s = sample();
+        let text = s.to_string();
+        assert!(text.starts_with("seed=0xdeadbeef nprocs=8 | stride2 g0:late_sender"));
+        let back: Scenario = text.parse().unwrap_or_else(|e| panic!("{e}: {text}"));
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let scenarios = vec![sample(), sample()];
+        let text = Scenario::to_jsonl(&scenarios);
+        assert_eq!(text.lines().count(), 2);
+        let back = Scenario::from_jsonl(&text).unwrap();
+        assert_eq!(back, scenarios);
+    }
+
+    #[test]
+    fn validate_accepts_the_sample_and_rejects_breakage() {
+        assert_eq!(sample().validate(), Ok(()));
+
+        let mut bad = sample();
+        bad.slots[0].phases[0].property = "flux_capacitor".into();
+        assert!(bad.validate().is_err());
+
+        let mut bad = sample();
+        bad.slots[0].phases[1].group = 7;
+        assert!(bad.validate().is_err());
+
+        let mut bad = sample();
+        bad.slots[0].phases[1].group = 0; // duplicate group
+        assert!(bad.validate().is_err());
+
+        let mut bad = sample();
+        bad.nprocs = 3; // stride2 over 3 ranks -> a singleton group
+        assert!(bad.validate().is_err());
+
+        let mut bad = sample();
+        bad.slots[1].phases[0] = phase(0, "late_broadcast", &[("root", "9")]);
+        assert!(bad.validate().is_err(), "root outside the group");
+    }
+
+    #[test]
+    fn padding_detection_follows_the_catalog() {
+        assert!(phase(0, "balanced_mpi_barrier", &[]).is_padding());
+        assert!(!phase(0, "late_sender", &[]).is_padding());
+    }
+
+    #[test]
+    fn region_names_are_two_digit_padded() {
+        assert_eq!(region_name(0), "fz00");
+        assert_eq!(region_name(7), "fz07");
+        assert_eq!(region_name(42), "fz42");
+    }
+}

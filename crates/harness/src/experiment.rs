@@ -245,7 +245,11 @@ impl Experiment {
             .clone()
             .procs(nprocs)
             .trace_pool(trace_pool.clone());
-        let trace = run_single(&self.property, &params, &opts)?;
+        // Attribute any failure to this exact configuration so a failing
+        // combo inside a pool-parallel sweep is identifiable from the
+        // error alone.
+        let trace = run_single(&self.property, &params, &opts)
+            .map_err(|e| e.in_config(&self.property, &params))?;
         let report = analyze(&trace, &self.analyzer);
         let total_alloc = trace.total_alloc_time().as_secs();
         let (detected_severity, localized, unexpected) = match spec.expected_property {

@@ -27,10 +27,14 @@ pub fn usage(spec: &PropertySpec) -> String {
             ParamKind::Count => "count",
             ParamKind::Distribution => "distribution",
         };
+        let range = p
+            .range_display()
+            .map(|r| format!(" range={r}"))
+            .unwrap_or_default();
         let _ = writeln!(
             out,
-            "  {:<14} {:<12} default={:<24} {}",
-            p.name, kind, p.default, p.help
+            "  {:<14} {:<12} default={:<24} {}{}",
+            p.name, kind, p.default, p.help, range
         );
     }
     out
@@ -192,6 +196,25 @@ mod tests {
             assert!(u.contains(p.default), "usage missing default {}", p.default);
         }
         assert!(u.contains("late_broadcast"));
+    }
+
+    #[test]
+    fn usage_shows_legal_ranges() {
+        let spec = catalog::find("late_broadcast").unwrap();
+        let u = usage(spec);
+        // Numeric parameters advertise their legal range; the root rank's
+        // upper bound is the communicator size, rendered as an open bound.
+        assert!(u.contains("range=[1, 64]"), "reps range missing:\n{u}");
+        assert!(u.contains("range=[0, ..]"), "root range missing:\n{u}");
+        assert!(u.contains("range=[0, 1]"), "seconds range missing:\n{u}");
+        // Distribution parameters take no numeric range.
+        let imb = catalog::find("imbalance_at_mpi_barrier").unwrap();
+        let line = usage(imb)
+            .lines()
+            .find(|l| l.trim_start().starts_with("df"))
+            .unwrap()
+            .to_owned();
+        assert!(!line.contains("range="), "df should have no range: {line}");
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod validation;
 pub use correctness::{score_negative, score_positive, SuiteSummary, Verdict};
 pub use experiment::{Experiment, ExperimentRow, ExperimentStats, Sweep};
 pub use params::{ParamValue, ParamValues};
-pub use registry::{run_single, RunError, RunOpts};
+pub use registry::{run_in_comm, run_single, spec_of, RunError, RunOpts};

@@ -97,7 +97,10 @@ impl RunOpts {
         self
     }
 
-    fn sim_config(&self) -> SimConfig {
+    /// The [`SimConfig`] these options induce — public so subsystems that
+    /// drive `ats_mpi::run` with their own rank closures (composite
+    /// scenarios, the fuzzer) price runs identically to [`run_single`].
+    pub fn sim_config(&self) -> SimConfig {
         SimConfig {
             nprocs: self.nprocs,
             model: self.model.clone(),
@@ -110,7 +113,8 @@ impl RunOpts {
         }
     }
 
-    fn omp_config(&self) -> OmpConfig {
+    /// The [`OmpConfig`] these options induce (see [`RunOpts::sim_config`]).
+    pub fn omp_config(&self) -> OmpConfig {
         OmpConfig {
             model: self.model.clone(),
             work_mode: self.work_mode,
@@ -126,12 +130,46 @@ impl RunOpts {
 pub enum RunError {
     /// No catalog entry with this name.
     UnknownProperty(String),
+    /// A failure attributed to one concrete configuration: the property
+    /// name and the full parameter assignment travel with the error, so a
+    /// failing configuration inside a pool-parallel sweep is identifiable
+    /// from the error alone, without re-running the sweep serially.
+    Config {
+        /// Property-function name of the failing configuration.
+        property: String,
+        /// Parameter assignment in command-line syntax (`k=v ...`).
+        params: String,
+        /// The underlying failure, rendered.
+        cause: String,
+    },
+}
+
+impl RunError {
+    /// Attach the configuration (property + parameters) this error arose
+    /// from. Already-attributed errors pass through unchanged.
+    pub fn in_config(self, property: &str, params: &ParamValues) -> RunError {
+        match self {
+            RunError::Config { .. } => self,
+            other => RunError::Config {
+                property: property.to_owned(),
+                params: params.to_cli(),
+                cause: other.to_string(),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::UnknownProperty(n) => write!(f, "unknown property function `{n}`"),
+            RunError::Config {
+                property,
+                params,
+                cause,
+            } => {
+                write!(f, "property `{property}` ({params}): {cause}")
+            }
         }
     }
 }
@@ -222,8 +260,29 @@ fn dispatch_omp<M: ats_omp::Master>(name: &str, v: &ParamValues, m: &mut M) {
 }
 
 fn dispatch_mpi(name: &str, v: &ParamValues, base: &BaseComm, p: &mut ats_mpi::Proc) {
-    use properties::{hybrid, mpi_coll, mpi_p2p, negative, sequential};
     let c = p.comm_world();
+    run_in_comm(name, v, base, p, &c);
+}
+
+/// Execute property `name` on an arbitrary communicator inside a running
+/// simulated rank. This is the composition primitive: scenario builders
+/// (hand-written composites, the fuzzer) split the world into groups and
+/// place catalog properties on the resulting sub-communicators. Every
+/// rank of `c` must call this with the same arguments; ranks outside `c`
+/// must not call it. OMP-paradigm properties run a per-rank thread team
+/// (the hybrid harness mode) and use `c` only for placement.
+///
+/// Panics if `name` has no catalog entry — validate with [`spec_of`]
+/// before entering the simulation closure.
+pub fn run_in_comm(
+    name: &str,
+    v: &ParamValues,
+    base: &BaseComm,
+    p: &mut ats_mpi::Proc,
+    c: &ats_mpi::Comm,
+) {
+    use properties::{hybrid, mpi_coll, mpi_p2p, negative, sequential};
+    let c = c.clone();
     match name {
         "late_sender" => mpi_p2p::late_sender(
             p,
@@ -466,6 +525,65 @@ mod tests {
             &RunOpts::default(),
         );
         assert!(matches!(err, Err(RunError::UnknownProperty(_))));
+    }
+
+    #[test]
+    fn config_error_displays_property_and_params() {
+        let spec = spec_of("late_sender").unwrap();
+        let params = ParamValues::defaults(spec);
+        let err =
+            RunError::UnknownProperty("late_sender".to_owned()).in_config("late_sender", &params);
+        let msg = err.to_string();
+        assert!(msg.contains("late_sender"), "{msg}");
+        assert!(msg.contains("basework=0.01"), "{msg}");
+        assert!(msg.contains("extrawork=0.04"), "{msg}");
+        assert!(msg.contains("r=3"), "{msg}");
+        // Attribution is idempotent: re-wrapping keeps the original config.
+        let rewrapped = err.clone().in_config("other", &ParamValues::default());
+        assert_eq!(err, rewrapped);
+    }
+
+    #[test]
+    fn run_in_comm_places_properties_on_split_communicators() {
+        // Even ranks run late_sender, odd ranks stay balanced; both halves
+        // meet at a final world barrier. The analyzer must localize the
+        // finding under the even half's property frame only.
+        let opts = RunOpts::default().procs(8);
+        let spec = spec_of("late_sender").unwrap();
+        let pos = ParamValues::defaults(spec);
+        let neg = ParamValues::defaults(spec_of("balanced_mpi_barrier").unwrap());
+        let base = opts.base;
+        let trace = ats_mpi::run(opts.sim_config(), move |p| {
+            let world = p.comm_world();
+            let color = (p.rank() % 2) as i64;
+            let sub = p
+                .comm_split(color, p.rank() as i64, &world)
+                .expect("non-negative color");
+            if color == 0 {
+                run_in_comm("late_sender", &pos, &base, p, &sub);
+            } else {
+                run_in_comm("balanced_mpi_barrier", &neg, &base, p, &sub);
+            }
+            p.barrier(&world);
+        });
+        assert!(ats_trace::check_wellformed(&trace).is_empty());
+        let report = analyze(&trace, &AnalyzerConfig::default());
+        assert!(
+            report
+                .findings_for("LateSender")
+                .iter()
+                .any(|f| f.call_path.contains("late_sender/MPI_Recv")),
+            "late sender not localized: {:?}",
+            report.findings
+        );
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| f.call_path.contains("balanced_mpi_barrier")),
+            "balanced half produced findings: {:?}",
+            report.findings
+        );
     }
 
     #[test]
