@@ -9,6 +9,10 @@ use ats_trace::Trace;
 /// Analyzer configuration.
 #[derive(Debug, Clone)]
 pub struct AnalyzerConfig {
+    /// Observability registry analyses record into (`None` = no
+    /// recording): per-pass span timings, ingest counters, finding
+    /// counts. Recording never changes the report.
+    pub obs: Option<ats_obs::Handle>,
     /// Minimum severity fraction (waiting time / total allocation time)
     /// for a (property, call path) to be reported. The paper notes that
     /// "automatic performance tools have different thresholds /
@@ -24,6 +28,7 @@ pub struct AnalyzerConfig {
 impl Default for AnalyzerConfig {
     fn default() -> Self {
         AnalyzerConfig {
+            obs: None,
             threshold: 0.005,
             report_setup_overhead: false,
         }
@@ -42,26 +47,64 @@ impl AnalyzerConfig {
         self.report_setup_overhead = true;
         self
     }
+
+    /// Builder: record metrics into `obs` for every analysis.
+    pub fn obs(mut self, obs: ats_obs::Handle) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+}
+
+/// Run `f`, observing its duration into `h` when observability is on.
+fn timed<T>(h: Option<&ats_obs::Histogram>, f: impl FnOnce() -> T) -> T {
+    match h {
+        Some(h) => {
+            let _t = h.timer();
+            f()
+        }
+        None => f(),
+    }
 }
 
 /// Run the automatic analysis over a trace.
 pub fn analyze(trace: &Trace, config: &AnalyzerConfig) -> AnalysisReport {
-    let ex = extract(trace);
+    let m = config.obs.as_ref().map(|o| &o.analyzer);
+    if let Some(m) = m {
+        m.analyses.inc();
+        m.events_ingested.add(trace.num_events() as u64);
+    }
+    let ex = timed(m.map(|m| &m.extract_time), || extract(trace));
     let mut cube = SeverityCube::new(trace.total_alloc_time());
 
     let pairs = patterns::match_messages(&ex);
-    cube.extend(patterns::late_sender(&pairs));
-    cube.extend(patterns::late_receiver(&pairs));
-    cube.extend(patterns::wrong_order(&pairs));
-    for inst in &ex.colls {
-        cube.extend(patterns::collective_waits(inst, trace));
-    }
-    cube.extend(patterns::critical_waits(&ex));
+    cube.extend(timed(m.map(|m| &m.late_sender_time), || {
+        patterns::late_sender(&pairs)
+    }));
+    cube.extend(timed(m.map(|m| &m.late_receiver_time), || {
+        patterns::late_receiver(&pairs)
+    }));
+    cube.extend(timed(m.map(|m| &m.wrong_order_time), || {
+        patterns::wrong_order(&pairs)
+    }));
+    timed(m.map(|m| &m.collective_time), || {
+        for inst in &ex.colls {
+            cube.extend(patterns::collective_waits(inst, trace));
+        }
+    });
+    cube.extend(timed(m.map(|m| &m.critical_time), || {
+        patterns::critical_waits(&ex)
+    }));
     if config.report_setup_overhead {
         cube.extend(patterns::setup_overheads(&ex));
     }
 
-    AnalysisReport::build(cube, ex.paths, trace, config.threshold)
+    let report = timed(m.map(|m| &m.severity_time), || {
+        AnalysisReport::build(cube, ex.paths, trace, config.threshold)
+    });
+    if let Some(m) = m {
+        m.findings.add(report.findings.len() as u64);
+    }
+    report
 }
 
 #[cfg(test)]

@@ -34,6 +34,12 @@ pub fn analyze_path(
     path: impl AsRef<Path>,
     config: &AnalyzerConfig,
 ) -> Result<(Trace, AnalysisReport), TraceIoError> {
+    let path = path.as_ref();
+    if let Some(obs) = &config.obs {
+        if let Ok(meta) = std::fs::metadata(path) {
+            obs.analyzer.bytes_ingested.add(meta.len());
+        }
+    }
     let trace = load_trace(path)?;
     let report = analyze(&trace, config);
     Ok((trace, report))

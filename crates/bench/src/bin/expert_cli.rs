@@ -6,27 +6,28 @@
 //!   expert_cli --trace FILE
 //!   expert_cli --run PROPERTY [key=value ...] [--procs N]
 //!   ... [--save FILE] [--format {jsonl,binary}]   (default format: binary)
+//!   ... [--metrics PATH] [--manifest]
 
-use ats_analyzer::{analyze, AnalyzerConfig};
-use ats_bench::{flag, format_flag, split_flags};
-use ats_harness::{run_single, ParamValues, RunOpts};
+use ats_bench::cli::CommonArgs;
+use ats_harness::{ParamValues, Session};
+use std::path::Path;
 
 fn main() {
-    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
-    let trace = if let Some(path) = flag(&flags, "trace") {
+    let args = CommonArgs::parse();
+    let procs = args.flag("procs").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let session = args.session(Session::builder().procs(procs));
+    let trace = if let Some(path) = args.flag("trace") {
         ats_trace::io::read_path(path).unwrap_or_else(|e| {
             eprintln!("{path}: {e}");
             std::process::exit(2);
         })
-    } else if let Some(name) = flag(&flags, "run") {
+    } else if let Some(name) = args.flag("run") {
         let spec = ats_core::catalog::find(name).unwrap_or_else(|| {
             eprintln!("unknown property `{name}`; see the `catalog` binary");
             std::process::exit(2);
         });
-        let procs = flag(&flags, "procs")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(8);
-        let kv: Vec<&str> = positionals
+        let kv: Vec<&str> = args
+            .positionals
             .iter()
             .map(String::as_str)
             .filter(|a| a.contains('='))
@@ -35,16 +36,17 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         });
-        run_single(name, &params, &RunOpts::default().procs(procs)).expect("in catalog")
+        session.run(name, &params).expect("in catalog")
     } else {
         eprintln!(
             "usage: expert_cli --trace FILE | --run PROPERTY [key=value ...] [--procs N]\n\
-             \x20      [--save FILE] [--format {{jsonl,binary}}]"
+             \x20      [--save FILE] [--format {{jsonl,binary}}] [--metrics PATH] [--manifest]"
         );
         std::process::exit(2);
     };
-    if let Some(path) = flag(&flags, "save") {
-        let format = format_flag(&flags);
+    let mut artifacts: Vec<&Path> = Vec::new();
+    if let Some(path) = args.save() {
+        let format = args.format();
         let file = std::fs::File::create(path).unwrap_or_else(|e| {
             eprintln!("cannot create {path}: {e}");
             std::process::exit(1);
@@ -56,7 +58,9 @@ fn main() {
                 std::process::exit(1);
             });
         eprintln!("saved {format} trace to {path}");
+        artifacts.push(Path::new(path));
     }
-    let report = analyze(&trace, &AnalyzerConfig::default());
+    let report = session.analyze(&trace);
     println!("{}", report.render(&trace));
+    args.emit(&session, "expert_cli", &artifacts);
 }

@@ -2,31 +2,32 @@
 //! executions of the single-property test program for
 //! `imbalance_at_mpi_barrier` with different parameters.
 //!
-//! Usage: `figure32 [nprocs] [--svg DIR] [--trace-dir DIR] [--format {jsonl,binary}]`
+//! Usage: `figure32 [nprocs] [--svg DIR] [--trace-dir DIR]
+//!                  [--format {jsonl,binary}] [--metrics PATH] [--manifest]`
 
-use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
+use ats_analyzer::AnalyzerConfig;
+use ats_bench::{cli::CommonArgs, write_trace_artifact};
 use ats_harness::timeline;
+use std::path::{Path, PathBuf};
 
 fn main() {
-    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
-    let nprocs = positionals
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8usize);
-    let svg_dir = flag(&flags, "svg");
-    let trace_dir = flag(&flags, "trace-dir");
-    let format = format_flag(&flags);
+    let args = CommonArgs::parse();
+    let nprocs = args.positional_or(0, 8usize);
+    let session = args.session(
+        ats_bench::paper_session(nprocs).analyzer(AnalyzerConfig::default().with_setup_overhead()),
+    );
 
     println!("=== Figure 3.2: single-property test program, two parameterizations ===");
     println!("(program: imbalance_at_mpi_barrier; {nprocs} ranks; realistic model");
     println!(" with visible MPI_Init/MPI_Finalize phases, as in the paper)\n");
-    for (idx, (label, trace)) in ats_bench::figure32_runs(nprocs).into_iter().enumerate() {
+    let mut artifacts: Vec<PathBuf> = Vec::new();
+    for (idx, (label, trace)) in ats_bench::figure32_runs_with(session.opts())
+        .into_iter()
+        .enumerate()
+    {
         println!("--- run {}: {label} ---", idx + 1);
         print!("{}", timeline::render_text(&trace, 100));
-        let report = ats_analyzer::analyze(
-            &trace,
-            &ats_analyzer::AnalyzerConfig::default().with_setup_overhead(),
-        );
+        let report = session.analyze(&trace);
         println!(
             "WaitAtBarrier severity: {:.2}%   MpiSetupOverhead severity: {:.2}%",
             report.severity_of("WaitAtBarrier") * 100.0,
@@ -35,15 +36,18 @@ fn main() {
         println!(
             "(the paper notes the init/finalize overhead property is 'hard to avoid\n in the view of the small sizes of the test programs')\n"
         );
-        if let Some(dir) = svg_dir {
+        if let Some(dir) = args.svg_dir() {
             let path = format!("{dir}/figure32_run{}.svg", idx + 1);
             std::fs::write(&path, timeline::render_svg(&trace, 400)).expect("write svg");
             println!("wrote {path}");
         }
-        if let Some(dir) = trace_dir {
+        if let Some(dir) = args.trace_dir() {
             let stem = format!("figure32_run{}", idx + 1);
-            let path = write_trace_artifact(&trace, dir, &stem, format);
+            let path = write_trace_artifact(&trace, dir, &stem, args.format());
             println!("wrote {path}");
+            artifacts.push(PathBuf::from(path));
         }
     }
+    let artifact_refs: Vec<&Path> = artifacts.iter().map(PathBuf::as_path).collect();
+    args.emit(&session, "figure32", &artifact_refs);
 }

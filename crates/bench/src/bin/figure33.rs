@@ -3,25 +3,22 @@
 //! severities — "to quickly determine how many different performance
 //! properties can be detected by a performance tool".
 //!
-//! Usage: `figure33 [nprocs] [--svg DIR] [--trace-dir DIR] [--format {jsonl,binary}]`
+//! Usage: `figure33 [nprocs] [--svg DIR] [--trace-dir DIR]
+//!                  [--format {jsonl,binary}] [--metrics PATH] [--manifest]`
 
-use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
+use ats_bench::{cli::CommonArgs, write_trace_artifact};
 use ats_harness::timeline;
+use std::path::{Path, PathBuf};
 
 fn main() {
-    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
-    let nprocs = positionals
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8usize);
-    let svg_dir = flag(&flags, "svg");
-    let trace_dir = flag(&flags, "trace-dir");
-    let format = format_flag(&flags);
+    let args = CommonArgs::parse();
+    let nprocs = args.positional_or(0, 8usize);
+    let session = args.session(ats_bench::paper_session(nprocs));
 
     println!("=== Figure 3.3: all MPI property functions in one program ===\n");
-    let trace = ats_bench::figure33_trace(nprocs);
+    let trace = ats_bench::figure33_trace_with(session.opts());
     print!("{}", timeline::render_text(&trace, 120));
-    let report = ats_analyzer::analyze(&trace, &ats_analyzer::AnalyzerConfig::default());
+    let report = session.analyze(&trace);
     println!("\nproperties detectable in this single program:");
     for prop in [
         "LateSender",
@@ -39,13 +36,17 @@ fn main() {
             report.severity_of(prop) * 100.0
         );
     }
-    if let Some(dir) = svg_dir {
+    if let Some(dir) = args.svg_dir() {
         let path = format!("{dir}/figure33.svg");
         std::fs::write(&path, timeline::render_svg(&trace, 500)).expect("write svg");
         println!("wrote {path}");
     }
-    if let Some(dir) = trace_dir {
-        let path = write_trace_artifact(&trace, dir, "figure33", format);
+    let mut artifacts: Vec<PathBuf> = Vec::new();
+    if let Some(dir) = args.trace_dir() {
+        let path = write_trace_artifact(&trace, dir, "figure33", args.format());
         println!("wrote {path}");
+        artifacts.push(PathBuf::from(path));
     }
+    let artifact_refs: Vec<&Path> = artifacts.iter().map(PathBuf::as_path).collect();
+    args.emit(&session, "figure33", &artifact_refs);
 }

@@ -2,20 +2,17 @@
 //! functions executing in parallel in different communicators (lower half:
 //! point-to-point set; upper half: collective set).
 //!
-//! Usage: `figure34 [nprocs] [--svg DIR] [--trace-dir DIR] [--format {jsonl,binary}]`
+//! Usage: `figure34 [nprocs] [--svg DIR] [--trace-dir DIR]
+//!                  [--format {jsonl,binary}] [--metrics PATH] [--manifest]`
 
-use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
+use ats_bench::{cli::CommonArgs, write_trace_artifact};
 use ats_harness::timeline;
+use std::path::{Path, PathBuf};
 
 fn main() {
-    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
-    let nprocs = positionals
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(16usize);
-    let svg_dir = flag(&flags, "svg");
-    let trace_dir = flag(&flags, "trace-dir");
-    let format = format_flag(&flags);
+    let args = CommonArgs::parse();
+    let nprocs = args.positional_or(0, 16usize);
+    let session = args.session(ats_bench::paper_session(nprocs));
 
     println!("=== Figure 3.4: two communicators, different property sets in parallel ===");
     println!(
@@ -26,19 +23,23 @@ fn main() {
         " upper ranks {}..{nprocs}: late_broadcast(root 1) + early_reduce + barrier imbalance)\n",
         nprocs / 2
     );
-    let trace = ats_bench::figure34_trace(nprocs);
+    let trace = ats_bench::figure34_trace_with(session.opts());
     print!("{}", timeline::render_text(&trace, 120));
     println!("\ncommunicators recorded in the trace:");
     for c in &trace.comms {
         println!("  comm {:>2}: members {:?}", c.id, c.members);
     }
-    if let Some(dir) = svg_dir {
+    if let Some(dir) = args.svg_dir() {
         let path = format!("{dir}/figure34.svg");
         std::fs::write(&path, timeline::render_svg(&trace, 500)).expect("write svg");
         println!("wrote {path}");
     }
-    if let Some(dir) = trace_dir {
-        let path = write_trace_artifact(&trace, dir, "figure34", format);
+    let mut artifacts: Vec<PathBuf> = Vec::new();
+    if let Some(dir) = args.trace_dir() {
+        let path = write_trace_artifact(&trace, dir, "figure34", args.format());
         println!("wrote {path}");
+        artifacts.push(PathBuf::from(path));
     }
+    let artifact_refs: Vec<&Path> = artifacts.iter().map(PathBuf::as_path).collect();
+    args.emit(&session, "figure34", &artifact_refs);
 }

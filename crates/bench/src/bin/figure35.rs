@@ -10,13 +10,15 @@
 //! (e.g. one written by `figure34 --trace-dir`; ATSB binary or JSONL,
 //! auto-detected) instead of re-executing the composite program.
 //!
-//! Usage: `figure35 [nprocs] [--trace FILE]`
+//! Usage: `figure35 [nprocs] [--trace FILE] [--metrics PATH] [--manifest]`
 
-use ats_bench::{flag, split_flags};
+use ats_bench::cli::CommonArgs;
 
 fn main() {
-    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
-    let (trace, nprocs) = match flag(&flags, "trace") {
+    let args = CommonArgs::parse();
+    let nprocs_arg = args.positional_or(0, 16usize);
+    let session = args.session(ats_bench::paper_session(nprocs_arg));
+    let (trace, nprocs) = match args.flag("trace") {
         Some(path) => {
             let trace = ats_trace::io::read_path(path).unwrap_or_else(|e| {
                 eprintln!("{path}: {e}");
@@ -30,15 +32,9 @@ fn main() {
                 .unwrap_or(0);
             (trace, nprocs)
         }
-        None => {
-            let nprocs = positionals
-                .first()
-                .and_then(|a| a.parse().ok())
-                .unwrap_or(16usize);
-            (ats_bench::figure34_trace(nprocs), nprocs)
-        }
+        None => (ats_bench::figure34_trace_with(session.opts()), nprocs_arg),
     };
-    let report = ats_analyzer::analyze(&trace, &ats_analyzer::AnalyzerConfig::default());
+    let report = session.analyze(&trace);
     println!("{}", report.render(&trace));
 
     println!("\n=== paper's correctness checks for this figure ===");
@@ -62,4 +58,5 @@ fn main() {
         "machine localization correct:              {}",
         got == expected
     );
+    args.emit(&session, "figure35", &[]);
 }

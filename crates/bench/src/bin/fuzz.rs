@@ -6,7 +6,8 @@
 //! correctness gate, not just a throughput benchmark.
 //!
 //! Usage: `fuzz [count] [seed] [jobs] [--nprocs N] [--corpus DIR]
-//!              [--replay] [--threshold T] [--no-shrink]`
+//!              [--replay] [--threshold T] [--no-shrink]
+//!              [--metrics PATH] [--manifest]`
 //!   (defaults: 200 scenarios, seed 0xA75F022, jobs auto)
 //!
 //! `--replay` re-runs every minimized scenario persisted under the corpus
@@ -16,8 +17,10 @@
 //! tool (never use it in CI).
 
 use ats_analyzer::AnalyzerConfig;
+use ats_bench::cli::CommonArgs;
 use ats_fuzz::campaign::{run_campaign, FuzzConfig, FuzzStats};
 use ats_fuzz::{corpus, OracleConfig};
+use ats_harness::Session;
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -30,86 +33,29 @@ struct FuzzBenchDoc {
     stats: FuzzStats,
 }
 
-struct Cli {
-    count: usize,
-    seed: u64,
-    jobs: usize,
-    nprocs: usize,
-    corpus_dir: Option<PathBuf>,
-    replay: bool,
-    threshold: Option<f64>,
-    shrink: bool,
-}
-
-fn parse_cli() -> Cli {
-    let mut cli = Cli {
-        count: 200,
-        seed: 0xA75_F022,
-        jobs: 0,
-        nprocs: 8,
-        corpus_dir: None,
-        replay: false,
-        threshold: None,
-        shrink: true,
-    };
-    let mut positional = 0;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--nprocs" => {
-                cli.nprocs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--nprocs N");
-            }
-            "--corpus" => {
-                cli.corpus_dir = Some(PathBuf::from(args.next().expect("--corpus DIR")));
-            }
-            "--replay" => cli.replay = true,
-            "--threshold" => {
-                cli.threshold = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--threshold T"),
-                );
-            }
-            "--no-shrink" => cli.shrink = false,
-            other => {
-                match positional {
-                    0 => cli.count = other.parse().expect("count"),
-                    1 => {
-                        cli.seed = if let Some(hex) = other.strip_prefix("0x") {
-                            u64::from_str_radix(hex, 16).expect("seed")
-                        } else {
-                            other.parse().expect("seed")
-                        };
-                    }
-                    2 => cli.jobs = other.parse().expect("jobs"),
-                    _ => panic!("unexpected argument `{other}`"),
-                }
-                positional += 1;
-            }
-        }
+fn parse_seed(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("seed")
+    } else {
+        s.parse().expect("seed")
     }
-    cli
 }
 
-fn oracle_config(cli: &Cli) -> OracleConfig {
+fn oracle_config(args: &CommonArgs) -> OracleConfig {
     let mut cfg = OracleConfig::default();
-    if let Some(t) = cli.threshold {
-        cfg.analyzer = AnalyzerConfig::default().threshold(t);
+    if let Some(t) = args.flag("threshold") {
+        cfg.analyzer = AnalyzerConfig::default().threshold(t.parse().expect("--threshold T"));
     }
     cfg
 }
 
-fn replay_corpus(cli: &Cli) -> i32 {
-    let dir = cli
-        .corpus_dir
-        .clone()
+fn replay_corpus(args: &CommonArgs, session: &Session) -> i32 {
+    let dir = args
+        .flag("corpus")
+        .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(corpus::DEFAULT_DIR));
-    let cfg = oracle_config(cli);
-    let opts = ats_harness::RunOpts::default().procs(cli.nprocs);
-    let results = match corpus::replay(&dir, &cfg, &opts) {
+    let cfg = oracle_config(args);
+    let results = match corpus::replay(&dir, &cfg, session.opts()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("replay failed: {e}");
@@ -144,27 +90,35 @@ fn replay_corpus(cli: &Cli) -> i32 {
 }
 
 fn main() {
-    let cli = parse_cli();
-    if cli.replay {
-        std::process::exit(replay_corpus(&cli));
+    let args = CommonArgs::parse();
+    let count: usize = args.positional_or(0, 200);
+    let seed = args
+        .positionals
+        .get(1)
+        .map(|s| parse_seed(s))
+        .unwrap_or(0xA75_F022);
+    let jobs: usize = args.positional_or(2, 0);
+    let nprocs = args
+        .flag("nprocs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let session = args.session(Session::builder().procs(nprocs).jobs(jobs).seed(seed));
+    if args.has("replay") {
+        let code = replay_corpus(&args, &session);
+        args.emit(&session, "fuzz_replay", &[]);
+        std::process::exit(code);
     }
 
     let cfg = FuzzConfig {
-        base_seed: cli.seed,
-        count: cli.count,
-        jobs: cli.jobs,
-        gen: ats_fuzz::GenConfig {
-            nprocs: cli.nprocs,
-            ..ats_fuzz::GenConfig::default()
-        },
-        oracle: oracle_config(&cli),
-        opts: ats_harness::RunOpts::default().procs(cli.nprocs),
-        shrink: cli.shrink,
-        corpus_dir: cli.corpus_dir.clone(),
+        count,
+        oracle: oracle_config(&args),
+        shrink: !args.has("no-shrink"),
+        corpus_dir: args.flag("corpus").map(PathBuf::from),
+        ..FuzzConfig::for_session(&session)
     };
     println!(
         "=== fuzz: {} scenarios, seed {:#x}, {} ranks ===\n",
-        cfg.count, cfg.base_seed, cli.nprocs
+        cfg.count, cfg.base_seed, nprocs
     );
     let result = match run_campaign(&cfg) {
         Ok(r) => r,
@@ -200,7 +154,7 @@ fn main() {
     let doc = FuzzBenchDoc {
         experiment: "fuzz",
         base_seed: cfg.base_seed,
-        nprocs: cli.nprocs,
+        nprocs,
         stats: stats.clone(),
     };
     let json_path =
@@ -212,6 +166,7 @@ fn main() {
         Ok(()) => println!("-> {json_path}"),
         Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
     }
+    args.emit(&session, "fuzz", &[]);
 
     let ok = stats.violations == 0 && stats.regen_mismatches == 0;
     if !ok {

@@ -1,0 +1,111 @@
+//! Measures the cost of self-observability on the suite's composite hot
+//! path: the figure-3.4 two-communicator program plus its full analysis,
+//! timed with observability off and on (fresh registry, all five
+//! subsystem layers recording). Emits `BENCH_obs.json` (override with
+//! `ATS_BENCH_JSON`) and a sample run manifest, and exits nonzero when
+//! the measured overhead exceeds the budget (default 2%, override with
+//! `ATS_OBS_BUDGET_PCT`) — the observability layer's promise is that it
+//! is cheap enough to leave on.
+//!
+//! Best-of-N timing (default 5 reps, first positional overrides): the
+//! minimum is the least scheduler-noisy estimate of the true cost on a
+//! shared CI box.
+//!
+//! Usage: `obs_overhead [reps] [nprocs]`
+
+use ats_harness::Session;
+use ats_obs::ObsConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ObsBenchDoc {
+    experiment: &'static str,
+    nprocs: usize,
+    reps: usize,
+    disabled_best_secs: f64,
+    enabled_best_secs: f64,
+    overhead_pct: f64,
+    budget_pct: f64,
+    events: usize,
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        events = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, events)
+}
+
+fn composite_pass(session: &Session) -> usize {
+    let trace = ats_bench::figure34_trace_with(session.opts());
+    let report = session.analyze(&trace);
+    // Keep the analysis observable so the whole pass stays live code.
+    trace.num_events() + report.findings.len()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let nprocs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let budget_pct: f64 = std::env::var("ATS_OBS_BUDGET_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    println!("=== obs_overhead: figure-3.4 composite + analysis, {reps} reps ===\n");
+    let off = ats_bench::paper_session(nprocs).build();
+    let (disabled_best, events) = best_of(reps, || composite_pass(&off));
+    println!("observability off: best {disabled_best:.4}s ({events} events)");
+
+    // A fresh registry per measured session: the measurement must not
+    // accumulate into (or depend on) process-global state.
+    let on = ats_bench::paper_session(nprocs)
+        .obs(ObsConfig::fresh())
+        .build();
+    let (enabled_best, _) = best_of(reps, || composite_pass(&on));
+    println!("observability on:  best {enabled_best:.4}s");
+
+    let overhead_pct = if disabled_best > 0.0 {
+        (enabled_best - disabled_best) / disabled_best * 100.0
+    } else {
+        0.0
+    };
+    println!("overhead: {overhead_pct:+.2}% (budget {budget_pct}%)");
+
+    let doc = ObsBenchDoc {
+        experiment: "obs_overhead",
+        nprocs,
+        reps,
+        disabled_best_secs: disabled_best,
+        enabled_best_secs: enabled_best,
+        overhead_pct,
+        budget_pct,
+        events,
+    };
+    let json_path = std::env::var("ATS_BENCH_JSON").unwrap_or_else(|_| "BENCH_obs.json".to_owned());
+    match std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&doc).expect("doc serializes"),
+    ) {
+        Ok(()) => println!("-> {json_path}"),
+        Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+    }
+    if let Some(manifest) = on.manifest("obs_overhead") {
+        let path = "obs_overhead.manifest.json";
+        match std::fs::write(path, manifest.to_json_pretty()) {
+            Ok(()) => println!("-> {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+
+    if overhead_pct > budget_pct {
+        eprintln!("FAIL: observability overhead {overhead_pct:.2}% exceeds {budget_pct}% budget");
+        std::process::exit(1);
+    }
+    println!("observability overhead within budget");
+}

@@ -8,34 +8,33 @@
 //! stored as an artifact (`--format` selects the encoding; default: ATSB
 //! binary).
 //!
-//! Usage: `sweep_negative [jobs] [--trace-dir DIR] [--format {jsonl,binary}]`
+//! Usage: `sweep_negative [jobs] [--trace-dir DIR] [--format {jsonl,binary}]
+//!                        [--metrics PATH] [--manifest]`
 //!        (`jobs 0` = all cores)
 
-use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
-use ats_harness::experiment::{Experiment, Sweep};
-use ats_harness::{run_single, ParamValues, RunOpts};
+use ats_bench::{cli::CommonArgs, write_trace_artifact};
+use ats_harness::experiment::Sweep;
+use ats_harness::{ParamValues, Session};
+use std::path::{Path, PathBuf};
 
 fn main() {
-    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
-    let jobs: usize = positionals
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0);
-    let trace_dir = flag(&flags, "trace-dir");
-    let format = format_flag(&flags);
+    let args = CommonArgs::parse();
+    let jobs: usize = args.positional_or(0, 0);
+    let session = args.session(Session::builder().procs(4).jobs(jobs));
     println!("=== E-neg: false-positive scan over the negative catalog ===\n");
     let mut all_ok = true;
     let mut total_configs = 0usize;
     let mut total_secs = 0.0f64;
+    let mut artifacts: Vec<PathBuf> = Vec::new();
     for spec in ats_core::CATALOG {
         if spec.expected_property.is_some() {
             continue;
         }
-        let (rows, stats) = Experiment::new(spec.name)
+        let (rows, stats) = session
+            .experiment(spec.name)
             .procs_grid([2, 4, 8])
             .sweep(Sweep::seconds("work", [0.001, 0.01, 0.05]))
             .sweep(Sweep::counts("r", [1, 4]))
-            .opts(RunOpts::default().jobs(jobs))
             .run_with_stats()
             .expect("runnable");
         total_configs += stats.configs;
@@ -49,12 +48,12 @@ fn main() {
             rows.len(),
             if ok { "ok" } else { "FAIL" }
         );
-        if let Some(dir) = trace_dir {
+        if let Some(dir) = args.trace_dir() {
             let params = ParamValues::defaults(spec);
-            let trace =
-                run_single(spec.name, &params, &RunOpts::default().procs(4)).expect("runnable");
-            let path = write_trace_artifact(&trace, dir, spec.name, format);
+            let trace = session.run(spec.name, &params).expect("runnable");
+            let path = write_trace_artifact(&trace, dir, spec.name, args.format());
             println!("  wrote {path}");
+            artifacts.push(PathBuf::from(path));
         }
     }
     println!(
@@ -65,6 +64,8 @@ fn main() {
             0.0
         }
     );
+    let artifact_refs: Vec<&Path> = artifacts.iter().map(PathBuf::as_path).collect();
+    args.emit(&session, "sweep_negative", &artifact_refs);
     println!(
         "negative correctness sweep: {}",
         if all_ok { "ALL OK" } else { "FAILURES" }

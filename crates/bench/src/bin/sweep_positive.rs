@@ -11,13 +11,15 @@
 //! property's default-parameter trace as an artifact (`--format` selects
 //! the encoding; default: ATSB binary).
 //!
-//! Usage: `sweep_positive [nprocs] [jobs] [--trace-dir DIR] [--format {jsonl,binary}]`
+//! Usage: `sweep_positive [nprocs] [jobs] [--trace-dir DIR]
+//!                        [--format {jsonl,binary}] [--metrics PATH] [--manifest]`
 //!        (`jobs 0` = all cores)
 
-use ats_bench::{flag, format_flag, split_flags, write_trace_artifact};
-use ats_harness::experiment::{kendall_tau, to_markdown, Experiment, Sweep};
-use ats_harness::{pool, run_single, ParamValues, RunOpts};
+use ats_bench::{cli::CommonArgs, write_trace_artifact};
+use ats_harness::experiment::{kendall_tau, to_markdown, Sweep};
+use ats_harness::{pool, ParamValues, Session};
 use serde::Serialize;
+use std::path::{Path, PathBuf};
 
 #[derive(Serialize)]
 struct SweepBenchDoc {
@@ -33,12 +35,10 @@ struct SweepBenchDoc {
 }
 
 fn main() {
-    let (positionals, flags) = split_flags(std::env::args().skip(1).collect());
-    let mut args = positionals.into_iter();
-    let nprocs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
-    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
-    let trace_dir = flag(&flags, "trace-dir");
-    let format = format_flag(&flags);
+    let args = CommonArgs::parse();
+    let nprocs: usize = args.positional_or(0, 8);
+    let jobs: usize = args.positional_or(1, 0);
+    let session = args.session(Session::builder().procs(nprocs).jobs(jobs));
     let knobs = [0.005, 0.01, 0.02, 0.04, 0.08];
     println!("=== E-pos: severity tracking across the positive catalog ===\n");
     let mut all_ok = true;
@@ -46,6 +46,7 @@ fn main() {
     let mut configs = 0usize;
     let mut wall_secs = 0.0f64;
     let mut jobs_effective = 1usize;
+    let mut artifacts: Vec<PathBuf> = Vec::new();
     for spec in ats_core::CATALOG {
         if spec.expected_property.is_none() {
             continue;
@@ -67,13 +68,10 @@ fn main() {
                 )
             })
             .map(|p| p.name);
-        let opts = RunOpts::default().procs(nprocs).jobs(jobs);
-        let exp = match knob {
-            Some(k) => Experiment::new(spec.name)
-                .sweep(Sweep::seconds(k, knobs))
-                .opts(opts.clone()),
-            None => Experiment::new(spec.name).opts(opts.clone()),
-        };
+        let mut exp = session.experiment(spec.name);
+        if let Some(k) = knob {
+            exp = exp.sweep(Sweep::seconds(k, knobs));
+        }
         let (rows, stats) = exp.run_with_stats().expect("runnable");
         properties += 1;
         configs += stats.configs;
@@ -101,11 +99,12 @@ fn main() {
         if std::env::var("ATS_VERBOSE").is_ok() {
             println!("{}", to_markdown(&rows));
         }
-        if let Some(dir) = trace_dir {
+        if let Some(dir) = args.trace_dir() {
             let params = ParamValues::defaults(spec);
-            let trace = run_single(spec.name, &params, &opts).expect("runnable");
-            let path = write_trace_artifact(&trace, dir, spec.name, format);
+            let trace = session.run(spec.name, &params).expect("runnable");
+            let path = write_trace_artifact(&trace, dir, spec.name, args.format());
             println!("  wrote {path}");
+            artifacts.push(PathBuf::from(path));
         }
     }
     let doc = SweepBenchDoc {
@@ -135,6 +134,8 @@ fn main() {
         ),
         Err(e) => eprintln!("\nwarning: could not write {json_path}: {e}"),
     }
+    let artifact_refs: Vec<&Path> = artifacts.iter().map(PathBuf::as_path).collect();
+    args.emit(&session, "sweep_positive", &artifact_refs);
     println!(
         "\npositive correctness sweep: {}",
         if all_ok { "ALL OK" } else { "FAILURES" }

@@ -1,0 +1,214 @@
+//! Shared command-line surface for the figure/sweep/fuzz binaries.
+//!
+//! Every artifact binary used to hand-roll the same `--format` /
+//! `--trace-dir` / `--save` / `--jobs` parsing; [`CommonArgs`] parses them
+//! once, adds the observability flags (`--metrics PATH`, `--manifest`) in
+//! one place, and hands back a configured
+//! [`Session`](ats_harness::Session) so a binary that wants metrics gets
+//! them without touching any subsystem config itself.
+
+use ats_harness::{Session, SessionBuilder};
+use ats_obs::ObsConfig;
+use ats_trace::TraceFormat;
+use std::path::Path;
+
+/// Flags that take no value. Everything else spelled `--name` consumes
+/// the next argument as its value.
+const BOOL_FLAGS: &[&str] = &["manifest", "replay", "no-shrink"];
+
+/// The parsed common command line: positionals plus the flag set shared
+/// by the artifact binaries.
+#[derive(Debug, Clone, Default)]
+pub struct CommonArgs {
+    /// Non-flag arguments, in order.
+    pub positionals: Vec<String>,
+    /// `--name value` flags, in order.
+    flags: Vec<(String, String)>,
+    /// Valueless flags present on the command line.
+    bools: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Parse the process's own arguments.
+    pub fn parse() -> Self {
+        Self::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit argument vector. A value flag at the end of the
+    /// line without its value is a usage error (exit code 2).
+    pub fn from_vec(args: Vec<String>) -> Self {
+        let mut out = CommonArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.strip_prefix("--") {
+                Some(name) if BOOL_FLAGS.contains(&name) => {
+                    out.bools.push(name.to_owned());
+                }
+                Some(name) => {
+                    let value = it.next().unwrap_or_else(|| {
+                        eprintln!("flag --{name} needs a value");
+                        std::process::exit(2);
+                    });
+                    out.flags.push((name.to_owned(), value));
+                }
+                None => out.positionals.push(arg),
+            }
+        }
+        out
+    }
+
+    /// Look up a value flag.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Is a boolean flag present?
+    pub fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+
+    /// Positional `idx` parsed, or `default`.
+    pub fn positional_or<T: std::str::FromStr>(&self, idx: usize, default: T) -> T {
+        self.positionals
+            .get(idx)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The `--format` flag: absent means the artifact default (ATSB
+    /// binary); an unknown value is a usage error.
+    pub fn format(&self) -> TraceFormat {
+        match self.flag("format") {
+            None => TraceFormat::default(),
+            Some(v) => v.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// The `--trace-dir DIR` flag.
+    pub fn trace_dir(&self) -> Option<&str> {
+        self.flag("trace-dir")
+    }
+
+    /// The `--svg DIR` flag.
+    pub fn svg_dir(&self) -> Option<&str> {
+        self.flag("svg")
+    }
+
+    /// The `--save FILE` flag.
+    pub fn save(&self) -> Option<&str> {
+        self.flag("save")
+    }
+
+    /// Did the command line ask for any observability output?
+    pub fn obs_requested(&self) -> bool {
+        self.flag("metrics").is_some() || self.has("manifest")
+    }
+
+    /// The observability configuration the flags imply: the process-wide
+    /// registry when `--metrics`/`--manifest` is present (so free-function
+    /// sites like the trace codec record too), otherwise fully off.
+    pub fn obs_config(&self) -> ObsConfig {
+        if self.obs_requested() {
+            ObsConfig::on()
+        } else {
+            ObsConfig::off()
+        }
+    }
+
+    /// Finish `builder` into a [`Session`] with this command line's
+    /// observability configuration injected.
+    pub fn session(&self, builder: SessionBuilder) -> Session {
+        builder.obs(self.obs_config()).build()
+    }
+
+    /// Emit the requested observability outputs: Prometheus text to the
+    /// `--metrics` path (`-` = stdout), and — under `--manifest` — a JSON
+    /// run manifest beside every path in `artifacts`, or as
+    /// `<label>.manifest.json` in the working directory when the run
+    /// produced no artifacts. Failures warn; they never fail the run the
+    /// metrics describe.
+    pub fn emit(&self, session: &Session, label: &str, artifacts: &[&Path]) {
+        if let Some(path) = self.flag("metrics") {
+            match session.prometheus() {
+                Some(text) if path == "-" => print!("{text}"),
+                Some(text) => match std::fs::write(path, text) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => eprintln!("warning: could not write {path}: {e}"),
+                },
+                None => {}
+            }
+        }
+        if self.has("manifest") {
+            let Some(manifest) = session.manifest(label) else {
+                return;
+            };
+            if artifacts.is_empty() {
+                let path = format!("{label}.manifest.json");
+                match std::fs::write(&path, manifest.to_json_pretty()) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => eprintln!("warning: could not write {path}: {e}"),
+                }
+            } else {
+                for artifact in artifacts {
+                    match manifest.write_beside(artifact) {
+                        Ok(path) => println!("wrote {}", path.display()),
+                        Err(e) => {
+                            eprintln!("warning: no manifest for {}: {e}", artifact.display())
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &[&str]) -> CommonArgs {
+        CommonArgs::from_vec(line.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    #[test]
+    fn parses_positionals_value_flags_and_bool_flags() {
+        let a = args(&[
+            "8",
+            "--trace-dir",
+            "out",
+            "extrawork=0.02",
+            "--manifest",
+            "--format",
+            "jsonl",
+        ]);
+        assert_eq!(a.positionals, ["8", "extrawork=0.02"]);
+        assert_eq!(a.positional_or(0, 0usize), 8);
+        assert_eq!(a.positional_or(5, 3usize), 3);
+        assert_eq!(a.trace_dir(), Some("out"));
+        assert!(a.has("manifest"));
+        assert!(!a.has("replay"));
+        assert_eq!(a.format(), TraceFormat::Jsonl);
+    }
+
+    #[test]
+    fn obs_is_off_unless_asked_for() {
+        assert!(!args(&["8"]).obs_requested());
+        assert!(args(&["--manifest"]).obs_requested());
+        assert!(args(&["--metrics", "-"]).obs_requested());
+        let session = args(&["8"]).session(Session::builder().procs(2));
+        assert!(session.obs().is_none());
+    }
+
+    #[test]
+    fn session_with_manifest_flag_records() {
+        let a = args(&["--manifest"]);
+        let session = a.session(Session::builder().procs(2));
+        assert!(session.obs().is_some());
+    }
+}

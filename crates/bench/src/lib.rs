@@ -19,6 +19,8 @@
 //! machinery: substrate operation costs, property-program construction,
 //! and analysis throughput.
 
+pub mod cli;
+
 use ats_core::CompositeParams;
 use ats_harness::registry::{run_composite_all_mpi, run_composite_two_comms};
 use ats_harness::RunOpts;
@@ -32,10 +34,21 @@ pub fn paper_opts(nprocs: usize) -> RunOpts {
     RunOpts::default().procs(nprocs).realistic()
 }
 
+/// A figure-binary [`ats_harness::Session`]: [`paper_opts`] as a builder,
+/// so the binaries inject observability before building.
+pub fn paper_session(nprocs: usize) -> ats_harness::SessionBuilder {
+    ats_harness::Session::builder().procs(nprocs).realistic()
+}
+
 /// The Figure 3.2 runs: `imbalance_at_mpi_barrier` under two different
 /// parameter sets (distribution shape and severity), as the paper's two
 /// timelines show. Returns `(label, trace)` pairs.
 pub fn figure32_runs(nprocs: usize) -> Vec<(String, Trace)> {
+    figure32_runs_with(&paper_opts(nprocs))
+}
+
+/// [`figure32_runs`] under explicit run options (a session's, usually).
+pub fn figure32_runs_with(opts: &RunOpts) -> Vec<(String, Trace)> {
     use ats_harness::{run_single, ParamValues};
     let spec = ats_core::catalog::find("imbalance_at_mpi_barrier").expect("in catalog");
     let configs = [
@@ -50,8 +63,7 @@ pub fn figure32_runs(nprocs: usize) -> Vec<(String, Trace)> {
         .iter()
         .map(|(label, df, r)| {
             let params = ParamValues::from_args(spec, &[df, r]).expect("valid params");
-            let trace = run_single("imbalance_at_mpi_barrier", &params, &paper_opts(nprocs))
-                .expect("runnable");
+            let trace = run_single("imbalance_at_mpi_barrier", &params, opts).expect("runnable");
             ((*label).to_owned(), trace)
         })
         .collect()
@@ -59,25 +71,35 @@ pub fn figure32_runs(nprocs: usize) -> Vec<(String, Trace)> {
 
 /// The Figure 3.3 program: all MPI property functions in sequence.
 pub fn figure33_trace(nprocs: usize) -> Trace {
+    figure33_trace_with(&paper_opts(nprocs))
+}
+
+/// [`figure33_trace`] under explicit run options (a session's, usually).
+pub fn figure33_trace_with(opts: &RunOpts) -> Trace {
     let params = CompositeParams {
         basework: 0.005,
         extrawork: 0.02,
         reps: 2,
         ..Default::default()
     };
-    run_composite_all_mpi(&params, &paper_opts(nprocs))
+    run_composite_all_mpi(&params, opts)
 }
 
 /// The Figure 3.4/3.5 program: two communicators running different
 /// property sets in parallel (16 ranks, as in the paper's screenshots).
 pub fn figure34_trace(nprocs: usize) -> Trace {
+    figure34_trace_with(&paper_opts(nprocs))
+}
+
+/// [`figure34_trace`] under explicit run options (a session's, usually).
+pub fn figure34_trace_with(opts: &RunOpts) -> Trace {
     let params = CompositeParams {
         basework: 0.005,
         extrawork: 0.02,
         reps: 2,
         ..Default::default()
     };
-    run_composite_two_comms(&params, &paper_opts(nprocs))
+    run_composite_two_comms(&params, opts)
 }
 
 /// Default per-step work used in overhead measurements.

@@ -40,6 +40,7 @@ pub mod buffer;
 pub mod catalog;
 pub mod composite;
 pub mod distribution;
+pub mod error;
 pub mod hybrid;
 pub mod pattern;
 pub mod properties;
@@ -49,6 +50,7 @@ pub use buffer::{alloc_mpi_buf, alloc_mpi_vbuf, BaseComm, MpiBuf, MpiVBuf};
 pub use catalog::{Paradigm, ParamKind, ParamSpec, PropertySpec, CATALOG};
 pub use composite::CompositeParams;
 pub use distribution::Distr;
+pub use error::{Error, ErrorKind};
 pub use hybrid::{with_omp, HybridMaster};
 pub use pattern::{sendrecv, shift, Dir, PatternMode};
 pub use work::{par_do_mpi_work, par_do_omp_work};

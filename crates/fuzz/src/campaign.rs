@@ -13,6 +13,7 @@ use crate::generator::{self, GenConfig};
 use crate::oracle::{self, OracleConfig, Violation};
 use crate::scenario::Scenario;
 use crate::{corpus, shrink};
+use ats_core::Error;
 use ats_harness::{pool, RunOpts};
 use ats_runtime::SplitMix64;
 use serde::Serialize;
@@ -50,6 +51,26 @@ impl Default for FuzzConfig {
             opts: RunOpts::default(),
             shrink: true,
             corpus_dir: None,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// A campaign configured from a [`Session`](ats_harness::Session):
+    /// run options (process count, seed, observability handle) and worker
+    /// count come from the session, so campaign metrics land in the same
+    /// registry as everything else the session runs.
+    pub fn for_session(session: &ats_harness::Session) -> Self {
+        let opts = session.opts().clone();
+        FuzzConfig {
+            base_seed: opts.seed,
+            jobs: opts.jobs,
+            gen: GenConfig {
+                nprocs: opts.nprocs,
+                ..GenConfig::default()
+            },
+            opts,
+            ..FuzzConfig::default()
         }
     }
 }
@@ -131,13 +152,23 @@ pub struct CampaignResult {
 
 /// Generate, execute, and score one campaign index. Public so the
 /// cross-jobs determinism test can compare single indices directly.
-pub fn run_index(cfg: &FuzzConfig, i: usize) -> Result<(Scenario, ScenarioVerdict), String> {
+pub fn run_index(cfg: &FuzzConfig, i: usize) -> Result<(Scenario, ScenarioVerdict), Error> {
+    let obs = cfg.opts.obs.as_ref();
+    let scenario_started = std::time::Instant::now();
     let seed = scenario_seed(cfg.base_seed, i);
     let sc = generator::generate(seed, &cfg.gen);
     let again = generator::generate(seed, &cfg.gen);
     let regen_mismatch = serde_json::to_string(&sc).expect("scenario serializes")
         != serde_json::to_string(&again).expect("scenario serializes");
+    let oracle_started = std::time::Instant::now();
     let run = oracle::check(&sc, &cfg.oracle, &cfg.opts)?;
+    if let Some(obs) = obs {
+        obs.fuzz.oracle_time.observe(oracle_started.elapsed());
+        obs.fuzz.scenarios.inc();
+        obs.fuzz.phases.add(sc.num_phases() as u64);
+        obs.fuzz.violations.add(run.violations.len() as u64);
+        obs.fuzz.scenario_time.observe(scenario_started.elapsed());
+    }
     let verdict = ScenarioVerdict {
         index: i,
         seed,
@@ -150,14 +181,14 @@ pub fn run_index(cfg: &FuzzConfig, i: usize) -> Result<(Scenario, ScenarioVerdic
 }
 
 /// Run a whole campaign.
-pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignResult, String> {
+pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignResult, Error> {
     let budget = cfg
         .opts
         .thread_budget
         .unwrap_or_else(pool::default_thread_budget);
     let jobs = pool::effective_jobs(cfg.jobs, cfg.gen.nprocs.max(1), budget);
     let start = std::time::Instant::now();
-    let runs = pool::run_indexed(jobs, cfg.count, |i| run_index(cfg, i));
+    let runs = pool::run_indexed_with(jobs, cfg.count, cfg.opts.obs.clone(), |i| run_index(cfg, i));
     let wall_secs = start.elapsed().as_secs_f64();
 
     let mut verdicts = Vec::with_capacity(cfg.count);
@@ -184,6 +215,9 @@ pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignResult, String> {
         }
         let (min_sc, min_violations) = if cfg.shrink {
             let out = shrink::shrink(&sc, &violations, &cfg.oracle, &cfg.opts, 150);
+            if let Some(obs) = &cfg.opts.obs {
+                obs.fuzz.shrink_iterations.add(out.runs as u64);
+            }
             (out.scenario, out.violations)
         } else {
             (sc, violations)

@@ -10,6 +10,7 @@
 
 use crate::oracle::{self, OracleConfig, Violation};
 use crate::scenario::Scenario;
+use ats_core::Error;
 use ats_trace::{binfmt, Trace};
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -53,8 +54,8 @@ pub fn persist(
     sc: &Scenario,
     violations: &[Violation],
     trace: &Trace,
-) -> Result<PathBuf, String> {
-    fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+) -> Result<PathBuf, Error> {
+    fs::create_dir_all(dir).map_err(|e| Error::corpus(format!("create {}: {e}", dir.display())))?;
     let stem = stem(sc);
     let doc = CorpusDoc {
         scenario: sc.clone(),
@@ -63,20 +64,22 @@ pub fn persist(
     };
     let json_path = dir.join(format!("{stem}.json"));
     let json = serde_json::to_string_pretty(&doc).expect("corpus doc serializes");
-    fs::write(&json_path, json).map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    fs::write(&json_path, json)
+        .map_err(|e| Error::corpus(format!("write {}: {e}", json_path.display())))?;
     let atsb_path = dir.join(format!("{stem}.atsb"));
-    let file =
-        fs::File::create(&atsb_path).map_err(|e| format!("create {}: {e}", atsb_path.display()))?;
-    binfmt::write_binary(trace, file).map_err(|e| format!("{}: {e}", atsb_path.display()))?;
+    let file = fs::File::create(&atsb_path)
+        .map_err(|e| Error::corpus(format!("create {}: {e}", atsb_path.display())))?;
+    binfmt::write_binary(trace, file)
+        .map_err(|e| Error::corpus(format!("{}: {e}", atsb_path.display())))?;
     Ok(json_path)
 }
 
 /// Load every `.json` spec under `dir`, sorted by file name. A missing
 /// directory is an empty corpus.
-pub fn load(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+pub fn load(dir: &Path) -> Result<Vec<CorpusEntry>, Error> {
     let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(format!("read {}: {e}", dir.display())),
+        Err(e) => return Err(Error::corpus(format!("read {}: {e}", dir.display()))),
         Ok(rd) => rd
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|x| x == "json"))
@@ -85,10 +88,10 @@ pub fn load(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
     paths.sort();
     let mut out = Vec::with_capacity(paths.len());
     for path in paths {
-        let text =
-            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        let doc: CorpusDoc =
-            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = fs::read_to_string(&path)
+            .map_err(|e| Error::corpus(format!("read {}: {e}", path.display())))?;
+        let doc: CorpusDoc = serde_json::from_str(&text)
+            .map_err(|e| Error::corpus(format!("{}: {e}", path.display())))?;
         out.push(CorpusEntry {
             path,
             scenario: doc.scenario,
@@ -115,12 +118,12 @@ pub fn replay(
     dir: &Path,
     cfg: &OracleConfig,
     opts: &ats_harness::RunOpts,
-) -> Result<Vec<ReplayResult>, String> {
+) -> Result<Vec<ReplayResult>, Error> {
     load(dir)?
         .into_iter()
         .map(|entry| {
             let violations = oracle::violations_of(&entry.scenario, cfg, opts)
-                .map_err(|e| format!("{}: {e}", entry.path.display()))?;
+                .map_err(|e| Error::corpus(format!("{}: {e}", entry.path.display())))?;
             Ok(ReplayResult { entry, violations })
         })
         .collect()

@@ -27,7 +27,7 @@
 use crate::model;
 use crate::scenario::{region_name, Phase, Scenario, Split, SYNC_REGION};
 use ats_analyzer::{analyze, AnalysisReport, AnalyzerConfig};
-use ats_core::BaseComm;
+use ats_core::{BaseComm, Error};
 use ats_harness::{run_in_comm, RunOpts};
 use ats_trace::{RegionKind, Trace};
 use serde::{Deserialize, Serialize};
@@ -126,7 +126,7 @@ pub struct Prediction {
 
 /// Compose the catalog's expectations with the scenario's topology into
 /// one prediction per phase. The scenario must be valid.
-pub fn predict(sc: &Scenario) -> Result<Vec<Prediction>, String> {
+pub fn predict(sc: &Scenario) -> Result<Vec<Prediction>, Error> {
     sc.validate()?;
     let mut out = Vec::with_capacity(sc.num_phases());
     for (idx, slot_idx, ph) in sc.indexed_phases() {
@@ -150,7 +150,7 @@ pub fn predict(sc: &Scenario) -> Result<Vec<Prediction>, String> {
 /// Execute a scenario into a trace: one `ats_mpi::run` with every phase
 /// wrapped in its `fzNN` region and a world barrier (inside the
 /// [`SYNC_REGION`]) realigning all clocks between slots.
-pub fn execute(sc: &Scenario, opts: &RunOpts) -> Result<Trace, String> {
+pub fn execute(sc: &Scenario, opts: &RunOpts) -> Result<Trace, Error> {
     sc.validate()?;
     let sc = sc.clone();
     let base = opts.base;
@@ -318,7 +318,7 @@ pub struct OracleRun {
 }
 
 /// Execute `sc`, analyze it with `cfg.analyzer`, and score the report.
-pub fn check(sc: &Scenario, cfg: &OracleConfig, opts: &RunOpts) -> Result<OracleRun, String> {
+pub fn check(sc: &Scenario, cfg: &OracleConfig, opts: &RunOpts) -> Result<OracleRun, Error> {
     let predictions = predict(sc)?;
     let trace = execute(sc, opts)?;
     let report = analyze(&trace, &cfg.analyzer);
@@ -337,7 +337,7 @@ pub fn violations_of(
     sc: &Scenario,
     cfg: &OracleConfig,
     opts: &RunOpts,
-) -> Result<Vec<Violation>, String> {
+) -> Result<Vec<Violation>, Error> {
     check(sc, cfg, opts).map(|r| r.violations)
 }
 
@@ -345,7 +345,6 @@ pub fn violations_of(
 mod tests {
     use super::*;
     use crate::scenario::Slot;
-    use std::collections::BTreeMap;
 
     fn phase(group: usize, property: &str, params: &[(&str, &str)]) -> Phase {
         Phase {

@@ -15,6 +15,7 @@
 //! the same bytes — the property the determinism gate in CI checks.
 
 use ats_core::catalog::{self, Paradigm};
+use ats_core::Error;
 use ats_harness::ParamValues;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -82,7 +83,7 @@ impl fmt::Display for Split {
 }
 
 impl FromStr for Split {
-    type Err = String;
+    type Err = Error;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         if s == "whole" {
@@ -90,7 +91,7 @@ impl FromStr for Split {
         }
         let parse_groups = |rest: &str| {
             rest.parse::<usize>()
-                .map_err(|_| format!("bad group count in split `{s}`"))
+                .map_err(|_| Error::scenario(format!("bad group count in split `{s}`")))
         };
         if let Some(rest) = s.strip_prefix("block") {
             return Ok(Split::Block {
@@ -102,7 +103,7 @@ impl FromStr for Split {
                 groups: parse_groups(rest)?,
             });
         }
-        Err(format!("unknown split `{s}`"))
+        Err(Error::scenario(format!("unknown split `{s}`")))
     }
 }
 
@@ -121,16 +122,17 @@ pub struct Phase {
 impl Phase {
     /// Resolve the stored strings into typed [`ParamValues`] (defaults
     /// filled in for unset parameters).
-    pub fn param_values(&self) -> Result<ParamValues, String> {
-        let spec = catalog::find(&self.property)
-            .ok_or_else(|| format!("unknown property `{}`", self.property))?;
+    pub fn param_values(&self) -> Result<ParamValues, Error> {
+        let spec =
+            catalog::find(&self.property).ok_or_else(|| Error::unknown_property(&self.property))?;
         let args: Vec<String> = self
             .params
             .iter()
             .map(|(k, v)| format!("{k}={v}"))
             .collect();
         let refs: Vec<&str> = args.iter().map(String::as_str).collect();
-        ParamValues::from_args(spec, &refs).map_err(|e| format!("{}: {e}", self.property))
+        ParamValues::from_args(spec, &refs)
+            .map_err(|e| Error::invalid_param(format!("{}: {e}", self.property)))
     }
 
     /// True if this phase is a well-tuned padding phase (a catalog
@@ -194,47 +196,54 @@ impl Scenario {
     /// most one phase per group, parseable parameters, roots inside their
     /// group, and every group of at least two ranks (MPI properties need
     /// a partner). Returns the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         if self.nprocs == 0 {
-            return Err("nprocs must be positive".into());
+            return Err(Error::scenario("nprocs must be positive"));
         }
         if self.slots.is_empty() {
-            return Err("scenario has no slots".into());
+            return Err(Error::scenario("scenario has no slots"));
         }
         for (si, slot) in self.slots.iter().enumerate() {
             let groups = slot.split.num_groups();
             if groups == 0 || groups > self.nprocs {
-                return Err(format!(
+                return Err(Error::scenario(format!(
                     "slot {si}: {groups} groups over {} ranks",
                     self.nprocs
-                ));
+                )));
             }
             for g in 0..groups {
                 if slot.split.group_size(g, self.nprocs) < 2 {
-                    return Err(format!("slot {si}: group {g} has fewer than 2 ranks"));
+                    return Err(Error::scenario(format!(
+                        "slot {si}: group {g} has fewer than 2 ranks"
+                    )));
                 }
             }
             let mut seen = Vec::new();
             for ph in &slot.phases {
                 if ph.group >= groups {
-                    return Err(format!(
+                    return Err(Error::scenario(format!(
                         "slot {si}: phase on group {} of {groups}",
                         ph.group
-                    ));
+                    )));
                 }
                 if seen.contains(&ph.group) {
-                    return Err(format!("slot {si}: two phases on group {}", ph.group));
+                    return Err(Error::scenario(format!(
+                        "slot {si}: two phases on group {}",
+                        ph.group
+                    )));
                 }
                 seen.push(ph.group);
-                let v = ph.param_values().map_err(|e| format!("slot {si}: {e}"))?;
+                let v = ph
+                    .param_values()
+                    .map_err(|e| Error::scenario(format!("slot {si}: {e}")))?;
                 if ph.params.contains_key("root") {
                     let sz = slot.split.group_size(ph.group, self.nprocs);
                     if v.count("root") >= sz {
-                        return Err(format!(
+                        return Err(Error::scenario(format!(
                             "slot {si}: {} root {} outside group of {sz}",
                             ph.property,
                             v.count("root")
-                        ));
+                        )));
                     }
                 }
             }
@@ -253,11 +262,13 @@ impl Scenario {
     }
 
     /// Parse a JSONL corpus (blank lines skipped).
-    pub fn from_jsonl(text: &str) -> Result<Vec<Scenario>, String> {
+    pub fn from_jsonl(text: &str) -> Result<Vec<Scenario>, Error> {
         text.lines()
             .enumerate()
             .filter(|(_, l)| !l.trim().is_empty())
-            .map(|(i, l)| serde_json::from_str(l).map_err(|e| format!("line {}: {e}", i + 1)))
+            .map(|(i, l)| {
+                serde_json::from_str(l).map_err(|e| Error::scenario(format!("line {}: {e}", i + 1)))
+            })
             .collect()
     }
 }
@@ -284,11 +295,13 @@ impl fmt::Display for Scenario {
 }
 
 impl FromStr for Scenario {
-    type Err = String;
+    type Err = Error;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut sections = s.split('|').map(str::trim);
-        let head = sections.next().ok_or("empty scenario")?;
+        let head = sections
+            .next()
+            .ok_or_else(|| Error::scenario("empty scenario"))?;
         let mut seed = None;
         let mut nprocs = None;
         for tok in head.split_whitespace() {
@@ -298,19 +311,27 @@ impl FromStr for Scenario {
                 } else {
                     v.parse()
                 };
-                seed = Some(parsed.map_err(|_| format!("bad seed `{v}`"))?);
+                seed = Some(parsed.map_err(|_| Error::scenario(format!("bad seed `{v}`")))?);
             } else if let Some(v) = tok.strip_prefix("nprocs=") {
-                nprocs = Some(v.parse().map_err(|_| format!("bad nprocs `{v}`"))?);
+                nprocs = Some(
+                    v.parse()
+                        .map_err(|_| Error::scenario(format!("bad nprocs `{v}`")))?,
+                );
             } else {
-                return Err(format!("unexpected token `{tok}` in scenario header"));
+                return Err(Error::scenario(format!(
+                    "unexpected token `{tok}` in scenario header"
+                )));
             }
         }
         let mut slots = Vec::new();
         for section in sections {
             let mut chunks = section.split('+').map(str::trim);
-            let first = chunks.next().ok_or("empty slot")?;
+            let first = chunks.next().ok_or_else(|| Error::scenario("empty slot"))?;
             let mut toks = first.split_whitespace();
-            let split: Split = toks.next().ok_or("slot without split")?.parse()?;
+            let split: Split = toks
+                .next()
+                .ok_or_else(|| Error::scenario("slot without split"))?
+                .parse()?;
             let mut phases = Vec::new();
             let first_phase: Vec<&str> = toks.collect();
             let phase_chunks =
@@ -323,13 +344,15 @@ impl FromStr for Scenario {
                 let (g, prop) = header
                     .strip_prefix('g')
                     .and_then(|h| h.split_once(':'))
-                    .ok_or_else(|| format!("bad phase header `{header}`"))?;
-                let group = g.parse().map_err(|_| format!("bad group in `{header}`"))?;
+                    .ok_or_else(|| Error::scenario(format!("bad phase header `{header}`")))?;
+                let group = g
+                    .parse()
+                    .map_err(|_| Error::scenario(format!("bad group in `{header}`")))?;
                 let mut params = BTreeMap::new();
                 for kv in &chunk[1..] {
                     let (k, v) = kv
                         .split_once('=')
-                        .ok_or_else(|| format!("bad parameter `{kv}`"))?;
+                        .ok_or_else(|| Error::scenario(format!("bad parameter `{kv}`")))?;
                     params.insert(k.to_owned(), v.to_owned());
                 }
                 phases.push(Phase {
@@ -341,8 +364,8 @@ impl FromStr for Scenario {
             slots.push(Slot { split, phases });
         }
         Ok(Scenario {
-            seed: seed.ok_or("missing seed=")?,
-            nprocs: nprocs.ok_or("missing nprocs=")?,
+            seed: seed.ok_or_else(|| Error::scenario("missing seed="))?,
+            nprocs: nprocs.ok_or_else(|| Error::scenario("missing nprocs="))?,
             slots,
         })
     }

@@ -197,7 +197,7 @@ impl Experiment {
         // `jobs` value.
         let trace_pool = self.opts.trace_pool.clone().unwrap_or_default();
         let started = Instant::now();
-        let outcomes = pool::run_indexed(jobs, configs.len(), |i| {
+        let outcomes = pool::run_indexed_with(jobs, configs.len(), self.opts.obs.clone(), |i| {
             let (nprocs, combo) = configs[i];
             let config_started = Instant::now();
             let row = self.run_config(spec, nprocs, combo, &trace_pool);
@@ -249,7 +249,7 @@ impl Experiment {
         // combo inside a pool-parallel sweep is identifiable from the
         // error alone.
         let trace = run_single(&self.property, &params, &opts)
-            .map_err(|e| e.in_config(&self.property, &params))?;
+            .map_err(|e| e.in_config(&self.property, &params.to_cli()))?;
         let report = analyze(&trace, &self.analyzer);
         let total_alloc = trace.total_alloc_time().as_secs();
         let (detected_severity, localized, unexpected) = match spec.expected_property {

@@ -29,6 +29,7 @@ pub mod pool;
 pub mod profile;
 pub mod registry;
 pub mod resources;
+pub mod session;
 pub mod timeline;
 pub mod validation;
 
@@ -36,3 +37,4 @@ pub use correctness::{score_negative, score_positive, SuiteSummary, Verdict};
 pub use experiment::{Experiment, ExperimentRow, ExperimentStats, Sweep};
 pub use params::{ParamValue, ParamValues};
 pub use registry::{run_in_comm, run_single, spec_of, RunError, RunOpts};
+pub use session::{Session, SessionBuilder};

@@ -11,6 +11,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// The host's available parallelism (1 if it cannot be queried).
 pub fn auto_jobs() -> usize {
@@ -51,42 +52,78 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(jobs, n, None, f)
+}
+
+/// [`run_indexed`], recording pool metrics into `obs` when given: task
+/// count and per-task queue-wait/run-time histograms, busy vs. wall
+/// nanoseconds, and the worker-count high-water gauge. Results are
+/// identical to the unobserved call.
+pub fn run_indexed_with<T, F>(jobs: usize, n: usize, obs: Option<ats_obs::Handle>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
     let jobs = jobs.clamp(1, n);
-    if jobs == 1 {
-        return (0..n).map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            s.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(i);
-                if tx.send((i, out)).is_err() {
-                    break;
-                }
-            });
+    let started = Instant::now();
+    // Wrap the task to time it; queue wait is the gap between pool start
+    // (all indices are enqueued up front) and the moment a worker claims
+    // the index.
+    let timed = |i: usize| {
+        let claimed = Instant::now();
+        let out = f(i);
+        if let Some(obs) = &obs {
+            obs.pool.tasks.inc();
+            obs.pool.queue_wait.observe(claimed.duration_since(started));
+            let run = claimed.elapsed();
+            obs.pool.task_time.observe(run);
+            obs.pool.busy_ns.add(run.as_nanos() as u64);
         }
-    })
-    .expect("worker thread panicked");
-    drop(tx);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, out) in rx {
-        slots[i] = Some(out);
+        out
+    };
+    if let Some(obs) = &obs {
+        obs.pool.jobs_occupancy.set_max(jobs as u64);
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index completed"))
-        .collect()
+    let result = if jobs == 1 {
+        (0..n).map(timed).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let timed = &timed;
+                s.spawn(move |_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = timed(i);
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index completed"))
+            .collect()
+    };
+    if let Some(obs) = &obs {
+        obs.pool.wall_ns.add(started.elapsed().as_nanos() as u64);
+    }
+    result
 }
 
 #[cfg(test)]

@@ -44,6 +44,10 @@ pub struct RunOpts {
     /// sweep; single runs allocate fresh vectors). Pooling reuses capacity
     /// only — traces and sweep rows are byte-identical with or without it.
     pub trace_pool: Option<TracePool>,
+    /// Observability registry every run launched through these options
+    /// records into (`None` = no recording). Like the pool, recording
+    /// never changes traces or rows.
+    pub obs: Option<ats_obs::Handle>,
 }
 
 impl Default for RunOpts {
@@ -59,6 +63,7 @@ impl Default for RunOpts {
             jobs: 0,
             thread_budget: None,
             trace_pool: None,
+            obs: None,
         }
     }
 }
@@ -88,6 +93,12 @@ impl RunOpts {
         self
     }
 
+    /// Builder: record metrics into `obs` for every run.
+    pub fn obs(mut self, obs: ats_obs::Handle) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Builder: use the default (non-zero) machine model with init/finalize
     /// costs, as a real 2002 cluster run would look.
     pub fn realistic(mut self) -> Self {
@@ -109,6 +120,7 @@ impl RunOpts {
             init_time: self.init_time,
             finalize_time: self.finalize_time,
             trace_pool: self.trace_pool.clone(),
+            obs: self.obs.clone(),
             ..Default::default()
         }
     }
@@ -125,60 +137,17 @@ impl RunOpts {
     }
 }
 
-/// Errors from dispatching a property run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RunError {
-    /// No catalog entry with this name.
-    UnknownProperty(String),
-    /// A failure attributed to one concrete configuration: the property
-    /// name and the full parameter assignment travel with the error, so a
-    /// failing configuration inside a pool-parallel sweep is identifiable
-    /// from the error alone, without re-running the sweep serially.
-    Config {
-        /// Property-function name of the failing configuration.
-        property: String,
-        /// Parameter assignment in command-line syntax (`k=v ...`).
-        params: String,
-        /// The underlying failure, rendered.
-        cause: String,
-    },
-}
-
-impl RunError {
-    /// Attach the configuration (property + parameters) this error arose
-    /// from. Already-attributed errors pass through unchanged.
-    pub fn in_config(self, property: &str, params: &ParamValues) -> RunError {
-        match self {
-            RunError::Config { .. } => self,
-            other => RunError::Config {
-                property: property.to_owned(),
-                params: params.to_cli(),
-                cause: other.to_string(),
-            },
-        }
-    }
-}
-
-impl std::fmt::Display for RunError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RunError::UnknownProperty(n) => write!(f, "unknown property function `{n}`"),
-            RunError::Config {
-                property,
-                params,
-                cause,
-            } => {
-                write!(f, "property `{property}` ({params}): {cause}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for RunError {}
+/// Errors from dispatching a property run: the suite-wide
+/// [`ats_core::Error`]. A failure attributed to one concrete configuration
+/// (kind [`ats_core::ErrorKind::Config`]) carries the property name and the
+/// full parameter assignment, so a failing configuration inside a
+/// pool-parallel sweep is identifiable from the error alone, without
+/// re-running the sweep serially — see [`ats_core::Error::in_config`].
+pub type RunError = ats_core::Error;
 
 /// Look up the catalog entry for `name`.
 pub fn spec_of(name: &str) -> Result<&'static PropertySpec, RunError> {
-    catalog::find(name).ok_or_else(|| RunError::UnknownProperty(name.to_owned()))
+    catalog::find(name).ok_or_else(|| RunError::unknown_property(name))
 }
 
 /// Execute the single-property test program for `name` with `params`,
@@ -524,7 +493,10 @@ mod tests {
             &ParamValues::default(),
             &RunOpts::default(),
         );
-        assert!(matches!(err, Err(RunError::UnknownProperty(_))));
+        assert_eq!(
+            err.unwrap_err().kind(),
+            ats_core::ErrorKind::UnknownProperty
+        );
     }
 
     #[test]
@@ -532,14 +504,15 @@ mod tests {
         let spec = spec_of("late_sender").unwrap();
         let params = ParamValues::defaults(spec);
         let err =
-            RunError::UnknownProperty("late_sender".to_owned()).in_config("late_sender", &params);
+            RunError::unknown_property("late_sender").in_config("late_sender", &params.to_cli());
+        assert_eq!(err.kind(), ats_core::ErrorKind::Config);
         let msg = err.to_string();
         assert!(msg.contains("late_sender"), "{msg}");
         assert!(msg.contains("basework=0.01"), "{msg}");
         assert!(msg.contains("extrawork=0.04"), "{msg}");
         assert!(msg.contains("r=3"), "{msg}");
         // Attribution is idempotent: re-wrapping keeps the original config.
-        let rewrapped = err.clone().in_config("other", &ParamValues::default());
+        let rewrapped = err.clone().in_config("other", "");
         assert_eq!(err, rewrapped);
     }
 

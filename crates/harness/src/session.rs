@@ -1,0 +1,322 @@
+//! The unified [`Session`] API: one builder owning run options, analyzer
+//! configuration and observability together.
+//!
+//! Before sessions, every caller (bins, the fuzzer, the experiment
+//! engine, examples) assembled the same three structs by hand —
+//! [`RunOpts`], [`AnalyzerConfig`](ats_analyzer::AnalyzerConfig) and
+//! [`ObsConfig`](ats_obs::ObsConfig) — and had to remember to thread the
+//! same observability [`Handle`](ats_obs::Handle) through all of them.
+//! A [`Session`] materializes the handle once at [`SessionBuilder::build`]
+//! and injects it everywhere, so metrics from the simulator, the codec,
+//! the worker pool, the analyzer and the fuzzer all land in one registry,
+//! exportable as Prometheus text ([`Session::prometheus`]) or a JSON run
+//! manifest ([`Session::manifest`]).
+//!
+//! ```
+//! use ats_harness::{ParamValues, Session};
+//!
+//! let session = Session::builder().procs(4).seed(7).build();
+//! let spec = ats_harness::spec_of("late_sender").unwrap();
+//! let params = ParamValues::defaults(spec);
+//! let (_, report) = session.run_and_analyze("late_sender", &params).unwrap();
+//! assert!(report.severity_of("LateSender") > 0.0);
+//! ```
+
+use crate::experiment::Experiment;
+use crate::params::ParamValues;
+use crate::registry::{run_single, RunError, RunOpts};
+use ats_analyzer::{analyze, AnalysisReport, AnalyzerConfig};
+use ats_obs::{build_manifest, prometheus, Handle, ObsConfig, RunManifest};
+use ats_trace::Trace;
+use std::time::Instant;
+
+/// Builder for a [`Session`]. Every knob the old three-struct surface
+/// exposed is reachable here; [`SessionBuilder::build`] materializes the
+/// observability handle and threads it through all owned configs.
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    opts: RunOpts,
+    analyzer: AnalyzerConfig,
+    obs: ObsConfig,
+}
+
+impl SessionBuilder {
+    /// Set the MPI process count.
+    pub fn procs(mut self, n: usize) -> Self {
+        self.opts.nprocs = n;
+        self
+    }
+
+    /// Set the experiment/fuzz worker count (`0` = auto).
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.opts.jobs = n;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Cap total simulated-rank threads across workers.
+    pub fn thread_budget(mut self, budget: usize) -> Self {
+        self.opts.thread_budget = Some(budget);
+        self
+    }
+
+    /// Use the realistic (non-zero) machine model with init/finalize
+    /// costs.
+    pub fn realistic(mut self) -> Self {
+        self.opts = self.opts.realistic();
+        self
+    }
+
+    /// Set the analyzer's reporting threshold.
+    pub fn threshold(mut self, t: f64) -> Self {
+        self.analyzer.threshold = t;
+        self
+    }
+
+    /// Report MPI init/finalize overhead as a property.
+    pub fn with_setup_overhead(mut self) -> Self {
+        self.analyzer.report_setup_overhead = true;
+        self
+    }
+
+    /// Replace the run options wholesale (escape hatch for knobs without
+    /// a dedicated builder method).
+    pub fn opts(mut self, opts: RunOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Replace the analyzer configuration wholesale.
+    pub fn analyzer(mut self, analyzer: AnalyzerConfig) -> Self {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// Set the observability configuration (default: fully off).
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Materialize the session: resolve the observability handle once and
+    /// inject it into the run options and the analyzer config.
+    pub fn build(self) -> Session {
+        let handle = self.obs.handle();
+        let mut opts = self.opts;
+        let mut analyzer = self.analyzer;
+        opts.obs = handle.clone();
+        analyzer.obs = handle.clone();
+        Session {
+            opts,
+            analyzer,
+            handle,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// A configured suite session: the single entry point for running
+/// properties, analyzing traces, sweeping experiments and exporting the
+/// observability state they all share.
+#[derive(Debug, Clone)]
+pub struct Session {
+    opts: RunOpts,
+    analyzer: AnalyzerConfig,
+    handle: Option<Handle>,
+    started: Instant,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::builder().build()
+    }
+}
+
+impl Session {
+    /// Start building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The run options this session executes with (observability handle
+    /// already injected).
+    pub fn opts(&self) -> &RunOpts {
+        &self.opts
+    }
+
+    /// The analyzer configuration this session analyzes with.
+    pub fn analyzer_config(&self) -> &AnalyzerConfig {
+        &self.analyzer
+    }
+
+    /// The shared observability handle (`None` when observability is
+    /// off).
+    pub fn obs(&self) -> Option<&Handle> {
+        self.handle.as_ref()
+    }
+
+    /// Execute the single-property test program `name` with `params`.
+    pub fn run(&self, name: &str, params: &ParamValues) -> Result<Trace, RunError> {
+        run_single(name, params, &self.opts)
+    }
+
+    /// Analyze a trace with this session's analyzer configuration.
+    pub fn analyze(&self, trace: &Trace) -> AnalysisReport {
+        analyze(trace, &self.analyzer)
+    }
+
+    /// [`Session::run`] then [`Session::analyze`].
+    pub fn run_and_analyze(
+        &self,
+        name: &str,
+        params: &ParamValues,
+    ) -> Result<(Trace, AnalysisReport), RunError> {
+        let trace = self.run(name, params)?;
+        let report = self.analyze(&trace);
+        Ok((trace, report))
+    }
+
+    /// An [`Experiment`] over `property` pre-seeded with this session's
+    /// run options and analyzer configuration.
+    pub fn experiment(&self, property: &str) -> Experiment {
+        Experiment::new(property)
+            .opts(self.opts.clone())
+            .analyzer(self.analyzer.clone())
+    }
+
+    /// The session's workload configuration as JSON for manifests:
+    /// everything that determines *results* (seed, procs, model choice,
+    /// threshold), deliberately excluding execution details (`jobs`,
+    /// thread budget) so manifests diff clean across worker counts.
+    pub fn config_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "nprocs": self.opts.nprocs,
+            "seed": self.opts.seed,
+            "work_mode": format!("{:?}", self.opts.work_mode),
+            "zero_model": self.opts.model == ats_runtime::MachineModel::zero(),
+            "threshold": self.analyzer.threshold,
+            "report_setup_overhead": self.analyzer.report_setup_overhead,
+        })
+    }
+
+    /// Prometheus text exposition of the session's registry (`None` when
+    /// observability is off).
+    pub fn prometheus(&self) -> Option<String> {
+        self.handle.as_ref().map(|h| prometheus(h))
+    }
+
+    /// A JSON run manifest labeled `label`, snapshotting the session's
+    /// registry and wall time (`None` when observability is off).
+    pub fn manifest(&self, label: &str) -> Option<RunManifest> {
+        self.handle.as_ref().map(|h| {
+            build_manifest(
+                label,
+                self.config_json(),
+                h,
+                self.started.elapsed().as_secs_f64(),
+            )
+        })
+    }
+}
+
+/// Pre-Session spelling of the run-options half of the API surface.
+#[deprecated(note = "construct a `Session` via `Session::builder()`; it owns the run options")]
+pub type LegacyRunOpts = RunOpts;
+
+/// Pre-Session spelling of the analyzer-config half of the API surface.
+#[deprecated(note = "construct a `Session` via `Session::builder()`; it owns the analyzer config")]
+pub type LegacyAnalyzerConfig = AnalyzerConfig;
+
+/// Pre-Session spelling of the observability half of the API surface.
+#[deprecated(
+    note = "pass an `ObsConfig` to `Session::builder().obs(..)`; the session materializes the handle"
+)]
+pub type LegacyObsConfig = ObsConfig;
+
+/// The pre-Session free-function entry point: run one property from loose
+/// parts.
+#[deprecated(note = "use `Session::run`")]
+pub fn run_single_with(
+    name: &str,
+    params: &ParamValues,
+    opts: &RunOpts,
+) -> Result<Trace, RunError> {
+    run_single(name, params, opts)
+}
+
+/// The pre-Session free-function analysis entry point.
+#[deprecated(note = "use `Session::analyze`")]
+pub fn analyze_with(trace: &Trace, config: &AnalyzerConfig) -> AnalysisReport {
+    analyze(trace, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn late_sender_params() -> ParamValues {
+        ParamValues::defaults(crate::registry::spec_of("late_sender").unwrap())
+    }
+
+    #[test]
+    fn session_runs_and_analyzes_like_the_loose_parts() {
+        let session = Session::builder().procs(4).seed(11).build();
+        let (trace, report) = session
+            .run_and_analyze("late_sender", &late_sender_params())
+            .unwrap();
+        // Identical to assembling RunOpts/AnalyzerConfig by hand.
+        let mut opts = RunOpts::default().procs(4);
+        opts.seed = 11;
+        let loose = run_single("late_sender", &late_sender_params(), &opts).unwrap();
+        assert_eq!(trace.num_events(), loose.num_events());
+        assert!(report.severity_of("LateSender") > 0.0);
+    }
+
+    #[test]
+    fn obs_off_session_has_no_handle_or_exports() {
+        let session = Session::builder().build();
+        assert!(session.obs().is_none());
+        assert!(session.prometheus().is_none());
+        assert!(session.manifest("unit").is_none());
+    }
+
+    #[test]
+    fn obs_on_session_shares_one_handle_everywhere() {
+        let session = Session::builder().procs(2).obs(ObsConfig::fresh()).build();
+        let h = session.obs().unwrap().clone();
+        assert!(session
+            .opts()
+            .obs
+            .as_ref()
+            .is_some_and(|o| o.same_registry(&h)));
+        assert!(session
+            .analyzer_config()
+            .obs
+            .as_ref()
+            .is_some_and(|o| o.same_registry(&h)));
+        let (_, _) = session
+            .run_and_analyze("late_sender", &late_sender_params())
+            .unwrap();
+        assert!(h.mpi.runs.get() >= 1);
+        assert!(h.mpi.events.get() > 0);
+        assert_eq!(h.analyzer.analyses.get(), 1);
+        let text = session.prometheus().unwrap();
+        assert!(text.contains("ats_mpisim_events_total"));
+        let manifest = session.manifest("unit").unwrap();
+        assert!(manifest.metrics["ats_mpisim_events_total"] > 0);
+    }
+
+    #[test]
+    fn config_json_excludes_execution_details() {
+        let session = Session::builder().procs(4).jobs(8).build();
+        let cfg = session.config_json();
+        assert_eq!(cfg["nprocs"], 4);
+        assert!(cfg.get("jobs").is_none());
+        assert!(cfg.get("thread_budget").is_none());
+    }
+}

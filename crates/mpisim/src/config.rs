@@ -35,6 +35,9 @@ pub struct SimConfig {
     /// vectors). Pooling reuses capacity only; recorded traces are
     /// identical either way.
     pub trace_pool: Option<TracePool>,
+    /// Observability registry the run records into (`None` = no
+    /// recording). Like the pool, this never changes recorded traces.
+    pub obs: Option<ats_obs::Handle>,
 }
 
 impl Default for SimConfig {
@@ -50,6 +53,7 @@ impl Default for SimConfig {
             progress_timeout: Duration::from_secs(30),
             calibration: None,
             trace_pool: None,
+            obs: None,
         }
     }
 }
@@ -97,6 +101,12 @@ impl SimConfig {
     /// Builder: draw event buffers from `pool` instead of allocating.
     pub fn trace_pool(mut self, pool: TracePool) -> Self {
         self.trace_pool = Some(pool);
+        self
+    }
+
+    /// Builder: record run/message/collective metrics into `obs`.
+    pub fn obs(mut self, obs: ats_obs::Handle) -> Self {
+        self.obs = Some(obs);
         self
     }
 }

@@ -91,6 +91,7 @@ impl MatchSpec {
 pub struct Mailbox {
     queue: Mutex<VecDeque<Envelope>>,
     cv: Condvar,
+    obs: Option<ats_obs::Handle>,
 }
 
 impl Mailbox {
@@ -99,14 +100,30 @@ impl Mailbox {
         Self::default()
     }
 
+    /// Create an empty mailbox that records message counts and the
+    /// high-water queue depth into `obs`.
+    pub fn with_obs(obs: Option<ats_obs::Handle>) -> Self {
+        Mailbox {
+            obs,
+            ..Self::default()
+        }
+    }
+
     /// Deliver an envelope (called from the sender's thread).
     pub fn push(&self, env: Envelope) {
-        self.queue.lock().push_back(env);
+        let mut q = self.queue.lock();
+        q.push_back(env);
+        if let Some(obs) = &self.obs {
+            obs.mpi.messages.inc();
+            obs.mpi.mailbox_depth_max.set_max(q.len() as u64);
+        }
+        drop(q);
         self.cv.notify_all();
     }
 
     /// Re-deliver an envelope at the *front* of the queue (used by probe,
-    /// which must observe without disturbing matching order).
+    /// which must observe without disturbing matching order). Not counted
+    /// as a new message — it was counted when first pushed.
     pub fn push_front(&self, env: Envelope) {
         self.queue.lock().push_front(env);
         self.cv.notify_all();

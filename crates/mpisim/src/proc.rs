@@ -533,6 +533,12 @@ impl Proc {
             },
             self.world.timeout,
         );
+        if let Some(obs) = &self.world.obs {
+            obs.mpi.collectives.inc();
+            obs.mpi
+                .collective_rounds
+                .add(self.world.model.tree_stages(comm.size()) as u64);
+        }
         let entries: Vec<VTime> = all.iter().map(|c| c.entry).collect();
         let bytes = bytes_of(&all);
         let exit = collective::exits(op, &entries, root, &bytes, &self.world.model)[comm.rank()];

@@ -22,6 +22,7 @@ pub(crate) struct WorldShared {
     broker: Mutex<HashMap<(u32, u64, i64), Arc<CommShared>>>,
     pub(crate) model: MachineModel,
     pub(crate) timeout: Duration,
+    pub(crate) obs: Option<ats_obs::Handle>,
     collector: TraceCollector,
 }
 
@@ -124,12 +125,19 @@ where
             collector.intern(op.region_name(), ats_trace::RegionKind::MpiCollective);
         }
     }
+    if let Some(obs) = &config.obs {
+        obs.mpi.runs.inc();
+        obs.mpi.ranks.add(config.nprocs as u64);
+    }
     let world = Arc::new(WorldShared {
-        mailboxes: (0..config.nprocs).map(|_| Mailbox::new()).collect(),
+        mailboxes: (0..config.nprocs)
+            .map(|_| Mailbox::with_obs(config.obs.clone()))
+            .collect(),
         next_comm_id: Arc::new(AtomicU32::new(1)),
         broker: Mutex::new(HashMap::new()),
         model: config.model.clone(),
         timeout: config.progress_timeout,
+        obs: config.obs.clone(),
         collector: collector.clone(),
     });
     collector.register_comm(0, (0..config.nprocs as u32).collect());
@@ -163,6 +171,9 @@ where
                     let result = f(&mut proc);
                     proc.sim_finalize(config.finalize_time);
                     let (local, _collector) = proc.into_local();
+                    if let Some(obs) = &config.obs {
+                        obs.mpi.events.add(local.len() as u64);
+                    }
                     collector.submit(local);
                     result
                 })

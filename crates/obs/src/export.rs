@@ -1,0 +1,80 @@
+//! Prometheus text exposition of a [`Registry`].
+//!
+//! Renders *every* metric family, including zero-valued ones, so a scrape
+//! (or a human) always sees the full schema of what ATS-RS instruments —
+//! a run that never touched the fuzzer still advertises
+//! `ats_fuzz_scenarios_total 0`. Histogram `_sum` is converted from the
+//! internal nanoseconds to seconds per Prometheus convention.
+
+use crate::metrics::BUCKET_BOUNDS_NS;
+use crate::registry::Registry;
+use std::fmt::Write;
+
+/// Render the registry in Prometheus text exposition format (v0.0.4).
+pub fn prometheus(reg: &Registry) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    for c in reg.counters() {
+        let _ = writeln!(out, "# HELP {} {}", c.name, c.help);
+        let _ = writeln!(out, "# TYPE {} counter", c.name);
+        let _ = writeln!(out, "{} {}", c.name, c.value);
+    }
+    for g in reg.gauges() {
+        let _ = writeln!(out, "# HELP {} {}", g.name, g.help);
+        let _ = writeln!(out, "# TYPE {} gauge", g.name);
+        let _ = writeln!(out, "{} {}", g.name, g.value);
+    }
+    for h in reg.histograms() {
+        let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
+        let _ = writeln!(out, "# TYPE {} histogram", h.name);
+        let cum = h.hist.cumulative_buckets();
+        for (bound_ns, count) in BUCKET_BOUNDS_NS.iter().zip(&cum) {
+            let _ = writeln!(
+                out,
+                "{}_bucket{{le=\"{}\"}} {}",
+                h.name,
+                *bound_ns as f64 / 1e9,
+                count
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}_bucket{{le=\"+Inf\"}} {}",
+            h.name,
+            cum.last().copied().unwrap_or(0)
+        );
+        let _ = writeln!(out, "{}_sum {}", h.name, h.hist.sum_secs());
+        let _ = writeln!(out, "{}_count {}", h.name, h.hist.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_families_even_when_zero() {
+        let reg = Registry::default();
+        let text = prometheus(&reg);
+        for needle in [
+            "ats_mpisim_events_total 0",
+            "ats_trace_binary_bytes_encoded_total 0",
+            "ats_pool_tasks_total 0",
+            "ats_analyzer_analyses_total 0",
+            "ats_fuzz_scenarios_total 0",
+            "# TYPE ats_pool_queue_wait_seconds histogram",
+            "ats_pool_queue_wait_seconds_bucket{le=\"+Inf\"} 0",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn histogram_values_flow_through() {
+        let reg = Registry::default();
+        reg.fuzz.oracle_time.observe_ns(2_000_000); // 2ms
+        let text = prometheus(&reg);
+        assert!(text.contains("ats_fuzz_oracle_seconds_count 1"), "{text}");
+        assert!(text.contains("ats_fuzz_oracle_seconds_sum 0.002"), "{text}");
+    }
+}

@@ -1,0 +1,515 @@
+//! The statically-shaped metric registry.
+//!
+//! Rather than a string-keyed map (which would put a hash + allocation on
+//! every hot-path update), the registry is a plain struct of per-subsystem
+//! metric groups: every instrumentation site touches a field directly, so
+//! recording is exactly one relaxed atomic op. Names, help strings and the
+//! deterministic/runtime classification live in the enumeration methods
+//! ([`Registry::counters`] etc.), which only run at export time.
+//!
+//! A *deterministic* counter is one whose value is a pure function of the
+//! workload (seed, parameters): simulated events, messages, findings,
+//! encoded bytes. Everything timing- or scheduling-dependent (pool reuse,
+//! mailbox depth, latencies) is *runtime*: real under the same roof, but
+//! excluded from the manifest's reproducibility-checked section because
+//! two byte-identical runs legitimately differ there.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// `mpisim`: the virtual-time MPI substrate.
+#[derive(Debug, Default)]
+pub struct MpiMetrics {
+    /// Simulations executed (`ats_mpi::run` entries).
+    pub runs: Counter,
+    /// Rank threads spawned across all runs.
+    pub ranks: Counter,
+    /// Events recorded into rank-local traces.
+    pub events: Counter,
+    /// Point-to-point envelopes pushed through mailboxes.
+    pub messages: Counter,
+    /// Collective operations completed (one per op, not per rank).
+    pub collectives: Counter,
+    /// Simulated tree/butterfly stages across all collectives.
+    pub collective_rounds: Counter,
+    /// Deepest any mailbox queue ever got.
+    pub mailbox_depth_max: Gauge,
+}
+
+/// `trace`: codecs and the event-buffer pool.
+#[derive(Debug, Default)]
+pub struct TraceMetrics {
+    /// Bytes produced by the ATSB binary encoder.
+    pub binary_bytes_encoded: Counter,
+    /// Bytes consumed by the ATSB binary decoder.
+    pub binary_bytes_decoded: Counter,
+    /// Bytes written as JSONL.
+    pub jsonl_bytes_encoded: Counter,
+    /// Bytes read as JSONL.
+    pub jsonl_bytes_decoded: Counter,
+    /// Event-buffer pool takes satisfied from the pool.
+    pub pool_hits: Counter,
+    /// Event-buffer pool takes that allocated fresh.
+    pub pool_misses: Counter,
+    /// Buffers recycled back into the pool.
+    pub pool_recycled: Counter,
+}
+
+/// `harness::pool`: the bounded sweep worker pool.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    /// Tasks executed through the pool.
+    pub tasks: Counter,
+    /// Nanoseconds workers spent executing tasks (busy time).
+    pub busy_ns: Counter,
+    /// Nanoseconds of pool wall time (per `run_indexed` call, summed).
+    pub wall_ns: Counter,
+    /// Worker count of the most recent pool launch.
+    pub jobs_occupancy: Gauge,
+    /// Delay between pool launch and each task being claimed.
+    pub queue_wait: Histogram,
+    /// Per-task execution time.
+    pub task_time: Histogram,
+}
+
+/// `analyzer`: EXPERT-style pattern search.
+#[derive(Debug, Default)]
+pub struct AnalyzerMetrics {
+    /// Analyses performed.
+    pub analyses: Counter,
+    /// Events ingested across all analyses.
+    pub events_ingested: Counter,
+    /// Bytes ingested from on-disk traces.
+    pub bytes_ingested: Counter,
+    /// Findings reported (above-threshold severities).
+    pub findings: Counter,
+    /// State extraction pass.
+    pub extract_time: Histogram,
+    /// Late-sender pattern matching.
+    pub late_sender_time: Histogram,
+    /// Late-receiver pattern matching.
+    pub late_receiver_time: Histogram,
+    /// Wrong-order pattern matching.
+    pub wrong_order_time: Histogram,
+    /// Collective wait-state matching.
+    pub collective_time: Histogram,
+    /// Critical-wait (progress/serialization) matching.
+    pub critical_time: Histogram,
+    /// Severity cube → report build.
+    pub severity_time: Histogram,
+}
+
+/// `fuzz::campaign`: the seeded scenario fuzzer.
+#[derive(Debug, Default)]
+pub struct FuzzMetrics {
+    /// Scenarios executed.
+    pub scenarios: Counter,
+    /// Phases across all executed scenarios.
+    pub phases: Counter,
+    /// Oracle violations found.
+    pub violations: Counter,
+    /// Simulation re-runs spent shrinking violating scenarios.
+    pub shrink_iterations: Counter,
+    /// Full oracle verdict latency (predict + execute + compare).
+    pub oracle_time: Histogram,
+    /// End-to-end per-scenario latency (generate + run + check).
+    pub scenario_time: Histogram,
+}
+
+/// All subsystem metric groups under one roof.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub mpi: MpiMetrics,
+    pub trace: TraceMetrics,
+    pub pool: PoolMetrics,
+    pub analyzer: AnalyzerMetrics,
+    pub fuzz: FuzzMetrics,
+}
+
+/// An enumerated counter: name, help, deterministic flag, current value.
+pub struct CounterDesc {
+    pub name: &'static str,
+    pub help: &'static str,
+    pub deterministic: bool,
+    pub value: u64,
+}
+
+/// An enumerated gauge.
+pub struct GaugeDesc {
+    pub name: &'static str,
+    pub help: &'static str,
+    pub value: u64,
+}
+
+/// An enumerated histogram (borrowed; render via its accessors).
+pub struct HistDesc<'a> {
+    pub name: &'static str,
+    pub help: &'static str,
+    pub hist: &'a Histogram,
+}
+
+impl Registry {
+    /// Enumerate every counter with its export name. The `deterministic`
+    /// flag drives the manifest partition (see module docs).
+    pub fn counters(&self) -> Vec<CounterDesc> {
+        let c = |name, help, deterministic, counter: &Counter| CounterDesc {
+            name,
+            help,
+            deterministic,
+            value: counter.get(),
+        };
+        vec![
+            c(
+                "ats_mpisim_runs_total",
+                "Simulations executed",
+                true,
+                &self.mpi.runs,
+            ),
+            c(
+                "ats_mpisim_ranks_total",
+                "Rank threads spawned",
+                true,
+                &self.mpi.ranks,
+            ),
+            c(
+                "ats_mpisim_events_total",
+                "Events recorded into traces",
+                true,
+                &self.mpi.events,
+            ),
+            c(
+                "ats_mpisim_messages_total",
+                "P2P envelopes through mailboxes",
+                true,
+                &self.mpi.messages,
+            ),
+            c(
+                "ats_mpisim_collectives_total",
+                "Collective operations completed",
+                true,
+                &self.mpi.collectives,
+            ),
+            c(
+                "ats_mpisim_collective_rounds_total",
+                "Simulated collective tree stages",
+                true,
+                &self.mpi.collective_rounds,
+            ),
+            c(
+                "ats_trace_binary_bytes_encoded_total",
+                "ATSB bytes encoded",
+                true,
+                &self.trace.binary_bytes_encoded,
+            ),
+            c(
+                "ats_trace_binary_bytes_decoded_total",
+                "ATSB bytes decoded",
+                true,
+                &self.trace.binary_bytes_decoded,
+            ),
+            c(
+                "ats_trace_jsonl_bytes_encoded_total",
+                "JSONL bytes written",
+                true,
+                &self.trace.jsonl_bytes_encoded,
+            ),
+            c(
+                "ats_trace_jsonl_bytes_decoded_total",
+                "JSONL bytes read",
+                true,
+                &self.trace.jsonl_bytes_decoded,
+            ),
+            c(
+                "ats_trace_pool_hits_total",
+                "Event-buffer pool reuse hits",
+                false,
+                &self.trace.pool_hits,
+            ),
+            c(
+                "ats_trace_pool_misses_total",
+                "Event-buffer pool misses",
+                false,
+                &self.trace.pool_misses,
+            ),
+            c(
+                "ats_trace_pool_recycled_total",
+                "Event buffers recycled",
+                false,
+                &self.trace.pool_recycled,
+            ),
+            c(
+                "ats_pool_tasks_total",
+                "Worker-pool tasks executed",
+                true,
+                &self.pool.tasks,
+            ),
+            c(
+                "ats_pool_busy_nanoseconds_total",
+                "Worker busy time",
+                false,
+                &self.pool.busy_ns,
+            ),
+            c(
+                "ats_pool_wall_nanoseconds_total",
+                "Pool wall time",
+                false,
+                &self.pool.wall_ns,
+            ),
+            c(
+                "ats_analyzer_analyses_total",
+                "Analyses performed",
+                true,
+                &self.analyzer.analyses,
+            ),
+            c(
+                "ats_analyzer_events_ingested_total",
+                "Events ingested",
+                true,
+                &self.analyzer.events_ingested,
+            ),
+            c(
+                "ats_analyzer_bytes_ingested_total",
+                "Bytes ingested from disk",
+                true,
+                &self.analyzer.bytes_ingested,
+            ),
+            c(
+                "ats_analyzer_findings_total",
+                "Findings reported",
+                true,
+                &self.analyzer.findings,
+            ),
+            c(
+                "ats_fuzz_scenarios_total",
+                "Fuzz scenarios executed",
+                true,
+                &self.fuzz.scenarios,
+            ),
+            c(
+                "ats_fuzz_phases_total",
+                "Fuzz phases executed",
+                true,
+                &self.fuzz.phases,
+            ),
+            c(
+                "ats_fuzz_violations_total",
+                "Oracle violations",
+                true,
+                &self.fuzz.violations,
+            ),
+            c(
+                "ats_fuzz_shrink_iterations_total",
+                "Shrink re-runs",
+                true,
+                &self.fuzz.shrink_iterations,
+            ),
+        ]
+    }
+
+    /// Enumerate every gauge. Gauges are always runtime-classified.
+    pub fn gauges(&self) -> Vec<GaugeDesc> {
+        let g = |name, help, gauge: &Gauge| GaugeDesc {
+            name,
+            help,
+            value: gauge.get(),
+        };
+        vec![
+            g(
+                "ats_mpisim_mailbox_depth_max",
+                "Deepest mailbox queue seen",
+                &self.mpi.mailbox_depth_max,
+            ),
+            g(
+                "ats_pool_jobs_occupancy",
+                "Workers in the latest pool launch",
+                &self.pool.jobs_occupancy,
+            ),
+        ]
+    }
+
+    /// Enumerate every histogram. Histograms are always runtime-classified.
+    pub fn histograms(&self) -> Vec<HistDesc<'_>> {
+        let h = |name, help, hist| HistDesc { name, help, hist };
+        vec![
+            h(
+                "ats_pool_queue_wait_seconds",
+                "Task claim latency",
+                &self.pool.queue_wait,
+            ),
+            h(
+                "ats_pool_task_time_seconds",
+                "Per-task execution time",
+                &self.pool.task_time,
+            ),
+            h(
+                "ats_analyzer_extract_seconds",
+                "State extraction pass",
+                &self.analyzer.extract_time,
+            ),
+            h(
+                "ats_analyzer_pattern_late_sender_seconds",
+                "Late-sender matching",
+                &self.analyzer.late_sender_time,
+            ),
+            h(
+                "ats_analyzer_pattern_late_receiver_seconds",
+                "Late-receiver matching",
+                &self.analyzer.late_receiver_time,
+            ),
+            h(
+                "ats_analyzer_pattern_wrong_order_seconds",
+                "Wrong-order matching",
+                &self.analyzer.wrong_order_time,
+            ),
+            h(
+                "ats_analyzer_pattern_collective_seconds",
+                "Collective wait matching",
+                &self.analyzer.collective_time,
+            ),
+            h(
+                "ats_analyzer_pattern_critical_seconds",
+                "Critical-wait matching",
+                &self.analyzer.critical_time,
+            ),
+            h(
+                "ats_analyzer_severity_seconds",
+                "Severity cube and report build",
+                &self.analyzer.severity_time,
+            ),
+            h(
+                "ats_fuzz_oracle_seconds",
+                "Oracle verdict latency",
+                &self.fuzz.oracle_time,
+            ),
+            h(
+                "ats_fuzz_scenario_seconds",
+                "Per-scenario latency",
+                &self.fuzz.scenario_time,
+            ),
+        ]
+    }
+}
+
+/// A cloneable, shareable reference to a [`Registry`].
+///
+/// Configs thread a `Handle` the same way they thread a trace-buffer
+/// pool: `Option<Handle>` defaulting to `None`
+/// (no instrumentation, near-zero cost). A *fresh* handle gives a test or
+/// session its own registry, immune to concurrent pollution; the
+/// process-wide [`global`] handle is what free-function call sites (the
+/// trace codec) record into when [`global_enabled`] is armed.
+#[derive(Clone, Default)]
+pub struct Handle(Arc<Registry>);
+
+impl Handle {
+    /// A handle to a brand-new, all-zero registry.
+    pub fn new() -> Self {
+        Handle(Arc::new(Registry::default()))
+    }
+
+    /// Do these two handles share one registry?
+    pub fn same_registry(&self, other: &Handle) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Deref for Handle {
+    type Target = Registry;
+    fn deref(&self) -> &Registry {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obs::Handle({:p})", Arc::as_ptr(&self.0))
+    }
+}
+
+static GLOBAL: OnceLock<Handle> = OnceLock::new();
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide registry handle (created on first use).
+pub fn global() -> &'static Handle {
+    GLOBAL.get_or_init(Handle::new)
+}
+
+/// Should free-function call sites (trace codec, pools without an explicit
+/// handle) record into [`global`]? Default `false`: one relaxed load and
+/// out.
+#[inline]
+pub fn global_enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arm or disarm global recording.
+pub fn set_global_enabled(enabled: bool) {
+    GLOBAL_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// `Some(global handle)` when armed, `None` otherwise — the one-liner for
+/// free-function instrumentation sites.
+#[inline]
+pub fn global_if_enabled() -> Option<&'static Handle> {
+    if global_enabled() {
+        Some(global())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_handles_are_independent() {
+        let a = Handle::new();
+        let b = Handle::new();
+        a.mpi.events.add(10);
+        assert_eq!(a.mpi.events.get(), 10);
+        assert_eq!(b.mpi.events.get(), 0);
+        assert!(!a.same_registry(&b));
+        let c = a.clone();
+        assert!(a.same_registry(&c));
+        c.mpi.events.inc();
+        assert_eq!(a.mpi.events.get(), 11);
+    }
+
+    #[test]
+    fn enumeration_covers_all_five_subsystems() {
+        let r = Registry::default();
+        let names: Vec<&str> = r
+            .counters()
+            .iter()
+            .map(|c| c.name)
+            .chain(r.gauges().iter().map(|g| g.name))
+            .chain(r.histograms().iter().map(|h| h.name))
+            .collect();
+        for prefix in [
+            "ats_mpisim_",
+            "ats_trace_",
+            "ats_pool_",
+            "ats_analyzer_",
+            "ats_fuzz_",
+        ] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "no metric for subsystem {prefix}"
+            );
+        }
+        // Export names are unique.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate metric name");
+    }
+
+    #[test]
+    fn global_recording_is_gated() {
+        assert!(global_if_enabled().is_none() || global_enabled());
+    }
+}

@@ -1,0 +1,75 @@
+//! RAII span timers with a thread-local name stack.
+//!
+//! A span is a named, timed scope: entering pushes the name onto the
+//! current thread's stack, dropping records the elapsed time into the
+//! span's histogram and pops the stack. The stack exists so the sampling
+//! profiler ([`crate::profiler`]) can attribute a sample to the full
+//! nesting path (`analyzer.extract` inside `pool.task`, say) rather than
+//! just the innermost name. Stack maintenance is a thread-local
+//! `Vec<&'static str>` push/pop — no allocation after the first few spans
+//! of a thread's life, and no synchronization at all unless the profiler
+//! is armed.
+
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Snapshot the current thread's span path, innermost last.
+pub fn current_path() -> Vec<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().clone())
+}
+
+/// RAII guard created by [`Histogram::span`]: times the scope, keeps the
+/// thread-local span stack honest, and feeds the sampling profiler.
+pub struct SpanGuard<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn enter(hist: &'a Histogram, name: &'static str) -> Self {
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        crate::profiler::on_span_enter();
+        SpanGuard {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed());
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_unwind() {
+        let outer = Histogram::new();
+        let inner = Histogram::new();
+        assert!(current_path().is_empty());
+        {
+            let _o = outer.span("outer");
+            assert_eq!(current_path(), vec!["outer"]);
+            {
+                let _i = inner.span("inner");
+                assert_eq!(current_path(), vec!["outer", "inner"]);
+            }
+            assert_eq!(current_path(), vec!["outer"]);
+            assert_eq!(inner.count(), 1);
+        }
+        assert!(current_path().is_empty());
+        assert_eq!(outer.count(), 1);
+    }
+}

@@ -181,7 +181,11 @@ pub fn encode(trace: &Trace) -> Bytes {
     for loc in &trace.locations {
         encode_location(&mut buf, loc);
     }
-    buf.freeze()
+    let out = buf.freeze();
+    if let Some(obs) = ats_obs::global_if_enabled() {
+        obs.trace.binary_bytes_encoded.add(out.len() as u64);
+    }
+    out
 }
 
 fn encode_location(buf: &mut BytesMut, loc: &LocationTrace) {
@@ -366,6 +370,9 @@ impl<'a> Reader<'a> {
 
 /// Decode a binary trace from an in-memory buffer.
 pub fn decode(data: &[u8]) -> Result<Trace, TraceIoError> {
+    if let Some(obs) = ats_obs::global_if_enabled() {
+        obs.trace.binary_bytes_decoded.add(data.len() as u64);
+    }
     let mut r = Reader::new(data);
     if r.slice(4, "magic")? != &MAGIC[..] {
         return Err(TraceIoError::Format(

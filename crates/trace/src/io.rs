@@ -102,11 +102,18 @@ impl std::fmt::Display for TraceFormat {
 
 /// Serialize a whole trace as one pretty JSON document.
 pub fn to_json(trace: &Trace) -> String {
-    serde_json::to_string_pretty(trace).expect("trace serialization cannot fail")
+    let out = serde_json::to_string_pretty(trace).expect("trace serialization cannot fail");
+    if let Some(obs) = ats_obs::global_if_enabled() {
+        obs.trace.jsonl_bytes_encoded.add(out.len() as u64);
+    }
+    out
 }
 
 /// Parse a trace from a JSON document produced by [`to_json`].
 pub fn from_json(s: &str) -> Result<Trace, TraceIoError> {
+    if let Some(obs) = ats_obs::global_if_enabled() {
+        obs.trace.jsonl_bytes_decoded.add(s.len() as u64);
+    }
     Ok(serde_json::from_str(s)?)
 }
 
@@ -116,7 +123,10 @@ pub fn from_json(s: &str) -> Result<Trace, TraceIoError> {
 /// fine; serialization goes through one flat buffer instead of a syscall
 /// per fragment.
 pub fn write_jsonl<W: Write>(trace: &Trace, w: W) -> Result<(), TraceIoError> {
-    let mut w = BufWriter::new(w);
+    let mut w = CountWriter {
+        inner: BufWriter::new(w),
+        written: 0,
+    };
     serde_json::to_writer(&mut w, &trace.regions)?;
     writeln!(w)?;
     serde_json::to_writer(&mut w, &trace.comms)?;
@@ -126,7 +136,28 @@ pub fn write_jsonl<W: Write>(trace: &Trace, w: W) -> Result<(), TraceIoError> {
         writeln!(w)?;
     }
     w.flush()?;
+    if let Some(obs) = ats_obs::global_if_enabled() {
+        obs.trace.jsonl_bytes_encoded.add(w.written);
+    }
     Ok(())
+}
+
+/// Pass-through writer counting bytes for the observability layer.
+struct CountWriter<W> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> Write for CountWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// Line-by-line JSONL cursor: one reused `String` buffer (location streams
@@ -137,6 +168,7 @@ struct JsonlLines<R> {
     r: R,
     buf: String,
     lineno: usize,
+    bytes: u64,
 }
 
 impl<R: BufRead> JsonlLines<R> {
@@ -147,9 +179,11 @@ impl<R: BufRead> JsonlLines<R> {
     fn advance(&mut self) -> Result<bool, TraceIoError> {
         loop {
             self.buf.clear();
-            if self.r.read_line(&mut self.buf)? == 0 {
+            let n = self.r.read_line(&mut self.buf)?;
+            if n == 0 {
                 return Ok(false);
             }
+            self.bytes += n as u64;
             self.lineno += 1;
             if self.buf.contains('\r') {
                 return Err(TraceIoError::Format(format!(
@@ -185,6 +219,7 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
         r,
         buf: String::new(),
         lineno: 0,
+        bytes: 0,
     };
     if !lines.advance()? {
         return Err(TraceIoError::Format(
@@ -202,6 +237,9 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
     while lines.advance()? {
         let loc: LocationTrace = lines.parse("location stream")?;
         locations.push(loc);
+    }
+    if let Some(obs) = ats_obs::global_if_enabled() {
+        obs.trace.jsonl_bytes_decoded.add(lines.bytes);
     }
     Ok(Trace::with_comms(regions, comms, locations))
 }

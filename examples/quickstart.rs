@@ -6,7 +6,9 @@
 
 use ats::analyzer::{analyze, AnalyzerConfig};
 use ats::core::{properties::mpi_p2p, BaseComm};
+use ats::harness::{ParamValues, Session};
 use ats::mpi::SimConfig;
+use ats::obs::ObsConfig;
 
 fn main() {
     // A 4-rank MPI program in which the even ranks always send 40ms late.
@@ -38,5 +40,22 @@ fn main() {
     println!(
         "\nquickstart OK: LateSender severity {:.1}%",
         late_sender * 100.0
+    );
+
+    // The same workload through the catalog + Session front door, with the
+    // self-observability layer recording: one builder owns the simulation
+    // options, the analyzer configuration, and the metrics registry.
+    let session = Session::builder().procs(4).obs(ObsConfig::fresh()).build();
+    let params = ParamValues::defaults(ats::harness::spec_of("late_sender").unwrap());
+    let (trace, report) = session
+        .run_and_analyze("late_sender", &params)
+        .expect("late_sender is in the catalog");
+    assert_eq!(report.findings[0].property, "LateSender");
+    let manifest = session.manifest("quickstart").expect("obs is on");
+    println!(
+        "\nsession run: {} events, {} finding(s), manifest schema {}",
+        trace.num_events(),
+        report.findings.len(),
+        manifest.schema
     );
 }

@@ -9,8 +9,10 @@
 pub use ats_analyzer as analyzer;
 pub use ats_apps as apps;
 pub use ats_core as core;
+pub use ats_fuzz as fuzz;
 pub use ats_harness as harness;
 pub use ats_mpi as mpi;
+pub use ats_obs as obs;
 pub use ats_omp as omp;
 pub use ats_runtime as runtime;
 pub use ats_trace as trace;
