@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-1022d9a945209c77.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-1022d9a945209c77.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-40d41f817611565f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-40d41f817611565f.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

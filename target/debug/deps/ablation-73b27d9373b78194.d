@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-73b27d9373b78194.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-73b27d9373b78194.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-b44face646198012.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-b44face646198012.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-529ed66d9c4d856b.d: crates/bench/benches/apps.rs
+
+/root/repo/target/debug/deps/libapps-529ed66d9c4d856b.rmeta: crates/bench/benches/apps.rs
+
+crates/bench/benches/apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-9cab323b7b3a425c.d: crates/bench/benches/apps.rs
+
+/root/repo/target/debug/deps/libapps-9cab323b7b3a425c.rmeta: crates/bench/benches/apps.rs
+
+crates/bench/benches/apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-05c740b651f87790.d: src/main.rs
+
+/root/repo/target/debug/deps/libats-05c740b651f87790.rmeta: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-263116c464f52d84.d: src/main.rs
+
+/root/repo/target/debug/deps/libats-263116c464f52d84.rmeta: src/main.rs
+
+src/main.rs:

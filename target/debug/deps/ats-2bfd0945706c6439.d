@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-2bfd0945706c6439.d: src/lib.rs
+
+/root/repo/target/debug/deps/libats-2bfd0945706c6439.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-485337c07b280324.d: src/lib.rs
+
+/root/repo/target/debug/deps/libats-485337c07b280324.rmeta: src/lib.rs
+
+src/lib.rs:

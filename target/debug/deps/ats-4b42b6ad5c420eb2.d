@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ats-4b42b6ad5c420eb2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libats-4b42b6ad5c420eb2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libats-4b42b6ad5c420eb2.rmeta: src/lib.rs
+
+src/lib.rs:

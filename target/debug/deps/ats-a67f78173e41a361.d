@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-a67f78173e41a361.d: src/main.rs
+
+/root/repo/target/debug/deps/ats-a67f78173e41a361: src/main.rs
+
+src/main.rs:

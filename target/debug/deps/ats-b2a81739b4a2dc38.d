@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-b2a81739b4a2dc38.d: src/lib.rs
+
+/root/repo/target/debug/deps/libats-b2a81739b4a2dc38.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-ced3bdc8366ce7f5.d: src/main.rs
+
+/root/repo/target/debug/deps/libats-ced3bdc8366ce7f5.rmeta: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-d190d77b17d92dd0.d: src/main.rs
+
+/root/repo/target/debug/deps/ats-d190d77b17d92dd0: src/main.rs
+
+src/main.rs:

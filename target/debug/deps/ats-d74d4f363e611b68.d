@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ats-d74d4f363e611b68.d: src/lib.rs
+
+/root/repo/target/debug/deps/libats-d74d4f363e611b68.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libats-d74d4f363e611b68.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-e0e45c45a734dbff.d: src/lib.rs
+
+/root/repo/target/debug/deps/libats-e0e45c45a734dbff.rmeta: src/lib.rs
+
+src/lib.rs:

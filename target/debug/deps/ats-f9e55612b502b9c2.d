@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats-f9e55612b502b9c2.d: src/main.rs
+
+/root/repo/target/debug/deps/libats-f9e55612b502b9c2.rmeta: src/main.rs
+
+src/main.rs:

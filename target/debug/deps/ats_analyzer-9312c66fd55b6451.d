@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ats_analyzer-9312c66fd55b6451.d: crates/analyzer/src/lib.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/asl/mod.rs crates/analyzer/src/asl/ast.rs crates/analyzer/src/asl/eval.rs crates/analyzer/src/asl/parse.rs crates/analyzer/src/callpath.rs crates/analyzer/src/extract.rs crates/analyzer/src/ingest.rs crates/analyzer/src/patterns.rs crates/analyzer/src/phases.rs crates/analyzer/src/property.rs crates/analyzer/src/report.rs crates/analyzer/src/severity.rs
+
+/root/repo/target/debug/deps/libats_analyzer-9312c66fd55b6451.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/asl/mod.rs crates/analyzer/src/asl/ast.rs crates/analyzer/src/asl/eval.rs crates/analyzer/src/asl/parse.rs crates/analyzer/src/callpath.rs crates/analyzer/src/extract.rs crates/analyzer/src/ingest.rs crates/analyzer/src/patterns.rs crates/analyzer/src/phases.rs crates/analyzer/src/property.rs crates/analyzer/src/report.rs crates/analyzer/src/severity.rs
+
+/root/repo/target/debug/deps/libats_analyzer-9312c66fd55b6451.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/asl/mod.rs crates/analyzer/src/asl/ast.rs crates/analyzer/src/asl/eval.rs crates/analyzer/src/asl/parse.rs crates/analyzer/src/callpath.rs crates/analyzer/src/extract.rs crates/analyzer/src/ingest.rs crates/analyzer/src/patterns.rs crates/analyzer/src/phases.rs crates/analyzer/src/property.rs crates/analyzer/src/report.rs crates/analyzer/src/severity.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/analyzer.rs:
+crates/analyzer/src/asl/mod.rs:
+crates/analyzer/src/asl/ast.rs:
+crates/analyzer/src/asl/eval.rs:
+crates/analyzer/src/asl/parse.rs:
+crates/analyzer/src/callpath.rs:
+crates/analyzer/src/extract.rs:
+crates/analyzer/src/ingest.rs:
+crates/analyzer/src/patterns.rs:
+crates/analyzer/src/phases.rs:
+crates/analyzer/src/property.rs:
+crates/analyzer/src/report.rs:
+crates/analyzer/src/severity.rs:

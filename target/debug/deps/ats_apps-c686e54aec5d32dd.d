@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ats_apps-c686e54aec5d32dd.d: crates/apps/src/lib.rs crates/apps/src/heat2d.rs crates/apps/src/hybrid_stencil.rs crates/apps/src/jacobi.rs crates/apps/src/pipeline.rs crates/apps/src/taskfarm.rs crates/apps/src/transpose.rs
+
+/root/repo/target/debug/deps/libats_apps-c686e54aec5d32dd.rmeta: crates/apps/src/lib.rs crates/apps/src/heat2d.rs crates/apps/src/hybrid_stencil.rs crates/apps/src/jacobi.rs crates/apps/src/pipeline.rs crates/apps/src/taskfarm.rs crates/apps/src/transpose.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/heat2d.rs:
+crates/apps/src/hybrid_stencil.rs:
+crates/apps/src/jacobi.rs:
+crates/apps/src/pipeline.rs:
+crates/apps/src/taskfarm.rs:
+crates/apps/src/transpose.rs:

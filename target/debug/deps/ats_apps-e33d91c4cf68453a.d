@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ats_apps-e33d91c4cf68453a.d: crates/apps/src/lib.rs crates/apps/src/heat2d.rs crates/apps/src/hybrid_stencil.rs crates/apps/src/jacobi.rs crates/apps/src/pipeline.rs crates/apps/src/taskfarm.rs crates/apps/src/transpose.rs
+
+/root/repo/target/debug/deps/libats_apps-e33d91c4cf68453a.rlib: crates/apps/src/lib.rs crates/apps/src/heat2d.rs crates/apps/src/hybrid_stencil.rs crates/apps/src/jacobi.rs crates/apps/src/pipeline.rs crates/apps/src/taskfarm.rs crates/apps/src/transpose.rs
+
+/root/repo/target/debug/deps/libats_apps-e33d91c4cf68453a.rmeta: crates/apps/src/lib.rs crates/apps/src/heat2d.rs crates/apps/src/hybrid_stencil.rs crates/apps/src/jacobi.rs crates/apps/src/pipeline.rs crates/apps/src/taskfarm.rs crates/apps/src/transpose.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/heat2d.rs:
+crates/apps/src/hybrid_stencil.rs:
+crates/apps/src/jacobi.rs:
+crates/apps/src/pipeline.rs:
+crates/apps/src/taskfarm.rs:
+crates/apps/src/transpose.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats_bench-84212752927ceb6f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libats_bench-84212752927ceb6f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ats_bench-84ce2b5670d7a20b.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/ats_bench-84ce2b5670d7a20b: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

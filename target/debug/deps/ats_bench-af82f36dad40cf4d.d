@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats_bench-af82f36dad40cf4d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libats_bench-af82f36dad40cf4d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

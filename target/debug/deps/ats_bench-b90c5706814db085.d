@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ats_bench-b90c5706814db085.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libats_bench-b90c5706814db085.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ats_bench-b944d85c45b44309.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libats_bench-b944d85c45b44309.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

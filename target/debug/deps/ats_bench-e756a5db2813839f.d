@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ats_bench-e756a5db2813839f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ats_bench-e756a5db2813839f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

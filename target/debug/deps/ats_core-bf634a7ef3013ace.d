@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ats_core-bf634a7ef3013ace.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/catalog.rs crates/core/src/composite.rs crates/core/src/distribution.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/pattern.rs crates/core/src/properties/mod.rs crates/core/src/properties/hybrid.rs crates/core/src/properties/mpi_coll.rs crates/core/src/properties/mpi_p2p.rs crates/core/src/properties/negative.rs crates/core/src/properties/omp.rs crates/core/src/properties/sequential.rs crates/core/src/work.rs
+
+/root/repo/target/debug/deps/ats_core-bf634a7ef3013ace: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/catalog.rs crates/core/src/composite.rs crates/core/src/distribution.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/pattern.rs crates/core/src/properties/mod.rs crates/core/src/properties/hybrid.rs crates/core/src/properties/mpi_coll.rs crates/core/src/properties/mpi_p2p.rs crates/core/src/properties/negative.rs crates/core/src/properties/omp.rs crates/core/src/properties/sequential.rs crates/core/src/work.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/catalog.rs:
+crates/core/src/composite.rs:
+crates/core/src/distribution.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/pattern.rs:
+crates/core/src/properties/mod.rs:
+crates/core/src/properties/hybrid.rs:
+crates/core/src/properties/mpi_coll.rs:
+crates/core/src/properties/mpi_p2p.rs:
+crates/core/src/properties/negative.rs:
+crates/core/src/properties/omp.rs:
+crates/core/src/properties/sequential.rs:
+crates/core/src/work.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ats_fuzz-2e8707b1114fd1a7.d: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/corpus.rs crates/fuzz/src/generator.rs crates/fuzz/src/model.rs crates/fuzz/src/oracle.rs crates/fuzz/src/scenario.rs crates/fuzz/src/shrink.rs
+
+/root/repo/target/debug/deps/libats_fuzz-2e8707b1114fd1a7.rlib: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/corpus.rs crates/fuzz/src/generator.rs crates/fuzz/src/model.rs crates/fuzz/src/oracle.rs crates/fuzz/src/scenario.rs crates/fuzz/src/shrink.rs
+
+/root/repo/target/debug/deps/libats_fuzz-2e8707b1114fd1a7.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/corpus.rs crates/fuzz/src/generator.rs crates/fuzz/src/model.rs crates/fuzz/src/oracle.rs crates/fuzz/src/scenario.rs crates/fuzz/src/shrink.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/campaign.rs:
+crates/fuzz/src/corpus.rs:
+crates/fuzz/src/generator.rs:
+crates/fuzz/src/model.rs:
+crates/fuzz/src/oracle.rs:
+crates/fuzz/src/scenario.rs:
+crates/fuzz/src/shrink.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ats_fuzz-384eb7c3748a7068.d: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/corpus.rs crates/fuzz/src/generator.rs crates/fuzz/src/model.rs crates/fuzz/src/oracle.rs crates/fuzz/src/scenario.rs crates/fuzz/src/shrink.rs
+
+/root/repo/target/debug/deps/libats_fuzz-384eb7c3748a7068.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/corpus.rs crates/fuzz/src/generator.rs crates/fuzz/src/model.rs crates/fuzz/src/oracle.rs crates/fuzz/src/scenario.rs crates/fuzz/src/shrink.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/campaign.rs:
+crates/fuzz/src/corpus.rs:
+crates/fuzz/src/generator.rs:
+crates/fuzz/src/model.rs:
+crates/fuzz/src/oracle.rs:
+crates/fuzz/src/scenario.rs:
+crates/fuzz/src/shrink.rs:

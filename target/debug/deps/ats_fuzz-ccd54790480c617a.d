@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ats_fuzz-ccd54790480c617a.d: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/corpus.rs crates/fuzz/src/generator.rs crates/fuzz/src/model.rs crates/fuzz/src/oracle.rs crates/fuzz/src/scenario.rs crates/fuzz/src/shrink.rs
+
+/root/repo/target/debug/deps/libats_fuzz-ccd54790480c617a.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/corpus.rs crates/fuzz/src/generator.rs crates/fuzz/src/model.rs crates/fuzz/src/oracle.rs crates/fuzz/src/scenario.rs crates/fuzz/src/shrink.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/campaign.rs:
+crates/fuzz/src/corpus.rs:
+crates/fuzz/src/generator.rs:
+crates/fuzz/src/model.rs:
+crates/fuzz/src/oracle.rs:
+crates/fuzz/src/scenario.rs:
+crates/fuzz/src/shrink.rs:

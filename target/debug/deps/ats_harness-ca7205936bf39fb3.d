@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ats_harness-ca7205936bf39fb3.d: crates/harness/src/lib.rs crates/harness/src/correctness.rs crates/harness/src/experiment.rs crates/harness/src/generate.rs crates/harness/src/params.rs crates/harness/src/pool.rs crates/harness/src/profile.rs crates/harness/src/registry.rs crates/harness/src/resources.rs crates/harness/src/timeline.rs crates/harness/src/validation.rs
+
+/root/repo/target/debug/deps/libats_harness-ca7205936bf39fb3.rmeta: crates/harness/src/lib.rs crates/harness/src/correctness.rs crates/harness/src/experiment.rs crates/harness/src/generate.rs crates/harness/src/params.rs crates/harness/src/pool.rs crates/harness/src/profile.rs crates/harness/src/registry.rs crates/harness/src/resources.rs crates/harness/src/timeline.rs crates/harness/src/validation.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/correctness.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/generate.rs:
+crates/harness/src/params.rs:
+crates/harness/src/pool.rs:
+crates/harness/src/profile.rs:
+crates/harness/src/registry.rs:
+crates/harness/src/resources.rs:
+crates/harness/src/timeline.rs:
+crates/harness/src/validation.rs:

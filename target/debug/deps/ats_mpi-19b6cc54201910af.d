@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ats_mpi-19b6cc54201910af.d: crates/mpisim/src/lib.rs crates/mpisim/src/collective.rs crates/mpisim/src/comm.rs crates/mpisim/src/config.rs crates/mpisim/src/datatype.rs crates/mpisim/src/mailbox.rs crates/mpisim/src/proc.rs crates/mpisim/src/request.rs crates/mpisim/src/topology.rs crates/mpisim/src/world.rs
+
+/root/repo/target/debug/deps/libats_mpi-19b6cc54201910af.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collective.rs crates/mpisim/src/comm.rs crates/mpisim/src/config.rs crates/mpisim/src/datatype.rs crates/mpisim/src/mailbox.rs crates/mpisim/src/proc.rs crates/mpisim/src/request.rs crates/mpisim/src/topology.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/collective.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/config.rs:
+crates/mpisim/src/datatype.rs:
+crates/mpisim/src/mailbox.rs:
+crates/mpisim/src/proc.rs:
+crates/mpisim/src/request.rs:
+crates/mpisim/src/topology.rs:
+crates/mpisim/src/world.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ats_mpi-7449c8c15fc730a2.d: crates/mpisim/src/lib.rs crates/mpisim/src/collective.rs crates/mpisim/src/comm.rs crates/mpisim/src/config.rs crates/mpisim/src/datatype.rs crates/mpisim/src/mailbox.rs crates/mpisim/src/proc.rs crates/mpisim/src/request.rs crates/mpisim/src/topology.rs crates/mpisim/src/world.rs
+
+/root/repo/target/debug/deps/libats_mpi-7449c8c15fc730a2.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collective.rs crates/mpisim/src/comm.rs crates/mpisim/src/config.rs crates/mpisim/src/datatype.rs crates/mpisim/src/mailbox.rs crates/mpisim/src/proc.rs crates/mpisim/src/request.rs crates/mpisim/src/topology.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/collective.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/config.rs:
+crates/mpisim/src/datatype.rs:
+crates/mpisim/src/mailbox.rs:
+crates/mpisim/src/proc.rs:
+crates/mpisim/src/request.rs:
+crates/mpisim/src/topology.rs:
+crates/mpisim/src/world.rs:

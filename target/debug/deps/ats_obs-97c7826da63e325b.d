@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ats_obs-97c7826da63e325b.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/profiler.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libats_obs-97c7826da63e325b.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/profiler.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libats_obs-97c7826da63e325b.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/profiler.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profiler.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ats_obs-c5406d6a9bb22743.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/profiler.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/ats_obs-c5406d6a9bb22743: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/profiler.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profiler.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

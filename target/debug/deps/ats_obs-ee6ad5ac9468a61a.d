@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ats_obs-ee6ad5ac9468a61a.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/profiler.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libats_obs-ee6ad5ac9468a61a.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/profiler.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profiler.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

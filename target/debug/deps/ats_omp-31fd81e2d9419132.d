@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ats_omp-31fd81e2d9419132.d: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+/root/repo/target/debug/deps/ats_omp-31fd81e2d9419132: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+crates/ompsim/src/lib.rs:
+crates/ompsim/src/exchange.rs:
+crates/ompsim/src/master.rs:
+crates/ompsim/src/team.rs:
+crates/ompsim/src/thread.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ats_omp-920cfa360bf4bbbe.d: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+/root/repo/target/debug/deps/libats_omp-920cfa360bf4bbbe.rlib: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+/root/repo/target/debug/deps/libats_omp-920cfa360bf4bbbe.rmeta: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+crates/ompsim/src/lib.rs:
+crates/ompsim/src/exchange.rs:
+crates/ompsim/src/master.rs:
+crates/ompsim/src/team.rs:
+crates/ompsim/src/thread.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ats_omp-9fc3214703e61c39.d: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+/root/repo/target/debug/deps/libats_omp-9fc3214703e61c39.rmeta: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+crates/ompsim/src/lib.rs:
+crates/ompsim/src/exchange.rs:
+crates/ompsim/src/master.rs:
+crates/ompsim/src/team.rs:
+crates/ompsim/src/thread.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ats_omp-a78cdd158c678513.d: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+/root/repo/target/debug/deps/libats_omp-a78cdd158c678513.rlib: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+/root/repo/target/debug/deps/libats_omp-a78cdd158c678513.rmeta: crates/ompsim/src/lib.rs crates/ompsim/src/exchange.rs crates/ompsim/src/master.rs crates/ompsim/src/team.rs crates/ompsim/src/thread.rs
+
+crates/ompsim/src/lib.rs:
+crates/ompsim/src/exchange.rs:
+crates/ompsim/src/master.rs:
+crates/ompsim/src/team.rs:
+crates/ompsim/src/thread.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ats_runtime-4350d8aaf5a106de.d: crates/runtime/src/lib.rs crates/runtime/src/model.rs crates/runtime/src/rng.rs crates/runtime/src/time.rs crates/runtime/src/work.rs
+
+/root/repo/target/debug/deps/libats_runtime-4350d8aaf5a106de.rmeta: crates/runtime/src/lib.rs crates/runtime/src/model.rs crates/runtime/src/rng.rs crates/runtime/src/time.rs crates/runtime/src/work.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/model.rs:
+crates/runtime/src/rng.rs:
+crates/runtime/src/time.rs:
+crates/runtime/src/work.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ats_runtime-c982d5904463635d.d: crates/runtime/src/lib.rs crates/runtime/src/model.rs crates/runtime/src/rng.rs crates/runtime/src/time.rs crates/runtime/src/work.rs
+
+/root/repo/target/debug/deps/libats_runtime-c982d5904463635d.rlib: crates/runtime/src/lib.rs crates/runtime/src/model.rs crates/runtime/src/rng.rs crates/runtime/src/time.rs crates/runtime/src/work.rs
+
+/root/repo/target/debug/deps/libats_runtime-c982d5904463635d.rmeta: crates/runtime/src/lib.rs crates/runtime/src/model.rs crates/runtime/src/rng.rs crates/runtime/src/time.rs crates/runtime/src/work.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/model.rs:
+crates/runtime/src/rng.rs:
+crates/runtime/src/time.rs:
+crates/runtime/src/work.rs:

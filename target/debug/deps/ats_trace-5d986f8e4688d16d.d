@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ats_trace-5d986f8e4688d16d.d: crates/trace/src/lib.rs crates/trace/src/binfmt.rs crates/trace/src/collector.rs crates/trace/src/event.rs crates/trace/src/io.rs crates/trace/src/local.rs crates/trace/src/pool.rs crates/trace/src/region.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/wellformed.rs
+
+/root/repo/target/debug/deps/libats_trace-5d986f8e4688d16d.rlib: crates/trace/src/lib.rs crates/trace/src/binfmt.rs crates/trace/src/collector.rs crates/trace/src/event.rs crates/trace/src/io.rs crates/trace/src/local.rs crates/trace/src/pool.rs crates/trace/src/region.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/wellformed.rs
+
+/root/repo/target/debug/deps/libats_trace-5d986f8e4688d16d.rmeta: crates/trace/src/lib.rs crates/trace/src/binfmt.rs crates/trace/src/collector.rs crates/trace/src/event.rs crates/trace/src/io.rs crates/trace/src/local.rs crates/trace/src/pool.rs crates/trace/src/region.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/wellformed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/binfmt.rs:
+crates/trace/src/collector.rs:
+crates/trace/src/event.rs:
+crates/trace/src/io.rs:
+crates/trace/src/local.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/region.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/wellformed.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ats_trace-7f762f6f05ba8f2b.d: crates/trace/src/lib.rs crates/trace/src/binfmt.rs crates/trace/src/collector.rs crates/trace/src/event.rs crates/trace/src/io.rs crates/trace/src/local.rs crates/trace/src/pool.rs crates/trace/src/region.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/wellformed.rs
+
+/root/repo/target/debug/deps/libats_trace-7f762f6f05ba8f2b.rmeta: crates/trace/src/lib.rs crates/trace/src/binfmt.rs crates/trace/src/collector.rs crates/trace/src/event.rs crates/trace/src/io.rs crates/trace/src/local.rs crates/trace/src/pool.rs crates/trace/src/region.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/wellformed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/binfmt.rs:
+crates/trace/src/collector.rs:
+crates/trace/src/event.rs:
+crates/trace/src/io.rs:
+crates/trace/src/local.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/region.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/wellformed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog-389548d92d1fdf7a.d: crates/bench/src/bin/catalog.rs
+
+/root/repo/target/debug/deps/libcatalog-389548d92d1fdf7a.rmeta: crates/bench/src/bin/catalog.rs
+
+crates/bench/src/bin/catalog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog-5dcdba840ed49d1d.d: crates/bench/src/bin/catalog.rs
+
+/root/repo/target/debug/deps/libcatalog-5dcdba840ed49d1d.rmeta: crates/bench/src/bin/catalog.rs
+
+crates/bench/src/bin/catalog.rs:

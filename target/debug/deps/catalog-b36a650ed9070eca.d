@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog-b36a650ed9070eca.d: crates/bench/src/bin/catalog.rs
+
+/root/repo/target/debug/deps/libcatalog-b36a650ed9070eca.rmeta: crates/bench/src/bin/catalog.rs
+
+crates/bench/src/bin/catalog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog-d4dccb168ec8d07a.d: crates/bench/src/bin/catalog.rs
+
+/root/repo/target/debug/deps/libcatalog-d4dccb168ec8d07a.rmeta: crates/bench/src/bin/catalog.rs
+
+crates/bench/src/bin/catalog.rs:

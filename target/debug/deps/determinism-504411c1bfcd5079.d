@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-504411c1bfcd5079.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-504411c1bfcd5079: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-127b8adf55094d25.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-127b8adf55094d25: tests/end_to_end.rs
+
+tests/end_to_end.rs:

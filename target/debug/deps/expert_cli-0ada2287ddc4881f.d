@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expert_cli-0ada2287ddc4881f.d: crates/bench/src/bin/expert_cli.rs
+
+/root/repo/target/debug/deps/libexpert_cli-0ada2287ddc4881f.rmeta: crates/bench/src/bin/expert_cli.rs
+
+crates/bench/src/bin/expert_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expert_cli-2437e1f891230a5c.d: crates/bench/src/bin/expert_cli.rs
+
+/root/repo/target/debug/deps/libexpert_cli-2437e1f891230a5c.rmeta: crates/bench/src/bin/expert_cli.rs
+
+crates/bench/src/bin/expert_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expert_cli-3c3d71af216c6e98.d: crates/bench/src/bin/expert_cli.rs
+
+/root/repo/target/debug/deps/libexpert_cli-3c3d71af216c6e98.rmeta: crates/bench/src/bin/expert_cli.rs
+
+crates/bench/src/bin/expert_cli.rs:

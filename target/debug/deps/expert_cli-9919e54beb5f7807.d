@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expert_cli-9919e54beb5f7807.d: crates/bench/src/bin/expert_cli.rs
+
+/root/repo/target/debug/deps/libexpert_cli-9919e54beb5f7807.rmeta: crates/bench/src/bin/expert_cli.rs
+
+crates/bench/src/bin/expert_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure32-4ca56ffb895d6088.d: crates/bench/src/bin/figure32.rs
+
+/root/repo/target/debug/deps/libfigure32-4ca56ffb895d6088.rmeta: crates/bench/src/bin/figure32.rs
+
+crates/bench/src/bin/figure32.rs:

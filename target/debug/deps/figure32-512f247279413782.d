@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure32-512f247279413782.d: crates/bench/src/bin/figure32.rs
+
+/root/repo/target/debug/deps/libfigure32-512f247279413782.rmeta: crates/bench/src/bin/figure32.rs
+
+crates/bench/src/bin/figure32.rs:

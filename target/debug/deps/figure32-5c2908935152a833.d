@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure32-5c2908935152a833.d: crates/bench/src/bin/figure32.rs
+
+/root/repo/target/debug/deps/libfigure32-5c2908935152a833.rmeta: crates/bench/src/bin/figure32.rs
+
+crates/bench/src/bin/figure32.rs:

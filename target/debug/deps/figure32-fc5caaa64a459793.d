@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure32-fc5caaa64a459793.d: crates/bench/src/bin/figure32.rs
+
+/root/repo/target/debug/deps/libfigure32-fc5caaa64a459793.rmeta: crates/bench/src/bin/figure32.rs
+
+crates/bench/src/bin/figure32.rs:

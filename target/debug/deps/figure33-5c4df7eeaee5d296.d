@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure33-5c4df7eeaee5d296.d: crates/bench/src/bin/figure33.rs
+
+/root/repo/target/debug/deps/libfigure33-5c4df7eeaee5d296.rmeta: crates/bench/src/bin/figure33.rs
+
+crates/bench/src/bin/figure33.rs:

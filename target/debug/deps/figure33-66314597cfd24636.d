@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure33-66314597cfd24636.d: crates/bench/src/bin/figure33.rs
+
+/root/repo/target/debug/deps/libfigure33-66314597cfd24636.rmeta: crates/bench/src/bin/figure33.rs
+
+crates/bench/src/bin/figure33.rs:

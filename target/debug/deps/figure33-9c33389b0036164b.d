@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure33-9c33389b0036164b.d: crates/bench/src/bin/figure33.rs
+
+/root/repo/target/debug/deps/libfigure33-9c33389b0036164b.rmeta: crates/bench/src/bin/figure33.rs
+
+crates/bench/src/bin/figure33.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure33-fa0cfd4b8c755ba7.d: crates/bench/src/bin/figure33.rs
+
+/root/repo/target/debug/deps/libfigure33-fa0cfd4b8c755ba7.rmeta: crates/bench/src/bin/figure33.rs
+
+crates/bench/src/bin/figure33.rs:

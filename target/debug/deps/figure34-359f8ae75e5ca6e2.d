@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure34-359f8ae75e5ca6e2.d: crates/bench/src/bin/figure34.rs
+
+/root/repo/target/debug/deps/libfigure34-359f8ae75e5ca6e2.rmeta: crates/bench/src/bin/figure34.rs
+
+crates/bench/src/bin/figure34.rs:

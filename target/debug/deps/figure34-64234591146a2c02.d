@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure34-64234591146a2c02.d: crates/bench/src/bin/figure34.rs
+
+/root/repo/target/debug/deps/libfigure34-64234591146a2c02.rmeta: crates/bench/src/bin/figure34.rs
+
+crates/bench/src/bin/figure34.rs:

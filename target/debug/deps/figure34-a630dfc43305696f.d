@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure34-a630dfc43305696f.d: crates/bench/src/bin/figure34.rs
+
+/root/repo/target/debug/deps/libfigure34-a630dfc43305696f.rmeta: crates/bench/src/bin/figure34.rs
+
+crates/bench/src/bin/figure34.rs:

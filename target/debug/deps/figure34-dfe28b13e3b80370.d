@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure34-dfe28b13e3b80370.d: crates/bench/src/bin/figure34.rs
+
+/root/repo/target/debug/deps/libfigure34-dfe28b13e3b80370.rmeta: crates/bench/src/bin/figure34.rs
+
+crates/bench/src/bin/figure34.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure35-22018fb8c4d3ca04.d: crates/bench/src/bin/figure35.rs
+
+/root/repo/target/debug/deps/libfigure35-22018fb8c4d3ca04.rmeta: crates/bench/src/bin/figure35.rs
+
+crates/bench/src/bin/figure35.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure35-459a4a1e8da5ab8b.d: crates/bench/src/bin/figure35.rs
+
+/root/repo/target/debug/deps/libfigure35-459a4a1e8da5ab8b.rmeta: crates/bench/src/bin/figure35.rs
+
+crates/bench/src/bin/figure35.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure35-81ac3e282195d711.d: crates/bench/src/bin/figure35.rs
+
+/root/repo/target/debug/deps/libfigure35-81ac3e282195d711.rmeta: crates/bench/src/bin/figure35.rs
+
+crates/bench/src/bin/figure35.rs:

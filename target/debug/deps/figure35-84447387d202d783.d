@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure35-84447387d202d783.d: crates/bench/src/bin/figure35.rs
+
+/root/repo/target/debug/deps/libfigure35-84447387d202d783.rmeta: crates/bench/src/bin/figure35.rs
+
+crates/bench/src/bin/figure35.rs:

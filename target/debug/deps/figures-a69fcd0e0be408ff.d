@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a69fcd0e0be408ff.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-a69fcd0e0be408ff.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-d0055aefdf51aab9.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-d0055aefdf51aab9.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-1204ffeb12b259b8.d: crates/bench/src/bin/fuzz.rs
+
+/root/repo/target/debug/deps/libfuzz-1204ffeb12b259b8.rmeta: crates/bench/src/bin/fuzz.rs
+
+crates/bench/src/bin/fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-98adef722f41d367.d: crates/bench/src/bin/fuzz.rs
+
+/root/repo/target/debug/deps/libfuzz-98adef722f41d367.rmeta: crates/bench/src/bin/fuzz.rs
+
+crates/bench/src/bin/fuzz.rs:

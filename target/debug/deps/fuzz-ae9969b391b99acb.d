@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-ae9969b391b99acb.d: crates/bench/src/bin/fuzz.rs
+
+/root/repo/target/debug/deps/libfuzz-ae9969b391b99acb.rmeta: crates/bench/src/bin/fuzz.rs
+
+crates/bench/src/bin/fuzz.rs:

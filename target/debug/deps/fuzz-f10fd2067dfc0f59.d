@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-f10fd2067dfc0f59.d: crates/bench/src/bin/fuzz.rs
+
+/root/repo/target/debug/deps/libfuzz-f10fd2067dfc0f59.rmeta: crates/bench/src/bin/fuzz.rs
+
+crates/bench/src/bin/fuzz.rs:

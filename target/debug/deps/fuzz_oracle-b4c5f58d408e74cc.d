@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_oracle-b4c5f58d408e74cc.d: tests/fuzz_oracle.rs
+
+/root/repo/target/debug/deps/fuzz_oracle-b4c5f58d408e74cc: tests/fuzz_oracle.rs
+
+tests/fuzz_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_metrics-258222dc4ddb4a3f.d: tests/obs_metrics.rs
+
+/root/repo/target/debug/deps/obs_metrics-258222dc4ddb4a3f: tests/obs_metrics.rs
+
+tests/obs_metrics.rs:

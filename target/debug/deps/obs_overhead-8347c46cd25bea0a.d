@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_overhead-8347c46cd25bea0a.d: crates/bench/src/bin/obs_overhead.rs
+
+/root/repo/target/debug/deps/libobs_overhead-8347c46cd25bea0a.rmeta: crates/bench/src/bin/obs_overhead.rs
+
+crates/bench/src/bin/obs_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_overhead-f268e37f39fbc2a6.d: crates/bench/src/bin/obs_overhead.rs
+
+/root/repo/target/debug/deps/libobs_overhead-f268e37f39fbc2a6.rmeta: crates/bench/src/bin/obs_overhead.rs
+
+crates/bench/src/bin/obs_overhead.rs:

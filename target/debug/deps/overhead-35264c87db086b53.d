@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-35264c87db086b53.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/liboverhead-35264c87db086b53.rmeta: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

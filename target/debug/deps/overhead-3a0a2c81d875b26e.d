@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-3a0a2c81d875b26e.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/liboverhead-3a0a2c81d875b26e.rmeta: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-83f96e170930a02e.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/liboverhead-83f96e170930a02e.rmeta: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

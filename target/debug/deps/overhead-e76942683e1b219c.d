@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-e76942683e1b219c.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/liboverhead-e76942683e1b219c.rmeta: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

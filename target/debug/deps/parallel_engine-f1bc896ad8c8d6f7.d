@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_engine-f1bc896ad8c8d6f7.d: tests/parallel_engine.rs
+
+/root/repo/target/debug/deps/parallel_engine-f1bc896ad8c8d6f7: tests/parallel_engine.rs
+
+tests/parallel_engine.rs:

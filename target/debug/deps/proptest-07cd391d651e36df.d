@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-07cd391d651e36df.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-07cd391d651e36df.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-07cd391d651e36df.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

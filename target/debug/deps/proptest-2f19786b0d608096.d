@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2f19786b0d608096.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2f19786b0d608096.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

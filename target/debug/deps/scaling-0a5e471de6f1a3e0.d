@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-0a5e471de6f1a3e0.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-0a5e471de6f1a3e0.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-195b90e44aee2b65.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-195b90e44aee2b65.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

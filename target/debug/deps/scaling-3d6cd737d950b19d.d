@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-3d6cd737d950b19d.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-3d6cd737d950b19d.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

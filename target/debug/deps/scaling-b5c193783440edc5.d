@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-b5c193783440edc5.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-b5c193783440edc5.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

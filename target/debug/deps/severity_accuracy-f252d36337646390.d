@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/severity_accuracy-f252d36337646390.d: tests/severity_accuracy.rs
+
+/root/repo/target/debug/deps/severity_accuracy-f252d36337646390: tests/severity_accuracy.rs
+
+tests/severity_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-435be96667e94fcb.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/libsubstrate-435be96667e94fcb.rmeta: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-bc864ce73c53b53f.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/libsubstrate-bc864ce73c53b53f.rmeta: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_negative-03a817d7ceabb706.d: crates/bench/src/bin/sweep_negative.rs
+
+/root/repo/target/debug/deps/libsweep_negative-03a817d7ceabb706.rmeta: crates/bench/src/bin/sweep_negative.rs
+
+crates/bench/src/bin/sweep_negative.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_negative-3f3a993f8e4f429e.d: crates/bench/src/bin/sweep_negative.rs
+
+/root/repo/target/debug/deps/libsweep_negative-3f3a993f8e4f429e.rmeta: crates/bench/src/bin/sweep_negative.rs
+
+crates/bench/src/bin/sweep_negative.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_negative-943345f98166f12f.d: crates/bench/src/bin/sweep_negative.rs
+
+/root/repo/target/debug/deps/libsweep_negative-943345f98166f12f.rmeta: crates/bench/src/bin/sweep_negative.rs
+
+crates/bench/src/bin/sweep_negative.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_negative-b7bb73858a9134d3.d: crates/bench/src/bin/sweep_negative.rs
+
+/root/repo/target/debug/deps/libsweep_negative-b7bb73858a9134d3.rmeta: crates/bench/src/bin/sweep_negative.rs
+
+crates/bench/src/bin/sweep_negative.rs:

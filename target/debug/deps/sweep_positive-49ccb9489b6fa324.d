@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_positive-49ccb9489b6fa324.d: crates/bench/src/bin/sweep_positive.rs
+
+/root/repo/target/debug/deps/libsweep_positive-49ccb9489b6fa324.rmeta: crates/bench/src/bin/sweep_positive.rs
+
+crates/bench/src/bin/sweep_positive.rs:

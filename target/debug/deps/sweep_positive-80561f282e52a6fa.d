@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_positive-80561f282e52a6fa.d: crates/bench/src/bin/sweep_positive.rs
+
+/root/repo/target/debug/deps/libsweep_positive-80561f282e52a6fa.rmeta: crates/bench/src/bin/sweep_positive.rs
+
+crates/bench/src/bin/sweep_positive.rs:

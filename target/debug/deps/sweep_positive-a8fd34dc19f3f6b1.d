@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_positive-a8fd34dc19f3f6b1.d: crates/bench/src/bin/sweep_positive.rs
+
+/root/repo/target/debug/deps/libsweep_positive-a8fd34dc19f3f6b1.rmeta: crates/bench/src/bin/sweep_positive.rs
+
+crates/bench/src/bin/sweep_positive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_positive-fc7dddac1d774ab0.d: crates/bench/src/bin/sweep_positive.rs
+
+/root/repo/target/debug/deps/libsweep_positive-fc7dddac1d774ab0.rmeta: crates/bench/src/bin/sweep_positive.rs
+
+crates/bench/src/bin/sweep_positive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweeps-9ab8931ba57f0cd6.d: crates/bench/benches/sweeps.rs
+
+/root/repo/target/debug/deps/libsweeps-9ab8931ba57f0cd6.rmeta: crates/bench/benches/sweeps.rs
+
+crates/bench/benches/sweeps.rs:

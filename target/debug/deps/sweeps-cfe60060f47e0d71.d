@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweeps-cfe60060f47e0d71.d: crates/bench/benches/sweeps.rs
+
+/root/repo/target/debug/deps/libsweeps-cfe60060f47e0d71.rmeta: crates/bench/benches/sweeps.rs
+
+crates/bench/benches/sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_bench-813cfeb54aef63b0.d: crates/bench/src/bin/trace_bench.rs
+
+/root/repo/target/debug/deps/libtrace_bench-813cfeb54aef63b0.rmeta: crates/bench/src/bin/trace_bench.rs
+
+crates/bench/src/bin/trace_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_bench-c909a54f4393f844.d: crates/bench/src/bin/trace_bench.rs
+
+/root/repo/target/debug/deps/libtrace_bench-c909a54f4393f844.rmeta: crates/bench/src/bin/trace_bench.rs
+
+crates/bench/src/bin/trace_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_bench-de437f853dffdbe1.d: crates/bench/src/bin/trace_bench.rs
+
+/root/repo/target/debug/deps/libtrace_bench-de437f853dffdbe1.rmeta: crates/bench/src/bin/trace_bench.rs
+
+crates/bench/src/bin/trace_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_bench-e5fbc3165769d6d5.d: crates/bench/src/bin/trace_bench.rs
+
+/root/repo/target/debug/deps/libtrace_bench-e5fbc3165769d6d5.rmeta: crates/bench/src/bin/trace_bench.rs
+
+crates/bench/src/bin/trace_bench.rs:

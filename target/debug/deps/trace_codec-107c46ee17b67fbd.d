@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_codec-107c46ee17b67fbd.d: crates/bench/benches/trace_codec.rs
+
+/root/repo/target/debug/deps/libtrace_codec-107c46ee17b67fbd.rmeta: crates/bench/benches/trace_codec.rs
+
+crates/bench/benches/trace_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_codec-7ffb69e20c0c96fc.d: crates/bench/benches/trace_codec.rs
+
+/root/repo/target/debug/deps/libtrace_codec-7ffb69e20c0c96fc.rmeta: crates/bench/benches/trace_codec.rs
+
+crates/bench/benches/trace_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_formats-3a8be47cfa6e5500.d: tests/trace_formats.rs
+
+/root/repo/target/debug/deps/trace_formats-3a8be47cfa6e5500: tests/trace_formats.rs
+
+tests/trace_formats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/applications-940710982531db0c.d: examples/applications.rs
+
+/root/repo/target/debug/examples/libapplications-940710982531db0c.rmeta: examples/applications.rs
+
+examples/applications.rs:

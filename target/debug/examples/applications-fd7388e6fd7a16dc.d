@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/applications-fd7388e6fd7a16dc.d: examples/applications.rs
+
+/root/repo/target/debug/examples/libapplications-fd7388e6fd7a16dc.rmeta: examples/applications.rs
+
+examples/applications.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/composite_mpi-701340dd88692d18.d: examples/composite_mpi.rs
+
+/root/repo/target/debug/examples/libcomposite_mpi-701340dd88692d18.rmeta: examples/composite_mpi.rs
+
+examples/composite_mpi.rs:

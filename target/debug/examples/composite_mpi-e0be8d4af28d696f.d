@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/composite_mpi-e0be8d4af28d696f.d: examples/composite_mpi.rs
+
+/root/repo/target/debug/examples/libcomposite_mpi-e0be8d4af28d696f.rmeta: examples/composite_mpi.rs
+
+examples/composite_mpi.rs:

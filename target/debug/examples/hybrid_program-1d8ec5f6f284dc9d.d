@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_program-1d8ec5f6f284dc9d.d: examples/hybrid_program.rs
+
+/root/repo/target/debug/examples/libhybrid_program-1d8ec5f6f284dc9d.rmeta: examples/hybrid_program.rs
+
+examples/hybrid_program.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_program-9434595a1ea0e19b.d: examples/hybrid_program.rs
+
+/root/repo/target/debug/examples/libhybrid_program-9434595a1ea0e19b.rmeta: examples/hybrid_program.rs
+
+examples/hybrid_program.rs:

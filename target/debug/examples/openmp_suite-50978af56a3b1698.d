@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/openmp_suite-50978af56a3b1698.d: examples/openmp_suite.rs
+
+/root/repo/target/debug/examples/libopenmp_suite-50978af56a3b1698.rmeta: examples/openmp_suite.rs
+
+examples/openmp_suite.rs:

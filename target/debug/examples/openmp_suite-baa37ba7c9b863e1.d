@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/openmp_suite-baa37ba7c9b863e1.d: examples/openmp_suite.rs
+
+/root/repo/target/debug/examples/libopenmp_suite-baa37ba7c9b863e1.rmeta: examples/openmp_suite.rs
+
+examples/openmp_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-470a48b5543b3136.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-470a48b5543b3136.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-91d0050120b85b60.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-91d0050120b85b60.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

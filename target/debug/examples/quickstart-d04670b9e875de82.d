@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d04670b9e875de82.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d04670b9e875de82: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/single_property-48e511d31e39563f.d: examples/single_property.rs
+
+/root/repo/target/debug/examples/libsingle_property-48e511d31e39563f.rmeta: examples/single_property.rs
+
+examples/single_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/single_property-831f80519f87e349.d: examples/single_property.rs
+
+/root/repo/target/debug/examples/libsingle_property-831f80519f87e349.rmeta: examples/single_property.rs
+
+examples/single_property.rs:

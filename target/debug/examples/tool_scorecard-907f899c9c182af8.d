@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tool_scorecard-907f899c9c182af8.d: examples/tool_scorecard.rs
+
+/root/repo/target/debug/examples/libtool_scorecard-907f899c9c182af8.rmeta: examples/tool_scorecard.rs
+
+examples/tool_scorecard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tool_scorecard-fd69abd2de2fcd92.d: examples/tool_scorecard.rs
+
+/root/repo/target/debug/examples/libtool_scorecard-fd69abd2de2fcd92.rmeta: examples/tool_scorecard.rs
+
+examples/tool_scorecard.rs:

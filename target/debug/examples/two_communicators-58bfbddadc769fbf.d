@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_communicators-58bfbddadc769fbf.d: examples/two_communicators.rs
+
+/root/repo/target/debug/examples/libtwo_communicators-58bfbddadc769fbf.rmeta: examples/two_communicators.rs
+
+examples/two_communicators.rs:

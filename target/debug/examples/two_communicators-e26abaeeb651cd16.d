@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_communicators-e26abaeeb651cd16.d: examples/two_communicators.rs
+
+/root/repo/target/debug/examples/libtwo_communicators-e26abaeeb651cd16.rmeta: examples/two_communicators.rs
+
+examples/two_communicators.rs:
