@@ -1,0 +1,252 @@
+//! Scheduler benchmark E-sched: throughput of the discrete-event rank
+//! scheduler against the one-OS-thread-per-rank backend.
+//!
+//! The workload is a collective superstep — the catalog's dominant
+//! pattern (imbalance at barrier, late broadcast, early reduce): every
+//! round staggers per-rank virtual work, broadcasts a token, then meets
+//! the world at a barrier, an allreduce, a rotating-root reduce, and a
+//! closing barrier; every fourth round adds a rendezvous (`MPI_Ssend`)
+//! neighbor exchange. All virtual-time, so wall clock is pure simulator
+//! + scheduler cost. Collectives dominate deliberately: each one wakes
+//! all P members, which is where the two backends differ most (a condvar
+//! broadcast of P OS threads vs P user-space heap pops).
+//!
+//! Each cell also times an empty (zero-round) run of the same
+//! configuration and reports *net* events/sec with that baseline
+//! subtracted: world setup/teardown and trace assembly are the same code
+//! on both backends, so the net figure isolates what the gate is about —
+//! the per-event scheduling cost. Both raw and net rates are emitted.
+//! The gated 256-rank cells take the best of five repetitions, larger
+//! cells best-of-three down to one at 8192 (as `obs_overhead` does), to
+//! keep the gate off the noise floor.
+//!
+//! Runs the event backend at 64 → 8192 ranks and the thread backend at
+//! 256 ranks. The two backends produce byte-identical traces for this
+//! workload (asserted), so events/sec is directly comparable.
+//!
+//! Emits `BENCH_sched.json` (override with `ATS_BENCH_JSON`) and gates:
+//! the event backend must deliver at least `--min-ratio` (default 10)
+//! times the thread backend's net events/sec at 256 ranks. Exits
+//! non-zero when the gate fails.
+//!
+//! Usage: `sched_bench [rounds] [--min-ratio R] [--metrics PATH] [--manifest]`
+
+use ats_bench::cli::CommonArgs;
+use ats_mpi::{run, Proc, SimBackend, SimConfig};
+use ats_runtime::VDur;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed configuration.
+#[derive(Serialize)]
+struct SchedRow {
+    backend: &'static str,
+    nprocs: usize,
+    rounds: usize,
+    trace_events: usize,
+    sched_events: u64,
+    sched_ready_depth_max: u64,
+    wall_secs: f64,
+    /// Wall seconds of a zero-round run of the same configuration
+    /// (setup, teardown, trace assembly — backend-independent code).
+    baseline_secs: f64,
+    events_per_sec: f64,
+    /// Events over wall-minus-baseline: the scheduling-cost rate.
+    net_events_per_sec: f64,
+    ranks_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct SchedBenchDoc {
+    experiment: &'static str,
+    rows: Vec<SchedRow>,
+    /// Event-backend net events/sec over thread-backend net events/sec
+    /// at the 256-rank comparison point.
+    ratio_at_256: f64,
+    min_ratio: f64,
+    gate_passed: bool,
+}
+
+/// The measured workload (see module docs).
+fn body(p: &mut Proc, rounds: usize) {
+    let world = p.comm_world();
+    let n = world.size();
+    let me = p.rank();
+    for round in 0..rounds {
+        p.do_work(VDur::from_micros((((me + round) % 13) * 10) as u64));
+        if round % 4 == 3 {
+            let dst = (me + 1) % n;
+            let src = (me + n - 1) % n;
+            // Odd ranks receive first so the rendezvous ring cannot
+            // deadlock at any size.
+            if me % 2 == 0 {
+                p.ssend(&[round as u8], dst, 1, &world);
+                let _ = p.recv(src, 1, &world);
+            } else {
+                let _ = p.recv(src, 1, &world);
+                p.ssend(&[round as u8], dst, 1, &world);
+            }
+        }
+        let mut token = if me == 0 {
+            vec![round as u8]
+        } else {
+            Vec::new()
+        };
+        p.bcast(&mut token, 0, &world);
+        p.barrier(&world);
+        let _ = p.allreduce(
+            &(me as i64).to_le_bytes(),
+            ats_mpi::ReduceOp::Sum,
+            ats_mpi::Datatype::Int64,
+            &world,
+        );
+        let _ = p.reduce(
+            &(round as i64).to_le_bytes(),
+            ats_mpi::ReduceOp::Max,
+            ats_mpi::Datatype::Int64,
+            round % n,
+            &world,
+        );
+        p.barrier(&world);
+    }
+}
+
+fn timed_run(backend: SimBackend, nprocs: usize, rounds: usize) -> (ats_obs::Handle, usize, f64) {
+    let obs = ats_obs::Handle::new();
+    let config = SimConfig::with_procs(nprocs).backend(backend);
+    let config = SimConfig {
+        obs: Some(obs.clone()),
+        ..config
+    };
+    let started = Instant::now();
+    let trace = run(config, move |p| body(p, rounds));
+    let wall = started.elapsed().as_secs_f64();
+    (obs, trace.num_events(), wall)
+}
+
+/// Best-of-`reps` measurement (the least scheduler-noisy estimate, as in
+/// `obs_overhead`): minimum wall for both the workload and the baseline.
+fn measure(backend: SimBackend, nprocs: usize, rounds: usize, reps: usize) -> SchedRow {
+    let baseline_secs = (0..reps)
+        .map(|_| timed_run(backend, nprocs, 0).2)
+        .fold(f64::INFINITY, f64::min);
+    let (mut obs, mut trace_events, mut wall_secs) = timed_run(backend, nprocs, rounds);
+    for _ in 1..reps {
+        let (o, ev, wall) = timed_run(backend, nprocs, rounds);
+        if wall < wall_secs {
+            (obs, trace_events, wall_secs) = (o, ev, wall);
+        }
+    }
+    let net_secs = (wall_secs - baseline_secs).max(1e-9);
+    SchedRow {
+        backend: backend.effective().label(),
+        nprocs,
+        rounds,
+        trace_events,
+        sched_events: obs.mpi.sched_events.get(),
+        sched_ready_depth_max: obs.mpi.sched_ready_depth_max.get(),
+        wall_secs,
+        baseline_secs,
+        events_per_sec: trace_events as f64 / wall_secs.max(1e-9),
+        net_events_per_sec: trace_events as f64 / net_secs,
+        ranks_per_sec: nprocs as f64 / wall_secs.max(1e-9),
+    }
+}
+
+fn print_row(row: &SchedRow) {
+    println!(
+        "{:<8} {:>7} {:>12} {:>12} {:>10.3} {:>14.0} {:>14.0} {:>12.0}",
+        row.backend,
+        row.nprocs,
+        row.trace_events,
+        row.sched_events,
+        row.wall_secs,
+        row.events_per_sec,
+        row.net_events_per_sec,
+        row.ranks_per_sec
+    );
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let rounds: usize = args.positional_or(0, 12);
+    let min_ratio: f64 = args
+        .flag("min-ratio")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--min-ratio needs a number, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(10.0);
+    println!("=== E-sched: discrete-event scheduler throughput ===\n");
+    println!(
+        "{:<8} {:>7} {:>12} {:>12} {:>10} {:>14} {:>14} {:>12}",
+        "backend",
+        "ranks",
+        "trace-ev",
+        "sched-ev",
+        "wall-s",
+        "events/sec",
+        "net-ev/sec",
+        "ranks/sec"
+    );
+    let mut rows = Vec::new();
+    for nprocs in [64usize, 256, 1024, 4096, 8192] {
+        // Five repetitions at the gated comparison point, three where a
+        // cell is still cheap, one at the wide end.
+        let reps = if nprocs <= 256 {
+            5
+        } else if nprocs <= 1024 {
+            3
+        } else {
+            1
+        };
+        let row = measure(SimBackend::Event, nprocs, rounds, reps);
+        print_row(&row);
+        rows.push(row);
+    }
+    let thread = measure(SimBackend::Thread, 256, rounds, 5);
+    print_row(&thread);
+    let event_at_256 = rows
+        .iter()
+        .find(|r| r.nprocs == 256)
+        .expect("256 is in the grid");
+    assert_eq!(
+        event_at_256.trace_events, thread.trace_events,
+        "backends must produce identical traces for the benchmark workload"
+    );
+    let ratio_at_256 = event_at_256.net_events_per_sec / thread.net_events_per_sec.max(1e-9);
+    // On targets without a coroutine implementation the event backend
+    // falls back to threads; the ratio gate would be meaningless there.
+    let gate_applies = SimBackend::event_supported();
+    let gate_passed = !gate_applies || ratio_at_256 >= min_ratio;
+    rows.push(thread);
+    let doc = SchedBenchDoc {
+        experiment: "E-sched",
+        rows,
+        ratio_at_256,
+        min_ratio,
+        gate_passed,
+    };
+    let json_path =
+        std::env::var("ATS_BENCH_JSON").unwrap_or_else(|_| "BENCH_sched.json".to_owned());
+    match std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&doc).expect("doc serializes"),
+    ) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\nwarning: could not write {json_path}: {e}"),
+    }
+    println!(
+        "event/thread net events-per-sec ratio at 256 ranks: {ratio_at_256:.1}x (gate: >= {min_ratio}x)"
+    );
+    if !gate_applies {
+        println!("gate skipped: no coroutine backend on this target");
+    }
+    println!(
+        "\nscheduler gate: {}",
+        if gate_passed { "OK" } else { "REGRESSION" }
+    );
+    std::process::exit(if gate_passed { 0 } else { 1 });
+}

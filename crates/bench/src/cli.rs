@@ -90,6 +90,17 @@ impl CommonArgs {
         }
     }
 
+    /// The `--backend {event,thread}` flag: absent means the session
+    /// default (discrete-event); an unknown value is a usage error.
+    pub fn backend(&self) -> Option<ats_runtime::SimBackend> {
+        self.flag("backend").map(|v| {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+    }
+
     /// The `--trace-dir DIR` flag.
     pub fn trace_dir(&self) -> Option<&str> {
         self.flag("trace-dir")
@@ -122,8 +133,13 @@ impl CommonArgs {
     }
 
     /// Finish `builder` into a [`Session`] with this command line's
-    /// observability configuration injected.
+    /// observability configuration — and, when `--backend` is given, the
+    /// rank-execution backend — injected.
     pub fn session(&self, builder: SessionBuilder) -> Session {
+        let builder = match self.backend() {
+            Some(b) => builder.backend(b),
+            None => builder,
+        };
         builder.obs(self.obs_config()).build()
     }
 
@@ -194,6 +210,18 @@ mod tests {
         assert!(a.has("manifest"));
         assert!(!a.has("replay"));
         assert_eq!(a.format(), TraceFormat::Jsonl);
+    }
+
+    #[test]
+    fn backend_flag_selects_the_thread_backend() {
+        use ats_runtime::SimBackend;
+        assert_eq!(args(&["8"]).backend(), None);
+        assert_eq!(
+            args(&["--backend", "thread"]).backend(),
+            Some(SimBackend::Thread)
+        );
+        let session = args(&["--backend", "thread"]).session(Session::builder().procs(2));
+        assert_eq!(session.opts().backend, SimBackend::Thread);
     }
 
     #[test]

@@ -186,7 +186,11 @@ pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignResult, Error> {
         .opts
         .thread_budget
         .unwrap_or_else(pool::default_thread_budget);
-    let jobs = pool::effective_jobs(cfg.jobs, cfg.gen.nprocs.max(1), budget);
+    let jobs = pool::effective_jobs(
+        cfg.jobs,
+        pool::threads_per_config(cfg.opts.backend, cfg.gen.nprocs),
+        budget,
+    );
     let start = std::time::Instant::now();
     let runs = pool::run_indexed_with(jobs, cfg.count, cfg.opts.obs.clone(), |i| run_index(cfg, i));
     let wall_secs = start.elapsed().as_secs_f64();

@@ -84,8 +84,12 @@ pub struct ExperimentStats {
     pub jobs_requested: usize,
     /// Worker count actually used after the oversubscription guard.
     pub jobs: usize,
-    /// Thread budget the guard enforced (`jobs × nprocs ≤ budget`).
+    /// Thread budget the guard enforced
+    /// (`jobs × threads_per_config ≤ budget`).
     pub thread_budget: usize,
+    /// Rank-execution backend label (`"event"` or `"thread"`). Rows are
+    /// identical either way; the label records how the sweep was hosted.
+    pub backend: &'static str,
     /// Largest process count among the configurations.
     pub max_nprocs: usize,
     /// End-to-end wall-clock for the whole sweep, in seconds.
@@ -189,7 +193,11 @@ impl Experiment {
         } else {
             self.opts.jobs
         };
-        let jobs = pool::effective_jobs(jobs_requested, max_nprocs, thread_budget)
+        // The guard budgets *OS threads*, not ranks: under the discrete-
+        // event backend every configuration occupies one worker thread
+        // regardless of nprocs, so wide configs no longer throttle jobs.
+        let threads_per_config = pool::threads_per_config(self.opts.backend, max_nprocs);
+        let jobs = pool::effective_jobs(jobs_requested, threads_per_config, thread_budget)
             .min(configs.len().max(1));
         // All workers share one event-buffer pool: each finished (analyzed)
         // trace donates its grown vectors to whichever configuration runs
@@ -215,6 +223,7 @@ impl Experiment {
             jobs_requested,
             jobs,
             thread_budget,
+            backend: self.opts.backend.effective().label(),
             max_nprocs,
             wall_secs,
             configs_per_sec: if wall_secs > 0.0 {
@@ -459,13 +468,40 @@ mod tests {
 
     #[test]
     fn oversubscription_guard_clamps_wide_configs() {
+        use ats_runtime::SimBackend;
+        // Pinned to the thread backend: only there does a configuration
+        // occupy nprocs budget slots.
         let (_, stats) = Experiment::new("late_sender")
             .sweep(Sweep::seconds("extrawork", [0.005, 0.01]))
-            .opts(RunOpts::default().procs(8).jobs(64).thread_budget(16))
+            .opts(
+                RunOpts::default()
+                    .backend(SimBackend::Thread)
+                    .procs(8)
+                    .jobs(64)
+                    .thread_budget(16),
+            )
             .run_with_stats()
             .unwrap();
         assert_eq!(stats.jobs_requested, 64);
         assert_eq!(stats.jobs, 2, "64 workers × 8 ranks clamped to 16/8 = 2");
+        assert_eq!(stats.backend, "thread");
+    }
+
+    /// Under the event backend a configuration is one budget slot, so the
+    /// same tight budget that clamps the thread backend leaves the worker
+    /// count alone (bounded only by the number of configurations).
+    #[test]
+    fn event_backend_configs_count_as_one_slot() {
+        let (_, stats) = Experiment::new("late_sender")
+            .sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02, 0.04]))
+            .opts(RunOpts::default().procs(8).jobs(4).thread_budget(4))
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(stats.backend, "event");
+        assert_eq!(
+            stats.jobs, 4,
+            "4 workers × 1 slot fit a 4-thread budget even at 8 ranks each"
+        );
     }
 
     /// The engine pools event buffers between configurations: after the

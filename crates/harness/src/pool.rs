@@ -9,6 +9,7 @@
 //! (index) order regardless of completion order, which is what makes
 //! parallel sweeps byte-identical to serial ones.
 
+use ats_runtime::SimBackend;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
@@ -29,6 +30,21 @@ pub fn auto_jobs() -> usize {
 /// next to a few narrow ones.
 pub fn default_thread_budget() -> usize {
     (auto_jobs() * 8).max(32)
+}
+
+/// OS threads one configuration occupies under `backend`.
+///
+/// The thread backend parks one OS thread per simulated rank, so a wide
+/// configuration eats `nprocs` budget slots. The discrete-event backend
+/// multiplexes every rank coroutine onto the worker's own thread, so an
+/// event-scheduled world counts as **one** slot no matter how many ranks
+/// it simulates — which is what lets a sweep run 10k-rank configurations
+/// at full `jobs` width.
+pub fn threads_per_config(backend: SimBackend, nprocs: usize) -> usize {
+    match backend.effective() {
+        SimBackend::Thread => nprocs.max(1),
+        SimBackend::Event => 1,
+    }
 }
 
 /// Clamp a requested worker count so `jobs × threads_per_task` stays
@@ -174,6 +190,20 @@ mod tests {
         assert!(effective_jobs(0, 1, 32) >= 1);
         // Small requests pass through untouched.
         assert_eq!(effective_jobs(2, 4, 32), 2);
+    }
+
+    #[test]
+    fn event_backend_configs_occupy_one_slot() {
+        assert_eq!(threads_per_config(SimBackend::Thread, 8), 8);
+        assert_eq!(threads_per_config(SimBackend::Thread, 0), 1);
+        // The event scheduler multiplexes all ranks onto the worker thread.
+        assert_eq!(threads_per_config(SimBackend::Event, 8), 1);
+        assert_eq!(threads_per_config(SimBackend::Event, 8192), 1);
+        // So the guard no longer clamps wide configs under the event backend.
+        assert_eq!(
+            effective_jobs(16, threads_per_config(SimBackend::Event, 8192), 32),
+            16
+        );
     }
 
     #[test]

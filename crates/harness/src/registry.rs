@@ -11,7 +11,7 @@ use ats_core::catalog::{self, Paradigm, PropertySpec};
 use ats_core::{composite, properties, with_omp, BaseComm, CompositeParams};
 use ats_mpi::SimConfig;
 use ats_omp::OmpConfig;
-use ats_runtime::{MachineModel, VDur, WorkMode};
+use ats_runtime::{MachineModel, SimBackend, VDur, WorkMode};
 use ats_trace::{Trace, TracePool};
 
 /// How to execute a generated test program.
@@ -19,6 +19,11 @@ use ats_trace::{Trace, TracePool};
 pub struct RunOpts {
     /// MPI process count for MPI/hybrid/sequential properties.
     pub nprocs: usize,
+    /// Rank-execution backend: discrete-event coroutines (default) or one
+    /// OS thread per rank. Traces are byte-identical either way; the
+    /// backend only changes how many host threads a run occupies (see
+    /// [`crate::pool::threads_per_config`]).
+    pub backend: SimBackend,
     /// Machine model.
     pub model: MachineModel,
     /// RNG seed.
@@ -54,6 +59,7 @@ impl Default for RunOpts {
     fn default() -> Self {
         RunOpts {
             nprocs: 8,
+            backend: SimBackend::default(),
             model: MachineModel::zero(),
             seed: 0xA75_5EED,
             base: BaseComm::default(),
@@ -72,6 +78,12 @@ impl RunOpts {
     /// Builder: set the process count.
     pub fn procs(mut self, n: usize) -> Self {
         self.nprocs = n;
+        self
+    }
+
+    /// Builder: select the rank-execution backend.
+    pub fn backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -114,6 +126,7 @@ impl RunOpts {
     pub fn sim_config(&self) -> SimConfig {
         SimConfig {
             nprocs: self.nprocs,
+            backend: self.backend,
             model: self.model.clone(),
             work_mode: self.work_mode,
             seed: self.seed,
@@ -484,6 +497,13 @@ mod tests {
                 spec.name
             );
         }
+    }
+
+    #[test]
+    fn backend_flows_into_sim_config() {
+        assert_eq!(RunOpts::default().sim_config().backend, SimBackend::Event);
+        let opts = RunOpts::default().backend(SimBackend::Thread);
+        assert_eq!(opts.sim_config().backend, SimBackend::Thread);
     }
 
     #[test]

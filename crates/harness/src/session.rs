@@ -53,6 +53,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Select the rank-execution backend (discrete-event coroutines by
+    /// default; one OS thread per rank with
+    /// [`SimBackend::Thread`](ats_runtime::SimBackend::Thread)).
+    pub fn backend(mut self, backend: ats_runtime::SimBackend) -> Self {
+        self.opts.backend = backend;
+        self
+    }
+
     /// Set the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.opts.seed = seed;
@@ -192,10 +200,14 @@ impl Session {
     /// The session's workload configuration as JSON for manifests:
     /// everything that determines *results* (seed, procs, model choice,
     /// threshold), deliberately excluding execution details (`jobs`,
-    /// thread budget) so manifests diff clean across worker counts.
+    /// thread budget) so manifests diff clean across worker counts. The
+    /// rank-execution backend *is* recorded — results are identical
+    /// either way, but knowing how a run was hosted matters when reading
+    /// its runtime section.
     pub fn config_json(&self) -> serde_json::Value {
         serde_json::json!({
             "nprocs": self.opts.nprocs,
+            "backend": self.opts.backend.effective().label(),
             "seed": self.opts.seed,
             "work_mode": format!("{:?}", self.opts.work_mode),
             "zero_model": self.opts.model == ats_runtime::MachineModel::zero(),
@@ -316,7 +328,19 @@ mod tests {
         let session = Session::builder().procs(4).jobs(8).build();
         let cfg = session.config_json();
         assert_eq!(cfg["nprocs"], 4);
+        assert_eq!(cfg["backend"], "event");
         assert!(cfg.get("jobs").is_none());
         assert!(cfg.get("thread_budget").is_none());
+    }
+
+    #[test]
+    fn builder_selects_the_thread_backend() {
+        use ats_runtime::SimBackend;
+        let session = Session::builder()
+            .procs(2)
+            .backend(SimBackend::Thread)
+            .build();
+        assert_eq!(session.opts().backend, SimBackend::Thread);
+        assert_eq!(session.config_json()["backend"], "thread");
     }
 }

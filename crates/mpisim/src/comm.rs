@@ -9,8 +9,9 @@
 //! upper halves of `MPI_COMM_WORLD` run different property functions in
 //! parallel.
 
+use ats_runtime::sched::WaitSet;
 use ats_runtime::VTime;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,17 +33,30 @@ struct SlotState {
     arrived: usize,
     departed: usize,
     contribs: Vec<Option<Contrib>>,
+    /// Built once by the last arriver of a round and shared by every
+    /// member — O(P) per collective instead of the O(P²) of per-member
+    /// cloning, which is what makes 8k-rank collectives feasible.
+    published: Option<Arc<Vec<Contrib>>>,
     seq: u64,
 }
 
 /// The rendezvous through which all members of a communicator exchange
 /// collective contributions. One logical collective = one `exchange` call
-/// per member; the slot hands every member the full contribution vector and
-/// a per-communicator sequence number identifying the operation instance.
+/// per member; the slot hands every member a shared view of the full
+/// contribution vector and a per-communicator sequence number identifying
+/// the operation instance.
 #[derive(Debug)]
 pub struct CollSlot {
     state: Mutex<SlotState>,
-    cv: Condvar,
+    ws: WaitSet,
+    /// Single-entry memo of the exit-time vector for the most recent
+    /// collective round (keyed by `seq`): the LogGP stage walk runs once
+    /// per collective, not once per member.
+    exits: Mutex<Option<(u64, Arc<Vec<VTime>>)>>,
+    /// Same idea for the reduction result: combining P contributions is
+    /// O(P), so recomputing it per member made reduce/allreduce O(P²) per
+    /// round.
+    combined: Mutex<Option<(u64, Arc<Vec<u8>>)>>,
 }
 
 impl CollSlot {
@@ -53,14 +67,18 @@ impl CollSlot {
                 arrived: 0,
                 departed: 0,
                 contribs: vec![None; size],
+                published: None,
                 seq: 0,
             }),
-            cv: Condvar::new(),
+            ws: WaitSet::new(),
+            exits: Mutex::new(None),
+            combined: Mutex::new(None),
         }
     }
 
     /// Deposit `contrib` as member `me` of `size` and return the sequence
-    /// number of this collective plus everyone's contributions.
+    /// number of this collective plus a shared view of everyone's
+    /// contributions. `now` is the member's virtual clock on entry.
     ///
     /// # Panics
     /// Panics if not all members arrive within `timeout` (collective
@@ -71,13 +89,14 @@ impl CollSlot {
         me: usize,
         size: usize,
         contrib: Contrib,
+        now: VTime,
         timeout: Duration,
-    ) -> (u64, Vec<Contrib>) {
+    ) -> (u64, Arc<Vec<Contrib>>) {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
         // Wait out the drain phase of a previous collective.
         while !st.filling {
-            self.wait_or_deadlock(&mut st, deadline, size);
+            st = self.wait_or_deadlock(st, deadline, now, size);
         }
         assert!(
             st.contribs[me].is_none(),
@@ -87,43 +106,81 @@ impl CollSlot {
         st.arrived += 1;
         if st.arrived == size {
             st.filling = false;
-            self.cv.notify_all();
+            let all: Vec<Contrib> = st
+                .contribs
+                .iter_mut()
+                .map(|c| c.take().expect("all members deposited"))
+                .collect();
+            st.published = Some(Arc::new(all));
+            self.ws.notify_all(now);
         } else {
             while st.filling {
-                self.wait_or_deadlock(&mut st, deadline, size);
+                st = self.wait_or_deadlock(st, deadline, now, size);
             }
         }
         let seq = st.seq;
-        let all: Vec<Contrib> = st
-            .contribs
-            .iter()
-            .map(|c| c.clone().expect("all members deposited"))
-            .collect();
+        let all = st.published.clone().expect("published by the last arriver");
         st.departed += 1;
         if st.departed == size {
             st.arrived = 0;
             st.departed = 0;
-            st.contribs = vec![None; size];
+            st.published = None;
             st.seq += 1;
             st.filling = true;
-            self.cv.notify_all();
+            self.ws.notify_all(now);
         }
         (seq, all)
     }
 
-    fn wait_or_deadlock(
-        &self,
-        st: &mut parking_lot::MutexGuard<'_, SlotState>,
+    /// Exit-time vector for collective round `seq`, computing it at most
+    /// once per round: the first member through runs `compute`, the rest
+    /// reuse the memoised result. `compute` must be a pure function of the
+    /// round's contributions (it is: the LogGP stage walk).
+    pub fn cached_exits(&self, seq: u64, compute: impl FnOnce() -> Vec<VTime>) -> Arc<Vec<VTime>> {
+        let mut cache = self.exits.lock();
+        match &*cache {
+            Some((s, exits)) if *s == seq => exits.clone(),
+            _ => {
+                let exits = Arc::new(compute());
+                *cache = Some((seq, exits.clone()));
+                exits
+            }
+        }
+    }
+
+    /// Combined reduction payload for collective round `seq`, computed at
+    /// most once per round (every member passes the same `op`/`dtype` by
+    /// MPI contract, so the result is a pure function of the round).
+    pub fn cached_combined(&self, seq: u64, compute: impl FnOnce() -> Vec<u8>) -> Arc<Vec<u8>> {
+        let mut cache = self.combined.lock();
+        match &*cache {
+            Some((s, bytes)) if *s == seq => bytes.clone(),
+            _ => {
+                let bytes = Arc::new(compute());
+                *cache = Some((seq, bytes.clone()));
+                bytes
+            }
+        }
+    }
+
+    fn wait_or_deadlock<'m>(
+        &'m self,
+        st: MutexGuard<'m, SlotState>,
         deadline: Instant,
+        now: VTime,
         size: usize,
-    ) {
-        if self.cv.wait_until(st, deadline).timed_out() {
+    ) -> MutexGuard<'m, SlotState> {
+        let (st, timed_out) = self
+            .ws
+            .wait(&self.state, st, deadline, now, "MPI collective");
+        if timed_out {
             panic!(
                 "collective rendezvous stalled: {}/{} members arrived before timeout \
                  (mismatched collective call or deadlock in the simulated program?)",
                 st.arrived, size
             );
         }
+        st
     }
 }
 
@@ -208,7 +265,7 @@ mod tests {
                     data: vec![me as u8],
                     counts: None,
                 };
-                slot.exchange(me, 4, c, T)
+                slot.exchange(me, 4, c, VTime::ZERO, T)
             }));
         }
         for h in handles {
@@ -231,7 +288,7 @@ mod tests {
             handles.push(thread::spawn(move || {
                 let mut seqs = Vec::new();
                 for _ in 0..5 {
-                    let (seq, _) = slot.exchange(me, 2, Contrib::default(), T);
+                    let (seq, _) = slot.exchange(me, 2, Contrib::default(), VTime::ZERO, T);
                     seqs.push(seq);
                 }
                 seqs
@@ -246,7 +303,30 @@ mod tests {
     #[should_panic(expected = "collective rendezvous stalled")]
     fn lone_member_times_out() {
         let slot = CollSlot::new(2);
-        slot.exchange(0, 2, Contrib::default(), Duration::from_millis(50));
+        slot.exchange(
+            0,
+            2,
+            Contrib::default(),
+            VTime::ZERO,
+            Duration::from_millis(50),
+        );
+    }
+
+    #[test]
+    fn cached_exits_computes_once_per_round() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let slot = CollSlot::new(2);
+        let computed = AtomicUsize::new(0);
+        let compute = || {
+            computed.fetch_add(1, Ordering::Relaxed);
+            vec![VTime(1), VTime(2)]
+        };
+        let a = slot.cached_exits(0, compute);
+        let b = slot.cached_exits(0, || unreachable!("memoised"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+        let c = slot.cached_exits(1, || vec![VTime(9), VTime(9)]);
+        assert_eq!(*c, vec![VTime(9), VTime(9)]);
     }
 
     #[test]

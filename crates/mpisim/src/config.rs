@@ -1,6 +1,6 @@
 //! Simulation run configuration.
 
-use ats_runtime::{MachineModel, VDur, WorkMode};
+use ats_runtime::{MachineModel, SimBackend, VDur, WorkMode};
 use ats_trace::TracePool;
 use std::time::Duration;
 
@@ -38,6 +38,15 @@ pub struct SimConfig {
     /// Observability registry the run records into (`None` = no
     /// recording). Like the pool, this never changes recorded traces.
     pub obs: Option<ats_obs::Handle>,
+    /// Execution backend: one coroutine per rank on a discrete-event
+    /// scheduler (default), or one OS thread per rank. Recorded traces are
+    /// byte-identical either way; the thread backend survives as a
+    /// differential-testing oracle.
+    pub backend: SimBackend,
+    /// Stack size for each rank coroutine on the event backend (ignored by
+    /// the thread backend). Rank bodies are shallow — the default leaves
+    /// generous headroom — but deep user closures can raise it.
+    pub task_stack_bytes: usize,
 }
 
 impl Default for SimConfig {
@@ -54,6 +63,8 @@ impl Default for SimConfig {
             calibration: None,
             trace_pool: None,
             obs: None,
+            backend: SimBackend::default(),
+            task_stack_bytes: 512 * 1024,
         }
     }
 }
@@ -109,6 +120,18 @@ impl SimConfig {
         self.obs = Some(obs);
         self
     }
+
+    /// Builder: select the execution backend.
+    pub fn backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builder: set the per-rank coroutine stack size (event backend).
+    pub fn task_stack_bytes(mut self, bytes: usize) -> Self {
+        self.task_stack_bytes = bytes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +144,15 @@ mod tests {
         assert_eq!(c.nprocs, 4);
         assert!(c.instrumented);
         assert_eq!(c.work_mode, WorkMode::Virtual);
+        assert_eq!(c.backend, SimBackend::Event);
+        assert!(c.task_stack_bytes >= 64 * 1024);
+    }
+
+    #[test]
+    fn backend_builder() {
+        let c = SimConfig::default().backend(SimBackend::Thread);
+        assert_eq!(c.backend, SimBackend::Thread);
+        assert_eq!(c.backend.effective(), SimBackend::Thread);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! built from scratch with the semantics that *define* the MPI performance
 //! properties:
 //!
-//! * N ranks = N OS threads, each with a virtual clock ([`ats_runtime`]);
+//! * N ranks = N coroutines on a discrete-event scheduler (default; 10k+
+//!   ranks in one process) or N OS threads — selectable via
+//!   [`SimBackend`] — each with a virtual clock ([`ats_runtime`]);
 //! * blocking/nonblocking point-to-point with per-(communicator, source,
 //!   tag) matching, wildcards, non-overtaking order, and an eager /
 //!   rendezvous protocol switch (→ *Late Sender*, *Late Receiver*);
@@ -47,6 +49,7 @@ pub mod request;
 pub mod topology;
 pub mod world;
 
+pub use ats_runtime::SimBackend;
 pub use comm::Comm;
 pub use config::SimConfig;
 pub use datatype::{Datatype, ReduceOp};

@@ -4,12 +4,15 @@
 //! Every rank owns one [`Mailbox`]. A send (from any rank) pushes an
 //! [`Envelope`]; a receive scans the mailbox in arrival order for the first
 //! envelope matching `(communicator, source, tag)` — wildcards allowed —
-//! and blocks on a condition variable until one appears. Because each
-//! sender pushes its envelopes in program order, arrival-order scanning
-//! yields MPI's non-overtaking guarantee per (source, communicator, tag).
+//! and blocks on a [`WaitSet`] until one appears: a coroutine re-enters the
+//! discrete-event queue on the event backend, an OS thread parks on a
+//! condvar on the thread backend. Because each sender pushes its envelopes
+//! in program order, arrival-order scanning yields MPI's non-overtaking
+//! guarantee per (source, communicator, tag).
 
+use ats_runtime::sched::{self, WaitSet};
 use ats_runtime::VTime;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -19,26 +22,32 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Default)]
 pub struct Handshake {
     slot: Mutex<Option<VTime>>,
-    cv: Condvar,
+    ws: WaitSet,
 }
 
 impl Handshake {
-    /// Receiver side: publish the receive post time.
+    /// Receiver side: publish the receive post time. The blocked sender
+    /// resumes no earlier than `recv_post` on the event backend.
     pub fn complete(&self, recv_post: VTime) {
         *self.slot.lock() = Some(recv_post);
-        self.cv.notify_all();
+        self.ws.notify_all(recv_post);
     }
 
     /// Sender side: block until the receiver posts, returning its post time.
+    /// `now` is the sender's virtual clock at the blocking point.
     ///
     /// # Panics
     /// Panics after `timeout` of inactivity — the test-suite's deadlock
-    /// detector.
-    pub fn await_receiver(&self, timeout: Duration) -> VTime {
+    /// detector (thread backend; the event backend detects structurally).
+    pub fn await_receiver(&self, now: VTime, timeout: Duration) -> VTime {
         let mut slot = self.slot.lock();
         let deadline = Instant::now() + timeout;
         while slot.is_none() {
-            if self.cv.wait_until(&mut slot, deadline).timed_out() {
+            let (guard, timed_out) =
+                self.ws
+                    .wait(&self.slot, slot, deadline, now, "rendezvous send");
+            slot = guard;
+            if timed_out {
                 panic!(
                     "rendezvous send blocked for {timeout:?}: matching receive never posted \
                      (deadlock in the simulated program?)"
@@ -90,7 +99,7 @@ impl MatchSpec {
 #[derive(Debug, Default)]
 pub struct Mailbox {
     queue: Mutex<VecDeque<Envelope>>,
-    cv: Condvar,
+    ws: WaitSet,
     obs: Option<ats_obs::Handle>,
 }
 
@@ -109,8 +118,10 @@ impl Mailbox {
         }
     }
 
-    /// Deliver an envelope (called from the sender's thread).
+    /// Deliver an envelope (called from the sender's thread or task). A
+    /// blocked receiver resumes no earlier than the send's post time.
     pub fn push(&self, env: Envelope) {
+        let at = env.send_post;
         let mut q = self.queue.lock();
         q.push_back(env);
         if let Some(obs) = &self.obs {
@@ -118,15 +129,16 @@ impl Mailbox {
             obs.mpi.mailbox_depth_max.set_max(q.len() as u64);
         }
         drop(q);
-        self.cv.notify_all();
+        self.ws.notify_all(at);
     }
 
     /// Re-deliver an envelope at the *front* of the queue (used by probe,
     /// which must observe without disturbing matching order). Not counted
     /// as a new message — it was counted when first pushed.
     pub fn push_front(&self, env: Envelope) {
+        let at = env.send_post;
         self.queue.lock().push_front(env);
-        self.cv.notify_all();
+        self.ws.notify_all(at);
     }
 
     /// Number of queued messages (diagnostics only).
@@ -140,40 +152,69 @@ impl Mailbox {
     }
 
     /// Remove and return the first envelope matching `spec`, blocking until
-    /// one arrives.
+    /// one arrives. `now` is the receiver's virtual clock at the blocking
+    /// point.
     ///
     /// # Panics
     /// Panics after `timeout` without a match (deadlock detection).
-    pub fn take_match(&self, spec: MatchSpec, timeout: Duration) -> Envelope {
+    pub fn take_match(&self, spec: MatchSpec, now: VTime, timeout: Duration) -> Envelope {
+        self.take_match_any(std::slice::from_ref(&spec), now, timeout)
+            .1
+    }
+
+    /// Remove and return the queued envelope with the earliest virtual send
+    /// post that matches *any* of `specs`, blocking until one arrives.
+    /// Returns the index of the spec it satisfied alongside the envelope —
+    /// the matcher behind `waitany` as well as single-spec receives.
+    ///
+    /// # Panics
+    /// Panics after `timeout` without a match (deadlock detection).
+    pub fn take_match_any(
+        &self,
+        specs: &[MatchSpec],
+        now: VTime,
+        timeout: Duration,
+    ) -> (usize, Envelope) {
+        assert!(!specs.is_empty(), "take_match_any needs at least one spec");
         let mut q = self.queue.lock();
         let deadline = Instant::now() + timeout;
-        // For wildcard sources, grant one short real-time grace round after
-        // the first candidate appears, so messages with *earlier virtual
-        // post times* that are still in flight (their sender threads not yet
-        // scheduled) can join the selection. This keeps ANY_SOURCE matching
-        // as close to virtual-time order as an online matcher can be.
-        let mut graced = spec.src.is_some();
+        // On the event backend the scheduler resumes a blocked receiver no
+        // earlier than the waking send's post time and pops tasks in
+        // virtual-time order, so every envelope with an earlier virtual
+        // post is already queued when we scan: no real-time grace needed.
+        // On the thread backend, when matching is ambiguous (wildcard
+        // source, or several specs), grant one short real-time grace round
+        // after the first candidate appears, so messages with *earlier
+        // virtual post times* that are still in flight (their sender
+        // threads not yet scheduled) can join the selection. This keeps
+        // ANY_SOURCE matching as close to virtual-time order as an online
+        // matcher can be.
+        let coop = sched::in_task();
+        let mut graced = coop || (specs.len() == 1 && specs[0].src.is_some());
         loop {
             // Among queued matches, prefer the earliest *virtual* send
-            // (ties: lowest source, then arrival order). For exact-source
-            // receives this coincides with FIFO (non-overtaking).
-            let pos = q
+            // (ties: lowest source, then arrival order, then spec order).
+            // For exact-source receives this coincides with FIFO
+            // (non-overtaking).
+            let best = q
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| spec.matches(e))
-                .min_by_key(|(i, e)| (e.send_post, e.src, *i))
-                .map(|(i, _)| i);
-            if let Some(pos) = pos {
+                .filter_map(|(i, e)| specs.iter().position(|s| s.matches(e)).map(|si| (i, si, e)))
+                .min_by_key(|(i, si, e)| (e.send_post, e.src, *i, *si))
+                .map(|(i, si, _)| (i, si));
+            if let Some((pos, si)) = best {
                 if !graced {
                     graced = true;
-                    let _ = self.cv.wait_for(&mut q, Duration::from_micros(500));
+                    let _ = self.ws.wait_for_os(&mut q, Duration::from_micros(500));
                     continue;
                 }
-                return q.remove(pos).expect("position came from iteration");
+                return (si, q.remove(pos).expect("position came from iteration"));
             }
-            if self.cv.wait_until(&mut q, deadline).timed_out() {
+            let (guard, timed_out) = self.ws.wait(&self.queue, q, deadline, now, "MPI receive");
+            q = guard;
+            if timed_out {
                 panic!(
-                    "receive matching {spec:?} blocked for {timeout:?} with {} queued \
+                    "receive matching {specs:?} blocked for {timeout:?} with {} queued \
                      non-matching messages (deadlock in the simulated program?)",
                     q.len()
                 );
@@ -220,7 +261,7 @@ mod tests {
             src: Some(1),
             tag: Some(5),
         };
-        let first = mb.take_match(spec, T);
+        let first = mb.take_match(spec, VTime::ZERO, T);
         assert_eq!(first.send_post, VTime(1));
         assert_eq!(mb.len(), 1);
     }
@@ -236,6 +277,7 @@ mod tests {
                 src: Some(1),
                 tag: Some(9),
             },
+            VTime::ZERO,
             T,
         );
         assert_eq!(got.tag, 9);
@@ -272,6 +314,7 @@ mod tests {
                 src: None,
                 tag: None,
             },
+            VTime::ZERO,
             T,
         );
         assert_eq!((got.src, got.tag), (3, 42));
@@ -279,22 +322,67 @@ mod tests {
 
     #[test]
     fn blocking_receive_wakes_on_push() {
-        let mb = Arc::new(Mailbox::new());
-        let mb2 = mb.clone();
-        let h = std::thread::spawn(move || {
-            mb2.take_match(
-                MatchSpec {
-                    comm: 0,
-                    src: Some(0),
-                    tag: Some(0),
-                },
-                T,
-            )
-        });
-        std::thread::sleep(Duration::from_millis(20));
-        mb.push(env(0, 0, 0));
-        let got = h.join().unwrap();
-        assert_eq!(got.src, 0);
+        // Re-expressed in virtual time (was: OS thread + sleep, racing the
+        // wall clock): the receiver blocks at t=0, the sender delivers at
+        // t=50ns, and the scheduler guarantees the wake-up ordering.
+        let mb = Mailbox::new();
+        let got = Mutex::new(None);
+        sched::run_tasks(
+            128 * 1024,
+            vec![
+                Box::new(|| {
+                    let e = mb.take_match(
+                        MatchSpec {
+                            comm: 0,
+                            src: Some(0),
+                            tag: Some(0),
+                        },
+                        VTime::ZERO,
+                        T,
+                    );
+                    *got.lock() = Some(e);
+                }),
+                Box::new(|| {
+                    sched::yield_at(VTime(50));
+                    mb.push(Envelope {
+                        comm: 0,
+                        src: 0,
+                        tag: 0,
+                        data: vec![9],
+                        send_post: VTime(50),
+                        handshake: None,
+                    });
+                }),
+            ],
+        );
+        let e = got.into_inner().expect("receive completed");
+        assert_eq!((e.src, e.send_post), (0, VTime(50)));
+    }
+
+    #[test]
+    fn take_match_any_prefers_earliest_virtual_send() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 3, 7));
+        mb.push(env(0, 1, 7));
+        let specs = [
+            MatchSpec {
+                comm: 0,
+                src: Some(3),
+                tag: None,
+            },
+            MatchSpec {
+                comm: 0,
+                src: Some(1),
+                tag: None,
+            },
+        ];
+        let (idx, got) = mb.take_match_any(&specs, VTime::ZERO, T);
+        assert_eq!(
+            (idx, got.src),
+            (1, 1),
+            "earliest virtual send wins, whichever spec it satisfies"
+        );
+        assert_eq!(mb.len(), 1);
     }
 
     #[test]
@@ -307,23 +395,32 @@ mod tests {
                 src: Some(0),
                 tag: Some(0),
             },
+            VTime::ZERO,
             Duration::from_millis(50),
         );
     }
 
     #[test]
     fn handshake_passes_post_time() {
-        let h = Arc::new(Handshake::default());
-        let h2 = h.clone();
-        let waiter = std::thread::spawn(move || h2.await_receiver(T));
-        std::thread::sleep(Duration::from_millis(10));
-        h.complete(VTime(123));
-        assert_eq!(waiter.join().unwrap(), VTime(123));
+        // Re-expressed in virtual time (was: OS thread + sleep).
+        let h = Handshake::default();
+        let seen = Mutex::new(None);
+        sched::run_tasks(
+            128 * 1024,
+            vec![
+                Box::new(|| *seen.lock() = Some(h.await_receiver(VTime::ZERO, T))),
+                Box::new(|| {
+                    sched::yield_at(VTime(123));
+                    h.complete(VTime(123));
+                }),
+            ],
+        );
+        assert_eq!(seen.into_inner(), Some(VTime(123)));
     }
 
     #[test]
     #[should_panic(expected = "rendezvous")]
     fn handshake_timeout_panics() {
-        Handshake::default().await_receiver(Duration::from_millis(50));
+        Handshake::default().await_receiver(VTime::ZERO, Duration::from_millis(50));
     }
 }

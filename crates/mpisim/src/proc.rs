@@ -30,6 +30,11 @@ pub struct Proc {
     world: Arc<WorldShared>,
     world_comm: Arc<CommShared>,
     r_work: RegionId,
+    /// Pointer-keyed intern cache for the `&'static str` MPI region names:
+    /// skips the shared table's lock + string hash on every call. Literals
+    /// duplicated across codegen units at worst add a second entry — the
+    /// table's ids stay consistent either way.
+    interned: Vec<(usize, RegionId)>,
     work_mode: WorkMode,
     seed: u64,
     calibration: Option<f64>,
@@ -62,6 +67,7 @@ impl Proc {
             world,
             world_comm,
             r_work,
+            interned: Vec::new(),
             work_mode,
             seed,
             calibration,
@@ -172,6 +178,18 @@ impl Proc {
 
     // ----- instrumentation ----------------------------------------------
 
+    /// Intern a static region name through the per-rank pointer cache
+    /// (a handful of entries, so a linear scan beats hashing the string).
+    fn intern_static(&mut self, name: &'static str, kind: RegionKind) -> RegionId {
+        let key = name.as_ptr() as usize;
+        if let Some(&(_, id)) = self.interned.iter().find(|(k, _)| *k == key) {
+            return id;
+        }
+        let id = self.collector.intern(name, kind);
+        self.interned.push((key, id));
+        id
+    }
+
     /// Open a named region at the current clock (property-function frames
     /// and user phases).
     pub fn enter_region(&mut self, name: &str, kind: RegionKind) {
@@ -217,7 +235,7 @@ impl Proc {
 
     fn send_impl(
         &mut self,
-        region: &str,
+        region: &'static str,
         data: &[u8],
         dest: usize,
         tag: i32,
@@ -225,7 +243,7 @@ impl Proc {
         rendezvous: bool,
     ) {
         assert!(dest < comm.size(), "send destination out of range");
-        let r = self.collector.intern(region, RegionKind::MpiP2p);
+        let r = self.intern_static(region, RegionKind::MpiP2p);
         let post = self.clock;
         self.local.enter(post, r);
         // Events carry *global* ranks (what a measurement system records);
@@ -251,7 +269,7 @@ impl Proc {
         self.clock = match handshake {
             None => post + model.send_overhead,
             Some(h) => {
-                let recv_post = h.await_receiver(self.world.timeout);
+                let recv_post = h.await_receiver(post, self.world.timeout);
                 post.max(recv_post) + model.p2p_wire(data.len())
             }
         };
@@ -271,7 +289,7 @@ impl Proc {
         tag: Option<i32>,
         comm: &Comm,
     ) -> (Vec<u8>, Status) {
-        let r = self.collector.intern("MPI_Recv", RegionKind::MpiP2p);
+        let r = self.intern_static("MPI_Recv", RegionKind::MpiP2p);
         let post = self.clock;
         self.local.enter(post, r);
         let spec = MatchSpec {
@@ -282,7 +300,7 @@ impl Proc {
         let env = self
             .world
             .mailbox(comm.global_rank(comm.rank()))
-            .take_match(spec, self.world.timeout);
+            .take_match(spec, post, self.world.timeout);
         let (data, status, completion) = self.complete_recv(post, env, comm);
         self.clock = completion;
         self.local.exit(self.clock, r);
@@ -329,7 +347,7 @@ impl Proc {
     /// Nonblocking standard-mode send (`MPI_Isend`).
     pub fn isend(&mut self, data: &[u8], dest: usize, tag: i32, comm: &Comm) -> Request {
         assert!(dest < comm.size(), "send destination out of range");
-        let r = self.collector.intern("MPI_Isend", RegionKind::MpiP2p);
+        let r = self.intern_static("MPI_Isend", RegionKind::MpiP2p);
         let post = self.clock;
         self.local.enter(post, r);
         self.local.send(
@@ -366,7 +384,7 @@ impl Proc {
     /// wait order — sufficient for the suite's property functions, which
     /// keep at most one receive outstanding per peer.
     pub fn irecv(&mut self, src: usize, tag: i32, comm: &Comm) -> Request {
-        let r = self.collector.intern("MPI_Irecv", RegionKind::MpiP2p);
+        let r = self.intern_static("MPI_Irecv", RegionKind::MpiP2p);
         let post = self.clock;
         self.local.enter(post, r);
         self.local.exit(post, r);
@@ -384,7 +402,7 @@ impl Proc {
     /// Complete a nonblocking operation (`MPI_Wait`). For receives, returns
     /// the payload and status.
     pub fn wait(&mut self, req: &mut Request) -> Option<(Vec<u8>, Status)> {
-        let r = self.collector.intern("MPI_Wait", RegionKind::MpiP2p);
+        let r = self.intern_static("MPI_Wait", RegionKind::MpiP2p);
         let at = self.clock;
         self.local.enter(at, r);
         let result = match req.take() {
@@ -398,7 +416,7 @@ impl Proc {
                 bytes,
                 handshake,
             } => {
-                let recv_post = handshake.await_receiver(self.world.timeout);
+                let recv_post = handshake.await_receiver(at, self.world.timeout);
                 let done = post.max(recv_post) + self.world.model.p2p_wire(bytes);
                 self.clock = at.max(done);
                 None
@@ -407,7 +425,7 @@ impl Proc {
                 let env = self
                     .world
                     .mailbox(comm.global_rank(comm.rank()))
-                    .take_match(spec, self.world.timeout);
+                    .take_match(spec, at, self.world.timeout);
                 let (data, status, completion) = self.complete_recv(post, env, &comm);
                 self.clock = at.max(completion);
                 Some((data, status))
@@ -417,59 +435,68 @@ impl Proc {
         result
     }
 
-    /// Complete exactly one request of a set (`MPI_Waitany`): scans for a
-    /// completable request (done sends, receives whose message has already
-    /// arrived), and otherwise blocks on the first pending receive.
-    /// Returns the index completed and, for receives, the payload.
+    /// Complete exactly one request of a set (`MPI_Waitany`). Eager sends
+    /// complete without blocking; otherwise the process blocks across all
+    /// pending receive specs at once and completes whichever message comes
+    /// first in *virtual* time — so the choice is deterministic and does
+    /// not depend on request order or real-time arrival races. Returns the
+    /// index completed and, for receives, the payload.
     pub fn waitany(&mut self, reqs: &mut [Request]) -> (usize, Option<(Vec<u8>, Status)>) {
         assert!(!reqs.is_empty(), "waitany on an empty request set");
         assert!(
             reqs.iter().any(|r| !r.is_done()),
             "waitany with all requests already completed"
         );
-        // First pass: a send request (always completable without blocking)
-        // or a receive whose message is already queued.
-        for (i, req) in reqs.iter_mut().enumerate() {
-            match &req.0 {
-                ReqInner::Done => continue,
-                ReqInner::SendEager { .. } => return (i, self.wait(req)),
-                ReqInner::SendRendezvous { .. } => continue,
-                ReqInner::Recv { spec, comm, .. } => {
-                    let has_message = {
-                        let mb = self.world.mailbox(comm.global_rank(comm.rank()));
-                        // Peek without consuming: try-take and push back
-                        // would reorder; instead test emptiness per spec.
-                        mb.try_take_match(*spec)
-                    };
-                    if let Some(env) = has_message {
-                        // Message in hand: complete this request with it.
-                        let (post, comm) = match req.take() {
-                            ReqInner::Recv { post, comm, .. } => (post, comm),
-                            _ => unreachable!("matched Recv above"),
-                        };
-                        let r = self.collector.intern("MPI_Wait", RegionKind::MpiP2p);
-                        let at = self.clock;
-                        self.local.enter(at, r);
-                        let (data, status, completion) = self.complete_recv(post, env, &comm);
-                        self.clock = at.max(completion);
-                        self.local.exit(self.clock, r);
-                        return (i, Some((data, status)));
-                    }
-                }
-            }
-        }
-        // Nothing immediately completable: block on the first live request.
-        let i = reqs
+        // Eager sends are completable without blocking: finish the first.
+        if let Some(i) = reqs
             .iter()
-            .position(|r| !r.is_done())
-            .expect("checked above");
-        (i, self.wait(&mut reqs[i]))
+            .position(|r| matches!(r.0, ReqInner::SendEager { .. }))
+        {
+            return (i, self.wait(&mut reqs[i]));
+        }
+        // Block across *all* pending
+        // receive specs at once (every Recv targets this process's single
+        // mailbox); a message already queued is found by the initial scan
+        // without blocking.
+        let pending: Vec<(usize, MatchSpec)> = reqs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match &r.0 {
+                ReqInner::Recv { spec, .. } => Some((i, *spec)),
+                _ => None,
+            })
+            .collect();
+        if pending.is_empty() {
+            // Only rendezvous sends remain: complete the first live one.
+            let i = reqs
+                .iter()
+                .position(|r| !r.is_done())
+                .expect("checked above");
+            return (i, self.wait(&mut reqs[i]));
+        }
+        let specs: Vec<MatchSpec> = pending.iter().map(|&(_, s)| s).collect();
+        let at = self.clock;
+        let (si, env) =
+            self.world
+                .mailbox(self.rank)
+                .take_match_any(&specs, at, self.world.timeout);
+        let i = pending[si].0;
+        let (post, comm) = match reqs[i].take() {
+            ReqInner::Recv { post, comm, .. } => (post, comm),
+            _ => unreachable!("pending holds receives"),
+        };
+        let r = self.intern_static("MPI_Wait", RegionKind::MpiP2p);
+        self.local.enter(at, r);
+        let (data, status, completion) = self.complete_recv(post, env, &comm);
+        self.clock = at.max(completion);
+        self.local.exit(self.clock, r);
+        (i, Some((data, status)))
     }
 
     /// `MPI_Probe`: block until a matching message is available and return
     /// its status without receiving it.
     pub fn probe(&mut self, src: Option<usize>, tag: Option<i32>, comm: &Comm) -> Status {
-        let r = self.collector.intern("MPI_Probe", RegionKind::MpiP2p);
+        let r = self.intern_static("MPI_Probe", RegionKind::MpiP2p);
         let post = self.clock;
         self.local.enter(post, r);
         let spec = MatchSpec {
@@ -481,7 +508,7 @@ impl Proc {
         // source because we re-deliver before anyone else can observe the
         // queue (we hold no other messages).
         let mb = self.world.mailbox(comm.global_rank(comm.rank()));
-        let env = mb.take_match(spec, self.world.timeout);
+        let env = mb.take_match(spec, post, self.world.timeout);
         let status = Status {
             source: env.src as usize,
             tag: env.tag,
@@ -506,8 +533,8 @@ impl Proc {
     // ----- collectives ----------------------------------------------------
 
     /// Shared skeleton: record entry, rendezvous, price the operation,
-    /// advance the clock, record completion. Returns the gathered
-    /// contributions for the data phase.
+    /// advance the clock, record completion. Returns a shared view of the
+    /// gathered contributions for the data phase.
     fn coll_exchange(
         &mut self,
         op: CollOp,
@@ -516,10 +543,8 @@ impl Proc {
         data: Vec<u8>,
         counts: Option<Vec<usize>>,
         bytes_of: impl FnOnce(&[Contrib]) -> Vec<u64>,
-    ) -> Vec<Contrib> {
-        let r = self
-            .collector
-            .intern(op.region_name(), RegionKind::MpiCollective);
+    ) -> (u64, Arc<Vec<Contrib>>) {
+        let r = self.intern_static(op.region_name(), RegionKind::MpiCollective);
         let entry = self.clock;
         self.local.enter(entry, r);
         let my_bytes = data.len() as u64;
@@ -531,6 +556,7 @@ impl Proc {
                 data,
                 counts,
             },
+            entry,
             self.world.timeout,
         );
         if let Some(obs) = &self.world.obs {
@@ -539,9 +565,14 @@ impl Proc {
                 .collective_rounds
                 .add(self.world.model.tree_stages(comm.size()) as u64);
         }
-        let entries: Vec<VTime> = all.iter().map(|c| c.entry).collect();
-        let bytes = bytes_of(&all);
-        let exit = collective::exits(op, &entries, root, &bytes, &self.world.model)[comm.rank()];
+        // One LogGP stage walk per collective, not per member: the exit
+        // vector is a pure function of the round, memoised on the slot.
+        let exits = comm.shared.slot.cached_exits(seq, || {
+            let entries: Vec<VTime> = all.iter().map(|c| c.entry).collect();
+            let bytes = bytes_of(&all);
+            collective::exits(op, &entries, root, &bytes, &self.world.model)
+        });
+        let exit = exits[comm.rank()];
         self.clock = exit;
         self.local.coll_end(
             exit,
@@ -553,7 +584,7 @@ impl Proc {
             entry,
         );
         self.local.exit(exit, r);
-        all
+        (seq, all)
     }
 
     /// `MPI_Barrier`.
@@ -573,9 +604,10 @@ impl Proc {
             Vec::new()
         };
         let p = comm.size();
-        let all = self.coll_exchange(CollOp::Bcast, comm, Some(root), data, None, move |all| {
-            vec![all[root].data.len() as u64; p]
-        });
+        let (_, all) =
+            self.coll_exchange(CollOp::Bcast, comm, Some(root), data, None, move |all| {
+                vec![all[root].data.len() as u64; p]
+            });
         *buf = all[root].data.clone();
     }
 
@@ -589,10 +621,11 @@ impl Proc {
         } else {
             Vec::new()
         };
-        let all = self.coll_exchange(CollOp::Scatter, comm, Some(root), data, None, move |all| {
-            let chunk = (all[root].data.len() / p) as u64;
-            vec![chunk; p]
-        });
+        let (_, all) =
+            self.coll_exchange(CollOp::Scatter, comm, Some(root), data, None, move |all| {
+                let chunk = (all[root].data.len() / p) as u64;
+                vec![chunk; p]
+            });
         let chunk = all[root].data.len() / p;
         all[root].data[comm.rank() * chunk..(comm.rank() + 1) * chunk].to_vec()
     }
@@ -611,7 +644,7 @@ impl Proc {
         } else {
             (Vec::new(), None)
         };
-        let all = self.coll_exchange(
+        let (_, all) = self.coll_exchange(
             CollOp::Scatterv,
             comm,
             Some(root),
@@ -630,7 +663,7 @@ impl Proc {
     /// `MPI_Gather`: the root receives the concatenation of all
     /// contributions in rank order.
     pub fn gather(&mut self, mine: &[u8], root: usize, comm: &Comm) -> Option<Vec<u8>> {
-        let all = self.coll_exchange(
+        let (_, all) = self.coll_exchange(
             CollOp::Gather,
             comm,
             Some(root),
@@ -645,7 +678,7 @@ impl Proc {
     /// contribution already carries its own length; kept separate so traces
     /// name the irregular operation, as the paper's property list does.
     pub fn gatherv(&mut self, mine: &[u8], root: usize, comm: &Comm) -> Option<Vec<u8>> {
-        let all = self.coll_exchange(
+        let (_, all) = self.coll_exchange(
             CollOp::Gatherv,
             comm,
             Some(root),
@@ -666,7 +699,7 @@ impl Proc {
         comm: &Comm,
     ) -> Option<Vec<u8>> {
         let p = comm.size();
-        let all = self.coll_exchange(
+        let (seq, all) = self.coll_exchange(
             CollOp::Reduce,
             comm,
             Some(root),
@@ -674,7 +707,12 @@ impl Proc {
             None,
             move |all| vec![all.iter().map(|c| c.data.len() as u64).max().unwrap_or(0); p],
         );
-        (comm.rank() == root).then(|| combine_all(&all, op, dtype))
+        (comm.rank() == root).then(|| {
+            comm.shared
+                .slot
+                .cached_combined(seq, || combine_all(&all, op, dtype))
+                .to_vec()
+        })
     }
 
     /// `MPI_Allreduce`.
@@ -686,7 +724,7 @@ impl Proc {
         comm: &Comm,
     ) -> Vec<u8> {
         let p = comm.size();
-        let all = self.coll_exchange(
+        let (seq, all) = self.coll_exchange(
             CollOp::Allreduce,
             comm,
             None,
@@ -694,14 +732,19 @@ impl Proc {
             None,
             move |all| vec![all.iter().map(|c| c.data.len() as u64).max().unwrap_or(0); p],
         );
-        combine_all(&all, op, dtype)
+        // O(P) per member: the first one through combines, the rest share.
+        comm.shared
+            .slot
+            .cached_combined(seq, || combine_all(&all, op, dtype))
+            .to_vec()
     }
 
     /// `MPI_Allgather`.
     pub fn allgather(&mut self, mine: &[u8], comm: &Comm) -> Vec<u8> {
-        let all = self.coll_exchange(CollOp::Allgather, comm, None, mine.to_vec(), None, |all| {
-            all.iter().map(|c| c.data.len() as u64).collect()
-        });
+        let (_, all) =
+            self.coll_exchange(CollOp::Allgather, comm, None, mine.to_vec(), None, |all| {
+                all.iter().map(|c| c.data.len() as u64).collect()
+            });
         all.iter().flat_map(|c| c.data.iter().copied()).collect()
     }
 
@@ -711,12 +754,13 @@ impl Proc {
     pub fn alltoall(&mut self, send: &[u8], comm: &Comm) -> Vec<u8> {
         let p = comm.size();
         assert_eq!(send.len() % p, 0, "alltoall buffer not divisible by size");
-        let all = self.coll_exchange(CollOp::Alltoall, comm, None, send.to_vec(), None, |all| {
-            all.iter().map(|c| c.data.len() as u64).collect()
-        });
+        let (_, all) =
+            self.coll_exchange(CollOp::Alltoall, comm, None, send.to_vec(), None, |all| {
+                all.iter().map(|c| c.data.len() as u64).collect()
+            });
         let me = comm.rank();
         let mut out = Vec::with_capacity(send.len());
-        for c in &all {
+        for c in all.iter() {
             let chunk = c.data.len() / p;
             out.extend_from_slice(&c.data[me * chunk..(me + 1) * chunk]);
         }
@@ -737,7 +781,7 @@ impl Proc {
             send.len(),
             "counts must cover the send buffer"
         );
-        let all = self.coll_exchange(
+        let (_, all) = self.coll_exchange(
             CollOp::Alltoallv,
             comm,
             None,
@@ -747,7 +791,7 @@ impl Proc {
         );
         let me = comm.rank();
         let mut out = Vec::new();
-        for c in &all {
+        for c in all.iter() {
             let counts = c.counts.as_ref().expect("every member supplies counts");
             let offset: usize = counts[..me].iter().sum();
             out.extend_from_slice(&c.data[offset..offset + counts[me]]);
@@ -769,7 +813,7 @@ impl Proc {
         // Priced like an allreduce (reduce + scatter phases share the
         // tree); data-wise it is a full reduction followed by block
         // extraction.
-        let all = self.coll_exchange(
+        let (seq, all) = self.coll_exchange(
             CollOp::Allreduce,
             comm,
             None,
@@ -777,7 +821,10 @@ impl Proc {
             None,
             move |all| vec![all.iter().map(|c| c.data.len() as u64).max().unwrap_or(0); p],
         );
-        let combined = combine_all(&all, op, dtype);
+        let combined = comm
+            .shared
+            .slot
+            .cached_combined(seq, || combine_all(&all, op, dtype));
         let block = combined.len() / p;
         combined[comm.rank() * block..(comm.rank() + 1) * block].to_vec()
     }
@@ -785,9 +832,10 @@ impl Proc {
     /// `MPI_Scan`: inclusive prefix reduction over ranks `0..=me`.
     pub fn scan(&mut self, mine: &[u8], op: ReduceOp, dtype: Datatype, comm: &Comm) -> Vec<u8> {
         let p = comm.size();
-        let all = self.coll_exchange(CollOp::Scan, comm, None, mine.to_vec(), None, move |all| {
-            vec![all.iter().map(|c| c.data.len() as u64).max().unwrap_or(0); p]
-        });
+        let (_, all) =
+            self.coll_exchange(CollOp::Scan, comm, None, mine.to_vec(), None, move |all| {
+                vec![all.iter().map(|c| c.data.len() as u64).max().unwrap_or(0); p]
+            });
         combine_all(&all[..=comm.rank()], op, dtype)
     }
 
@@ -831,17 +879,21 @@ impl Proc {
                 data: payload,
                 counts: None,
             },
+            entry,
             self.world.timeout,
         );
         // Split is synchronizing: price it like a barrier.
-        let entries: Vec<VTime> = all.iter().map(|c| c.entry).collect();
-        let exit = collective::exits(
-            CollOp::Barrier,
-            &entries,
-            None,
-            &vec![0; comm.size()],
-            &self.world.model,
-        )[comm.rank()];
+        let exits = comm.shared.slot.cached_exits(seq, || {
+            let entries: Vec<VTime> = all.iter().map(|c| c.entry).collect();
+            collective::exits(
+                CollOp::Barrier,
+                &entries,
+                None,
+                &vec![0; comm.size()],
+                &self.world.model,
+            )
+        });
+        let exit = exits[comm.rank()];
         self.clock = exit;
         self.local.exit(exit, r);
 
@@ -886,14 +938,14 @@ impl Proc {
     // ----- lifecycle (called by the world runner) --------------------------
 
     pub(crate) fn sim_init(&mut self, cost: VDur) {
-        let r = self.collector.intern("MPI_Init", RegionKind::MpiSetup);
+        let r = self.intern_static("MPI_Init", RegionKind::MpiSetup);
         self.local.enter(self.clock, r);
         self.clock += cost;
         self.local.exit(self.clock, r);
     }
 
     pub(crate) fn sim_finalize(&mut self, cost: VDur) {
-        let r = self.collector.intern("MPI_Finalize", RegionKind::MpiSetup);
+        let r = self.intern_static("MPI_Finalize", RegionKind::MpiSetup);
         let entry = self.clock;
         self.local.enter(entry, r);
         // Finalize synchronizes all ranks, like a world barrier.
@@ -906,6 +958,7 @@ impl Proc {
                 data: Vec::new(),
                 counts: None,
             },
+            entry,
             self.world.timeout,
         );
         let latest = all.iter().map(|c| c.entry).max().unwrap_or(entry);

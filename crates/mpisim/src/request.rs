@@ -76,8 +76,12 @@ impl Request {
 
 impl Drop for Request {
     fn drop(&mut self) {
+        // Stay quiet while unwinding: a deadlock panic (or the event
+        // scheduler cancelling sibling ranks after one panics) legitimately
+        // drops live requests mid-operation, and a second panic here would
+        // abort the process before the real diagnosis surfaces.
         debug_assert!(
-            self.is_done(),
+            self.is_done() || std::thread::panicking(),
             "a Request was dropped without being waited on; \
              every isend/irecv must be completed (as in MPI)"
         );

@@ -226,7 +226,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")] // inner: grid must cover
+    #[should_panic(expected = "grid must cover")]
     fn wrong_grid_size_panics() {
         crate::run(cfg(4), |p| {
             let world = p.comm_world();

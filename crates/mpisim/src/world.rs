@@ -1,11 +1,12 @@
-//! The run entry points: spawn one OS thread per simulated rank, execute
-//! the user program, and collect the merged trace.
+//! The run entry points: execute the user program once per simulated rank —
+//! as coroutines on the discrete-event scheduler (default) or as one OS
+//! thread per rank — and collect the merged trace.
 
 use crate::comm::CommShared;
 use crate::config::SimConfig;
 use crate::mailbox::Mailbox;
 use crate::proc::Proc;
-use ats_runtime::{MachineModel, WorkEngine};
+use ats_runtime::{sched, MachineModel, SimBackend, WorkEngine};
 use ats_trace::{Trace, TraceCollector};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -58,12 +59,14 @@ impl WorldShared {
 
 /// Run `f` on `config.nprocs` simulated ranks and return the merged trace.
 ///
-/// The closure is executed once per rank on its own OS thread, receiving
-/// that rank's [`Proc`] handle, exactly like an SPMD `main` between
-/// `MPI_Init` and `MPI_Finalize`.
+/// The closure is executed once per rank — on a coroutine of the
+/// discrete-event scheduler or on its own OS thread, per
+/// `config.backend` — receiving that rank's [`Proc`] handle, exactly like
+/// an SPMD `main` between `MPI_Init` and `MPI_Finalize`. Recorded traces
+/// are byte-identical across backends.
 ///
 /// # Panics
-/// Propagates panics from rank threads (including the substrate's deadlock
+/// Propagates panics from ranks (including the substrate's deadlock
 /// detectors).
 pub fn run<F>(config: SimConfig, f: F) -> Trace
 where
@@ -143,51 +146,123 @@ where
     collector.register_comm(0, (0..config.nprocs as u32).collect());
     let world_comm = CommShared::new(0, (0..config.nprocs).collect());
 
-    let results: Vec<R> = std::thread::scope(|s| {
+    let results: Vec<R> = match config.backend.effective() {
+        SimBackend::Thread => run_threads(&config, &collector, &world, &world_comm, &f),
+        SimBackend::Event => run_event(&config, &collector, &world, &world_comm, &f),
+    };
+    // The world holds a collector handle (for communicator registration);
+    // release it before finalizing the trace.
+    drop(world);
+    (collector.finish(), results)
+}
+
+/// One rank's whole life: engine setup, `MPI_Init`, user body,
+/// `MPI_Finalize`, trace submission. Identical on both backends.
+fn run_rank<R, F>(
+    rank: usize,
+    config: &SimConfig,
+    collector: TraceCollector,
+    world: Arc<WorldShared>,
+    world_comm: Arc<CommShared>,
+    f: &F,
+) -> R
+where
+    F: Fn(&mut Proc) -> R,
+{
+    let mut engine = WorkEngine::new(config.work_mode, config.seed, rank as u64);
+    if let Some(rate) = config.calibration {
+        engine.set_calibration(rate);
+    }
+    let mut proc = Proc::new(
+        rank,
+        config.nprocs,
+        engine,
+        collector.clone(),
+        world,
+        world_comm,
+        config.work_mode,
+        config.seed,
+        config.calibration,
+    );
+    proc.sim_init(config.init_time);
+    let result = f(&mut proc);
+    proc.sim_finalize(config.finalize_time);
+    let (local, _collector) = proc.into_local();
+    if let Some(obs) = &config.obs {
+        obs.mpi.events.add(local.len() as u64);
+    }
+    collector.submit(local);
+    result
+}
+
+/// The legacy backend: one OS thread per rank, kept for one release as a
+/// differential-testing oracle against the event scheduler.
+fn run_threads<R, F>(
+    config: &SimConfig,
+    collector: &TraceCollector,
+    world: &Arc<WorldShared>,
+    world_comm: &Arc<CommShared>,
+    f: &F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Proc) -> R + Sync,
+{
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..config.nprocs)
             .map(|rank| {
                 let collector = collector.clone();
                 let world = world.clone();
                 let world_comm = world_comm.clone();
-                let config = &config;
-                let f = &f;
-                s.spawn(move || {
-                    let mut engine = WorkEngine::new(config.work_mode, config.seed, rank as u64);
-                    if let Some(rate) = config.calibration {
-                        engine.set_calibration(rate);
-                    }
-                    let mut proc = Proc::new(
-                        rank,
-                        config.nprocs,
-                        engine,
-                        collector.clone(),
-                        world,
-                        world_comm,
-                        config.work_mode,
-                        config.seed,
-                        config.calibration,
-                    );
-                    proc.sim_init(config.init_time);
-                    let result = f(&mut proc);
-                    proc.sim_finalize(config.finalize_time);
-                    let (local, _collector) = proc.into_local();
-                    if let Some(obs) = &config.obs {
-                        obs.mpi.events.add(local.len() as u64);
-                    }
-                    collector.submit(local);
-                    result
-                })
+                s.spawn(move || run_rank(rank, config, collector, world, world_comm, f))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("rank thread panicked"))
             .collect()
-    });
-    // The world holds a collector handle (for communicator registration);
-    // release it before finalizing the trace.
-    drop(world);
-    (collector.finish(), results)
+    })
+}
+
+/// The discrete-event backend: every rank is a coroutine on one scheduler
+/// thread, a blocked receive or collective is a re-entry into the
+/// virtual-clock ready queue, and rank counts scale to 10k+ per process.
+fn run_event<R, F>(
+    config: &SimConfig,
+    collector: &TraceCollector,
+    world: &Arc<WorldShared>,
+    world_comm: &Arc<CommShared>,
+    f: &F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Proc) -> R + Sync,
+{
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..config.nprocs).map(|_| None).collect());
+    let tasks: Vec<Box<dyn FnOnce() + '_>> = (0..config.nprocs)
+        .map(|rank| {
+            let collector = collector.clone();
+            let world = world.clone();
+            let world_comm = world_comm.clone();
+            let results = &results;
+            Box::new(move || {
+                let result = run_rank(rank, config, collector, world, world_comm, f);
+                results.lock()[rank] = Some(result);
+            }) as Box<dyn FnOnce() + '_>
+        })
+        .collect();
+    let stats = sched::run_tasks(config.task_stack_bytes, tasks);
+    if let Some(obs) = &config.obs {
+        obs.mpi.sched_events.add(stats.events);
+        obs.mpi
+            .sched_ready_depth_max
+            .set_max(stats.max_ready as u64);
+    }
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every rank task completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -623,18 +698,17 @@ mod tests {
 
     #[test]
     fn waitany_prefers_already_arrived_messages() {
+        // Re-expressed in virtual time (was: wall-clock sleeps racing
+        // loaded CI machines): rank 2 sends at t=0, rank 1 at t=30ms.
+        // waitany must complete the earlier *virtual* send first even
+        // though rank 1's request is listed first.
         run(cfg(3), |p| {
             let c = p.comm_world();
             match p.rank() {
                 0 => {
-                    // Two outstanding receives: rank 2 sends immediately,
-                    // rank 1 sends late. waitany must complete rank 2's
-                    // first without blocking on rank 1.
                     let mut reqs = vec![p.irecv(1, 0, &c), p.irecv(2, 0, &c)];
-                    // Give rank 2's message real time to arrive.
-                    std::thread::sleep(Duration::from_millis(50));
                     let (idx, data) = p.waitany(&mut reqs);
-                    assert_eq!(idx, 1, "the arrived message completes first");
+                    assert_eq!(idx, 1, "the earlier virtual send completes first");
                     assert_eq!(data.unwrap().0, vec![2u8]);
                     let (idx2, data2) = p.waitany(&mut reqs);
                     assert_eq!(idx2, 0);
@@ -642,12 +716,44 @@ mod tests {
                 }
                 1 => {
                     p.do_work(VDur::from_millis(30));
-                    std::thread::sleep(Duration::from_millis(100));
                     p.send(&[1u8], 0, 0, &c);
                 }
                 _ => p.send(&[2u8], 0, 0, &c),
             }
         });
+    }
+
+    #[test]
+    fn thread_and_event_backends_produce_identical_traces() {
+        let body = |p: &mut Proc| {
+            let c = p.comm_world();
+            p.do_work(VDur::from_millis((p.rank() as u64 + 1) * 3));
+            p.barrier(&c);
+            if p.rank() == 0 {
+                p.send(b"m", 1, 0, &c);
+            } else if p.rank() == 1 {
+                let _ = p.recv(0, 0, &c);
+            }
+            let _ = p.allgather(&[p.rank() as u8], &c);
+        };
+        let mut a = run(cfg(4), body);
+        let mut b = run(cfg(4).backend(SimBackend::Thread), body);
+        a.canonicalize();
+        b.canonicalize();
+        assert_eq!(a.regions, b.regions);
+        assert_eq!(a.locations, b.locations, "backends must agree bit-for-bit");
+    }
+
+    #[test]
+    fn event_backend_hosts_many_ranks_cheaply() {
+        // Far beyond what per-rank OS threads tolerate in a unit test.
+        let (_, ranks) = run_collect(cfg(512), |p| {
+            let c = p.comm_world();
+            p.barrier(&c);
+            p.rank()
+        });
+        assert_eq!(ranks.len(), 512);
+        assert!(ranks.iter().enumerate().all(|(i, &r)| i == r));
     }
 
     #[test]
@@ -676,11 +782,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
+    #[should_panic(expected = "boom")]
     fn rank_panic_propagates() {
+        // Event backend: the scheduler cancels the surviving ranks
+        // structurally (no timeout needed) and re-raises the original
+        // panic payload.
+        run(cfg(2), |p| {
+            if p.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn rank_panic_propagates_thread_backend() {
         // Short progress timeout: the surviving rank blocks in finalize
         // once its peer dies, and must abort quickly rather than hang.
-        let mut config = cfg(2);
+        let mut config = cfg(2).backend(SimBackend::Thread);
         config.progress_timeout = Duration::from_millis(100);
         run(config, |p| {
             if p.rank() == 1 {

@@ -37,6 +37,11 @@ pub struct MpiMetrics {
     pub collective_rounds: Counter,
     /// Deepest any mailbox queue ever got.
     pub mailbox_depth_max: Gauge,
+    /// Scheduler events executed by the discrete-event backend (task
+    /// resumptions popped off the virtual-clock queue).
+    pub sched_events: Counter,
+    /// Deepest the discrete-event ready queue ever got.
+    pub sched_ready_depth_max: Gauge,
 }
 
 /// `trace`: codecs and the event-buffer pool.
@@ -199,6 +204,12 @@ impl Registry {
                 &self.mpi.collective_rounds,
             ),
             c(
+                "ats_mpisim_sched_events_total",
+                "Discrete-event scheduler events executed",
+                true,
+                &self.mpi.sched_events,
+            ),
+            c(
                 "ats_trace_binary_bytes_encoded_total",
                 "ATSB bytes encoded",
                 true,
@@ -321,6 +332,11 @@ impl Registry {
                 "ats_mpisim_mailbox_depth_max",
                 "Deepest mailbox queue seen",
                 &self.mpi.mailbox_depth_max,
+            ),
+            g(
+                "ats_mpisim_sched_ready_depth_max",
+                "Deepest discrete-event ready queue seen",
+                &self.mpi.sched_ready_depth_max,
             ),
             g(
                 "ats_pool_jobs_occupancy",

@@ -77,7 +77,12 @@ impl<T: Clone> ExchangeSlot<T> {
         if st.departed == self.size {
             st.arrived = 0;
             st.departed = 0;
-            st.contribs = (0..self.size).map(|_| None).collect();
+            // Reset in place: clearing the slots beats reallocating the
+            // vector once per round on hot exchange paths (barriers in
+            // tight loops).
+            for c in st.contribs.iter_mut() {
+                *c = None;
+            }
             st.seq += 1;
             st.filling = true;
             self.cv.notify_all();

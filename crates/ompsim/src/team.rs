@@ -1,5 +1,13 @@
 //! Shared thread-team state: barriers, deterministic worksharing
 //! dispensers, and virtual critical sections.
+//!
+//! Team synchronization uses OS condvars, not the discrete-event
+//! scheduler: team members are real OS threads even when the enclosing
+//! MPI rank is a coroutine on `ats_runtime::sched` (the hybrid harness
+//! mode). A master blocking here parks the scheduler's worker thread for
+//! the duration of the rendezvous, which is benign — team members never
+//! call into MPI or the scheduler, so no scheduler progress is required
+//! while the master waits, and virtual-time results are unchanged.
 
 use crate::exchange::ExchangeSlot;
 use ats_runtime::{MachineModel, VDur, VTime};

@@ -6,6 +6,14 @@
 //! master resumes at `max(thread end clocks) + join_overhead` — so any
 //! imbalance among the threads becomes master-visible idle time, which is
 //! precisely the paper's *Imbalance in Parallel Region* property.
+//!
+//! Teams are always OS threads, regardless of the MPI layer's
+//! [`SimBackend`](ats_runtime::SimBackend): a fork from a rank coroutine
+//! OS-blocks that coroutine's scheduler thread until the join, which is
+//! safe (members never touch MPI) but means `nthreads` counts against
+//! real host parallelism. MPI calls belong in serial regions, where the
+//! master is back on the scheduler and cooperates as usual — see
+//! `mpi_in_omp_serial`.
 
 use crate::master::Master;
 use crate::team::{dynamic_chunks, guided_chunks, CriticalSpace, TeamShared};

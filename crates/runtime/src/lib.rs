@@ -28,12 +28,20 @@
 //! for correctness experiments and unit tests, real mode for wall-clock
 //! benchmarking of the suite itself.
 
+//! A third ingredient, the **discrete-event scheduler** ([`sched`]), turns
+//! each simulated participant into a cheap coroutine driven from a
+//! virtual-clock event queue, so one process can host 10k+ ranks; the
+//! per-rank OS-thread backend remains available behind [`SimBackend`] as a
+//! differential-testing oracle.
+
 pub mod model;
 pub mod rng;
+pub mod sched;
 pub mod time;
 pub mod work;
 
 pub use model::MachineModel;
 pub use rng::SplitMix64;
+pub use sched::{SchedStats, SimBackend};
 pub use time::{VDur, VTime};
 pub use work::{WorkEngine, WorkMode};

@@ -12,13 +12,14 @@ fn canonical(mut t: Trace) -> Trace {
 }
 
 /// Catalog entries whose traces must be bit-identical across repeated runs.
-/// `omp_critical_contention` is excluded by design: acquisition *order*
-/// among equal virtual arrivals follows host scheduling (documented in
-/// `ats-omp`), while total contention stays fixed — checked separately.
+/// `omp_critical_contention` and its lock-based twin `omp_lock_contention`
+/// are excluded by design: acquisition *order* among equal virtual
+/// arrivals follows host scheduling (documented in `ats-omp`), while total
+/// contention stays fixed — checked separately.
 fn deterministic_entries() -> impl Iterator<Item = &'static ats::core::PropertySpec> {
     ats::core::CATALOG
         .iter()
-        .filter(|s| s.name != "omp_critical_contention")
+        .filter(|s| !matches!(s.name, "omp_critical_contention" | "omp_lock_contention"))
 }
 
 #[test]
@@ -40,26 +41,32 @@ fn every_catalog_trace_is_bit_reproducible() {
 }
 
 #[test]
-fn critical_contention_total_is_stable_even_if_order_is_not() {
+fn contention_totals_are_stable_even_if_order_is_not() {
     use ats::analyzer::{analyze, AnalyzerConfig};
-    let spec = ats::core::catalog::find("omp_critical_contention").unwrap();
-    let params = ParamValues::defaults(spec);
-    let opts = RunOpts::default().procs(2);
-    let mut totals = Vec::new();
-    for _ in 0..3 {
-        let trace = run_single(spec.name, &params, &opts).unwrap();
-        let report = analyze(&trace, &AnalyzerConfig::default().threshold(0.0));
-        let total: f64 = report
-            .findings_for("OmpCriticalContention")
-            .iter()
-            .map(|f| f.wait.as_secs())
-            .sum();
-        totals.push(total);
+    // Both contention flavors report as OmpCriticalContention.
+    for (name, property) in [
+        ("omp_critical_contention", "OmpCriticalContention"),
+        ("omp_lock_contention", "OmpCriticalContention"),
+    ] {
+        let spec = ats::core::catalog::find(name).unwrap();
+        let params = ParamValues::defaults(spec);
+        let opts = RunOpts::default().procs(2);
+        let mut totals = Vec::new();
+        for _ in 0..3 {
+            let trace = run_single(name, &params, &opts).unwrap();
+            let report = analyze(&trace, &AnalyzerConfig::default().threshold(0.0));
+            let total: f64 = report
+                .findings_for(property)
+                .iter()
+                .map(|f| f.wait.as_secs())
+                .sum();
+            totals.push(total);
+        }
+        assert!(
+            totals.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
+            "{name}: aggregate contention must be schedule-independent: {totals:?}"
+        );
     }
-    assert!(
-        totals.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
-        "aggregate contention must be schedule-independent: {totals:?}"
-    );
 }
 
 #[test]
@@ -91,6 +98,81 @@ fn seeds_do_not_leak_into_virtual_time() {
         .unwrap(),
     );
     assert_eq!(a.locations, b.locations);
+}
+
+/// Tentpole parity: the discrete-event scheduler must be invisible in the
+/// results — byte-identical ATSB traces and identical analyzer reports to
+/// the one-OS-thread-per-rank backend, across a catalog sample.
+#[test]
+fn event_and_thread_backends_produce_identical_atsb_bytes() {
+    use ats::analyzer::{analyze, AnalyzerConfig};
+    use ats::mpi::SimBackend;
+    let sample = [
+        "late_sender",
+        "late_receiver",
+        "imbalance_at_mpi_barrier",
+        "late_broadcast",
+        "early_reduce",
+        "messages_in_wrong_order",
+        "imbalance_at_mpi_alltoall",
+        "balanced_ring",
+    ];
+    for name in sample {
+        let spec = ats::core::catalog::find(name).unwrap();
+        let mut params = ParamValues::defaults(spec);
+        params.set("r", ParamValue::Count(2));
+        let run_on = |backend: SimBackend| {
+            canonical(
+                run_single(name, &params, &RunOpts::default().procs(8).backend(backend)).unwrap(),
+            )
+        };
+        let event = run_on(SimBackend::Event);
+        let thread = run_on(SimBackend::Thread);
+        assert_eq!(
+            ats::trace::binfmt::encode(&event),
+            ats::trace::binfmt::encode(&thread),
+            "{name}: ATSB bytes differ between backends"
+        );
+        let report_on = |t: &Trace| {
+            serde_json::to_string(&analyze(t, &AnalyzerConfig::default()).findings).unwrap()
+        };
+        assert_eq!(
+            report_on(&event),
+            report_on(&thread),
+            "{name}: analyzer reports differ between backends"
+        );
+    }
+}
+
+/// Backend parity holds through the experiment engine at any worker
+/// count: rows are byte-identical for (event, thread) × (jobs 1, jobs 8).
+#[test]
+fn backend_parity_holds_for_any_jobs_value() {
+    use ats::harness::experiment::{Experiment, Sweep};
+    use ats::mpi::SimBackend;
+    let rows = |backend: SimBackend, jobs: usize| {
+        let (rows, stats) = Experiment::new("late_sender")
+            .sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02]))
+            .procs_grid([2, 4])
+            .opts(RunOpts::default().backend(backend).jobs(jobs))
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(stats.backend, backend.effective().label());
+        serde_json::to_string(&rows).unwrap()
+    };
+    let baseline = rows(SimBackend::Event, 1);
+    for (backend, jobs) in [
+        (SimBackend::Event, 8),
+        (SimBackend::Thread, 1),
+        (SimBackend::Thread, 8),
+    ] {
+        assert_eq!(
+            baseline,
+            rows(backend, jobs),
+            "{}/jobs={jobs} diverges from event/jobs=1",
+            backend.label()
+        );
+    }
 }
 
 #[test]

@@ -30,7 +30,12 @@ fn jobs_one_and_jobs_eight_rows_are_identical() {
         let (parallel_rows, parallel_stats) = epos_sweep(property, 8).run_with_stats().unwrap();
         assert_eq!(serial_stats.jobs, 1);
         assert!(parallel_stats.jobs > 1, "jobs=8 must run a real pool");
-        assert_eq!(serial_rows.len(), 12, "3 procs × 4 knob values");
+        let knob_values = if property == "late_sender" { 4 } else { 3 };
+        assert_eq!(
+            serial_rows.len(),
+            3 * knob_values,
+            "{property}: 3 procs × {knob_values} knob values"
+        );
         // Same order, same severities — byte-identical serialized rows.
         assert_eq!(
             rendered(&serial_rows),
@@ -48,14 +53,41 @@ fn jobs_one_and_jobs_eight_rows_are_identical() {
 
 #[test]
 fn guard_keeps_rank_threads_within_budget() {
+    use ats::mpi::SimBackend;
+    // Thread backend: a P-rank configuration parks P OS threads, so the
+    // guard divides the budget by the widest configuration.
     let (_, stats) = epos_sweep("late_sender", 64)
-        .opts(RunOpts::default().jobs(64).thread_budget(24))
+        .opts(
+            RunOpts::default()
+                .backend(SimBackend::Thread)
+                .jobs(64)
+                .thread_budget(24),
+        )
         .run_with_stats()
         .unwrap();
     assert_eq!(stats.thread_budget, 24);
     assert_eq!(stats.max_nprocs, 8);
+    assert_eq!(stats.backend, "thread");
     assert_eq!(stats.jobs, 3, "64 requested, 24/8 = 3 granted");
     assert!(stats.jobs * stats.max_nprocs <= stats.thread_budget);
+}
+
+#[test]
+fn event_backend_frees_the_guard_from_rank_width() {
+    // Discrete-event backend (the default): every configuration runs its
+    // ranks as coroutines on the worker's own thread, so the same tight
+    // budget grants one worker per configuration — bounded by the combo
+    // count, not by nprocs.
+    let (_, stats) = epos_sweep("late_sender", 64)
+        .opts(RunOpts::default().jobs(64).thread_budget(24))
+        .run_with_stats()
+        .unwrap();
+    assert_eq!(stats.backend, "event");
+    assert_eq!(stats.max_nprocs, 8);
+    assert_eq!(
+        stats.jobs, 12,
+        "one slot per config: min(64, 24, 12 combos)"
+    );
 }
 
 #[test]

@@ -32,6 +32,31 @@ fn sixty_four_rank_two_communicator_composite() {
     assert_eq!(blamed, expected);
 }
 
+/// Tentpole smoke: 4096 simulated ranks in one process — a scale only
+/// the discrete-event backend (the default) can host; one OS thread per
+/// rank would exhaust a CI runner's thread and memory limits.
+#[test]
+fn four_thousand_ranks_run_in_one_process() {
+    use ats::runtime::VDur;
+    let trace = ats::mpi::run(SimConfig::with_procs(4096), |p| {
+        let world = p.comm_world();
+        let n = world.size();
+        let me = p.rank();
+        // Staggered work, a ring token pass, and a world barrier: p2p
+        // matching, the rendezvous protocol and the collective slot all
+        // at full width.
+        p.do_work(VDur::from_micros(((me % 7) * 50) as u64));
+        let mut req = p.isend(&[me as u8], (me + 1) % n, 9, &world);
+        let (msg, status) = p.recv((me + n - 1) % n, 9, &world);
+        p.wait(&mut req);
+        assert_eq!(msg, vec![((me + n - 1) % n) as u8]);
+        assert_eq!(status.source, (me + n - 1) % n);
+        p.barrier(&world);
+    });
+    assert_eq!(trace.num_locations(), 4096);
+    assert!(check_wellformed(&trace).is_empty());
+}
+
 #[test]
 fn deep_communicator_nesting() {
     // Recursively halve the world 4 times: 16 -> 8 -> 4 -> 2, with a
