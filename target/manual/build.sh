@@ -1,0 +1,60 @@
+#!/bin/bash
+# Manual offline build driver: compiles the workspace with rustc against the
+# prebuilt stub-dependency rlibs in target/debug/deps (registry sources are
+# absent in this container). Mirrors `cargo build && cargo test -q`.
+set -u
+REPO=/root/repo
+DEPS=$REPO/target/debug/deps
+OUT=$REPO/target/manual
+mkdir -p "$OUT"
+
+# newest rlib for an external dep name
+dep() { ls -t "$DEPS"/lib$1-*.rlib 2>/dev/null | head -1; }
+EXT_serde=$(dep serde)
+EXT_serde_json=$(dep serde_json)
+EXT_parking_lot=$(dep parking_lot)
+EXT_crossbeam=$(dep crossbeam)
+EXT_bytes=$(dep bytes)
+EXT_proptest=$(dep proptest)
+EXT_criterion=$(dep criterion)
+
+RUSTC=${RUSTC:-rustc}
+MODE=${MODE:-debug}   # debug | release
+FLAGS="--edition 2021 -L dependency=$DEPS -L dependency=$OUT"
+if [ "$MODE" = release ]; then FLAGS="$FLAGS -O"; fi
+EXTRA=${EXTRA:-}
+
+# build_lib <crate_name> <path> <externs...>
+build_lib() {
+  local name=$1 path=$2; shift 2
+  local ex=""
+  for e in "$@"; do ex="$ex --extern $e"; done
+  $RUSTC $FLAGS $EXTRA --crate-type rlib --crate-name "$name" "$path" \
+    -C metadata="$name" -o "$OUT/lib$name.rlib" $ex || return 1
+}
+
+# unit_test <crate_name> <path> <externs...>  (compile only; run separately)
+unit_test() {
+  local name=$1 path=$2; shift 2
+  local ex=""
+  for e in "$@"; do ex="$ex --extern $e"; done
+  $RUSTC $FLAGS $EXTRA --test --crate-name "${name}_unit" "$path" \
+    -C metadata="${name}_unit" -o "$OUT/${name}_unit" $ex || return 1
+}
+
+A() { echo "ats_runtime=$OUT/libats_runtime.rlib"; }
+
+set -e
+build_lib ats_runtime crates/runtime/src/lib.rs "serde=$EXT_serde" "parking_lot=$EXT_parking_lot"
+build_lib ats_obs crates/obs/src/lib.rs "serde=$EXT_serde" "serde_json=$EXT_serde_json" "parking_lot=$EXT_parking_lot"
+build_lib ats_trace crates/trace/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json" "parking_lot=$EXT_parking_lot" "bytes=$EXT_bytes"
+build_lib ats_mpi crates/mpisim/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "parking_lot=$EXT_parking_lot" "crossbeam=$EXT_crossbeam" "bytes=$EXT_bytes"
+build_lib ats_omp crates/ompsim/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_trace=$OUT/libats_trace.rlib" "parking_lot=$EXT_parking_lot" "crossbeam=$EXT_crossbeam"
+build_lib ats_core crates/core/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json" "bytes=$EXT_bytes"
+build_lib ats_analyzer crates/analyzer/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json"
+build_lib ats_harness crates/harness/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json" "parking_lot=$EXT_parking_lot" "crossbeam=$EXT_crossbeam"
+build_lib ats_fuzz crates/fuzz/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_harness=$OUT/libats_harness.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json"
+build_lib ats_apps crates/apps/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "serde=$EXT_serde"
+build_lib ats src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_harness=$OUT/libats_harness.rlib" "ats_fuzz=$OUT/libats_fuzz.rlib" "ats_apps=$OUT/libats_apps.rlib"
+build_lib ats_bench crates/bench/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_harness=$OUT/libats_harness.rlib" "ats_fuzz=$OUT/libats_fuzz.rlib" "ats_apps=$OUT/libats_apps.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json" "criterion=$EXT_criterion"
+echo "ALL LIBS OK ($MODE)"
