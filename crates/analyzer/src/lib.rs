@@ -32,6 +32,12 @@
 //! assert!(report.severity_of("LateSender") > 0.0);
 //! ```
 
+/// Version of the analysis semantics (pattern definitions, severity
+/// model, report layout). Any change that can alter a report for the same
+/// trace must bump this — cached analyzer outputs are keyed on it, so a
+/// bump invalidates every cached report without touching the store.
+pub const ANALYSIS_VERSION: u32 = 1;
+
 pub mod analyzer;
 pub mod asl;
 pub mod callpath;

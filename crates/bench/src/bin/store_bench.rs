@@ -1,0 +1,200 @@
+//! Store benchmark E-store: cold-vs-warm incremental campaign.
+//!
+//! Runs the same severity-sweep campaign (every positive catalog property
+//! with its severity knob, as in E-pos) twice against one artifact store:
+//! a *cold* pass on a fresh store executes and publishes every
+//! configuration, then a *warm* pass re-runs the identical campaign and
+//! must replay it from the store. The warm pass is the incremental
+//! engine's whole value proposition, so it is gated:
+//!
+//! * warm hit rate must reach `--min-hit-rate` (default 0.95 — in
+//!   practice 1.0: nothing changed);
+//! * every warm row must be byte-identical to its cold counterpart
+//!   (canonical-JSON comparison, the determinism guarantee);
+//! * the warm pass must publish zero new bytes.
+//!
+//! Emits `BENCH_store.json` (override with `ATS_BENCH_JSON`) with both
+//! phases' timing, hit/miss/byte counters and the warm speedup. The store
+//! lives in `--cache-dir` (default `artifacts/store-bench`) and is wiped
+//! at startup so the cold pass is honestly cold.
+//!
+//! Usage: `store_bench [nprocs] [jobs] [--cache-dir DIR]
+//!                     [--min-hit-rate R] [--metrics PATH] [--manifest]`
+
+use ats_bench::cli::CommonArgs;
+use ats_harness::cache::row_to_json;
+use ats_harness::experiment::Sweep;
+use ats_harness::Session;
+use ats_store::{CacheMode, Store};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Aggregated campaign counters for one pass over the catalog.
+#[derive(Debug, Default, Serialize)]
+struct PhaseDoc {
+    phase: &'static str,
+    properties: usize,
+    configs: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    cache_bytes_read: u64,
+    cache_bytes_written: u64,
+    wall_secs: f64,
+    configs_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct StoreBenchDoc {
+    experiment: &'static str,
+    nprocs: usize,
+    phases: Vec<PhaseDoc>,
+    store_entries: usize,
+    store_bytes: u64,
+    hit_rate: f64,
+    min_hit_rate: f64,
+    byte_identical: bool,
+    /// Cold wall over warm wall: how much faster the unchanged campaign
+    /// re-runs.
+    warm_speedup: f64,
+    gate_passed: bool,
+}
+
+/// One full campaign pass: every positive property, severity knob swept.
+/// Returns each row's canonical JSON (the byte-identity evidence) plus
+/// the aggregated counters.
+fn campaign(session: &Session, phase: &'static str) -> (Vec<String>, PhaseDoc) {
+    let knobs = [0.005, 0.01, 0.02];
+    let started = Instant::now();
+    let mut renders = Vec::new();
+    let mut doc = PhaseDoc {
+        phase,
+        ..PhaseDoc::default()
+    };
+    for spec in ats_core::CATALOG {
+        if spec.expected_property.is_none() {
+            continue;
+        }
+        let knob = spec
+            .params
+            .iter()
+            .find(|p| {
+                matches!(
+                    p.name,
+                    "extrawork"
+                        | "baseextrawork"
+                        | "singlework"
+                        | "masterwork"
+                        | "bodywork"
+                        | "delay"
+                        | "growth"
+                )
+            })
+            .map(|p| p.name);
+        let mut exp = session.experiment(spec.name);
+        if let Some(k) = knob {
+            exp = exp.sweep(Sweep::seconds(k, knobs));
+        }
+        let (rows, stats) = exp.run_with_stats().expect("runnable");
+        renders.extend(rows.iter().map(|r| row_to_json(r).render()));
+        doc.properties += 1;
+        doc.configs += stats.configs;
+        doc.cache_hits += stats.cache_hits;
+        doc.cache_misses += stats.cache_misses;
+        doc.cache_bytes_read += stats.cache_bytes_read;
+        doc.cache_bytes_written += stats.cache_bytes_written;
+    }
+    doc.wall_secs = started.elapsed().as_secs_f64();
+    doc.configs_per_sec = if doc.wall_secs > 0.0 {
+        doc.configs as f64 / doc.wall_secs
+    } else {
+        0.0
+    };
+    (renders, doc)
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let nprocs: usize = args.positional_or(0, 4);
+    let jobs: usize = args.positional_or(1, 0);
+    let min_hit_rate: f64 = args
+        .flag("min-hit-rate")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--min-hit-rate needs a number, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.95);
+    let dir = args.flag("cache-dir").unwrap_or("artifacts/store-bench");
+    // An honest cold pass starts from nothing.
+    let _ = std::fs::remove_dir_all(dir);
+    let session = |label: &str| {
+        println!("--- {label} pass ---");
+        args.session(
+            Session::builder()
+                .procs(nprocs)
+                .jobs(jobs)
+                .cache(CacheMode::ReadWrite)
+                .cache_dir(dir),
+        )
+    };
+    println!("=== E-store: cold-vs-warm incremental campaign ===\n");
+    let cold_session = session("cold");
+    let (cold_rows, cold) = campaign(&cold_session, "cold");
+    println!(
+        "cold: {} configs, {} misses, {} bytes published, {:.2}s",
+        cold.configs, cold.cache_misses, cold.cache_bytes_written, cold.wall_secs
+    );
+    let warm_session = session("warm");
+    let (warm_rows, warm) = campaign(&warm_session, "warm");
+    println!(
+        "warm: {} configs, {} hits, {} bytes replayed, {:.2}s",
+        warm.configs, warm.cache_hits, warm.cache_bytes_read, warm.wall_secs
+    );
+
+    let hit_rate = if warm.configs > 0 {
+        warm.cache_hits as f64 / warm.configs as f64
+    } else {
+        0.0
+    };
+    let byte_identical = cold_rows == warm_rows;
+    let warm_speedup = cold.wall_secs / warm.wall_secs.max(1e-9);
+    let store = Store::open(dir).expect("store reopens");
+    let stats = store.stats();
+    let gate_passed =
+        hit_rate >= min_hit_rate && byte_identical && warm.cache_bytes_written == 0;
+    let doc = StoreBenchDoc {
+        experiment: "E-store",
+        nprocs,
+        phases: vec![cold, warm],
+        store_entries: stats.entries,
+        store_bytes: stats.bytes,
+        hit_rate,
+        min_hit_rate,
+        byte_identical,
+        warm_speedup,
+        gate_passed,
+    };
+    let json_path =
+        std::env::var("ATS_BENCH_JSON").unwrap_or_else(|_| "BENCH_store.json".to_owned());
+    match std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&doc).expect("doc serializes"),
+    ) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\nwarning: could not write {json_path}: {e}"),
+    }
+    println!(
+        "\nstore: {} entries, {} bytes | warm hit rate {:.1}% (gate >= {:.1}%) | byte-identical: {byte_identical} | warm speedup {warm_speedup:.1}x",
+        doc.store_entries,
+        doc.store_bytes,
+        100.0 * hit_rate,
+        100.0 * min_hit_rate,
+    );
+    args.emit(&warm_session, "store_bench", &[]);
+    println!(
+        "\nincremental-campaign gate: {}",
+        if doc.gate_passed { "OK" } else { "REGRESSION" }
+    );
+    std::process::exit(if doc.gate_passed { 0 } else { 1 });
+}

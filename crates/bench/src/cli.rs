@@ -101,6 +101,24 @@ impl CommonArgs {
         })
     }
 
+    /// The `--cache {off,ro,rw}` flag: absent means no result caching; an
+    /// unknown value is a usage error.
+    pub fn cache_mode(&self) -> ats_store::CacheMode {
+        match self.flag("cache") {
+            None => ats_store::CacheMode::Off,
+            Some(v) => v.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// The `--cache-dir DIR` flag: where the artifact store lives
+    /// (default `artifacts/store`).
+    pub fn cache_dir(&self) -> &str {
+        self.flag("cache-dir").unwrap_or(ats_store::DEFAULT_DIR)
+    }
+
     /// The `--trace-dir DIR` flag.
     pub fn trace_dir(&self) -> Option<&str> {
         self.flag("trace-dir")
@@ -133,11 +151,23 @@ impl CommonArgs {
     }
 
     /// Finish `builder` into a [`Session`] with this command line's
-    /// observability configuration — and, when `--backend` is given, the
+    /// observability configuration, result-cache policy (`--cache`,
+    /// `--cache-dir`) — and, when `--backend` is given, the
     /// rank-execution backend — injected.
     pub fn session(&self, builder: SessionBuilder) -> Session {
         let builder = match self.backend() {
             Some(b) => builder.backend(b),
+            None => builder,
+        };
+        // Only apply cache flags that are actually present, so a binary
+        // may pre-configure caching (as `store_bench` does) without the
+        // absent `--cache` flag resetting it to off.
+        let builder = match self.flag("cache") {
+            Some(_) => builder.cache(self.cache_mode()),
+            None => builder,
+        };
+        let builder = match self.flag("cache-dir") {
+            Some(dir) => builder.cache_dir(dir),
             None => builder,
         };
         builder.obs(self.obs_config()).build()

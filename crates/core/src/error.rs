@@ -38,6 +38,9 @@ pub enum ErrorKind {
     Corpus,
     /// A fuzz campaign failed outside any single scenario.
     Campaign,
+    /// The content-addressed artifact store failed (I/O, index, or
+    /// integrity verification).
+    Store,
 }
 
 impl ErrorKind {
@@ -53,6 +56,7 @@ impl ErrorKind {
             ErrorKind::Oracle => "oracle",
             ErrorKind::Corpus => "corpus",
             ErrorKind::Campaign => "campaign",
+            ErrorKind::Store => "store",
         }
     }
 }
@@ -115,6 +119,11 @@ impl Error {
     /// A fuzz-campaign failure outside any single scenario.
     pub fn campaign(message: impl Into<String>) -> Self {
         Error::new(ErrorKind::Campaign, message)
+    }
+
+    /// An artifact-store failure (I/O, index, or integrity verification).
+    pub fn store(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Store, message)
     }
 
     /// The stable failure category.

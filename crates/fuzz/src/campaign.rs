@@ -38,6 +38,10 @@ pub struct FuzzConfig {
     pub shrink: bool,
     /// Persist minimized violating scenarios (spec + trace) here.
     pub corpus_dir: Option<PathBuf>,
+    /// Artifact store to additionally publish witnesses into (spec +
+    /// trace, content-addressed by the scenario's text form). `None` or a
+    /// read-only mode publishes nothing.
+    pub cache: Option<ats_store::Cache>,
 }
 
 impl Default for FuzzConfig {
@@ -51,6 +55,7 @@ impl Default for FuzzConfig {
             opts: RunOpts::default(),
             shrink: true,
             corpus_dir: None,
+            cache: None,
         }
     }
 }
@@ -70,6 +75,7 @@ impl FuzzConfig {
                 ..GenConfig::default()
             },
             opts,
+            cache: session.result_cache().cloned(),
             ..FuzzConfig::default()
         }
     }
@@ -137,6 +143,9 @@ pub struct Minimized {
     pub violations: Vec<Violation>,
     /// Where the spec was persisted (`None` if no corpus dir was set).
     pub persisted: Option<PathBuf>,
+    /// Store key the witness was published under (`None` without a
+    /// writable cache).
+    pub stored: Option<ats_store::CacheKey>,
 }
 
 /// Full campaign outcome.
@@ -226,17 +235,30 @@ pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignResult, Error> {
         } else {
             (sc, violations)
         };
-        let persisted = match &cfg.corpus_dir {
-            Some(dir) => {
-                let run = oracle::check(&min_sc, &cfg.oracle, &cfg.opts)?;
-                Some(corpus::persist(dir, &min_sc, &min_violations, &run.trace)?)
+        let store = cfg.cache.as_ref().filter(|c| c.mode.writes());
+        let trace = if cfg.corpus_dir.is_some() || store.is_some() {
+            Some(oracle::check(&min_sc, &cfg.oracle, &cfg.opts)?.trace)
+        } else {
+            None
+        };
+        let persisted = match (&cfg.corpus_dir, &trace) {
+            (Some(dir), Some(trace)) => {
+                Some(corpus::persist(dir, &min_sc, &min_violations, trace)?)
             }
-            None => None,
+            _ => None,
+        };
+        let stored = match (store, &trace) {
+            (Some(cache), Some(trace)) => {
+                corpus::persist_to_store(cache, &min_sc, &min_violations, trace)?;
+                Some(corpus::store_key(&min_sc))
+            }
+            _ => None,
         };
         minimized.push(Minimized {
             scenario: min_sc,
             violations: min_violations,
             persisted,
+            stored,
         });
     }
 

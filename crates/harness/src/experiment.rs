@@ -8,11 +8,13 @@
 //! them, analyzes every trace, and collects one [`ExperimentRow`] per
 //! configuration.
 
+use crate::cache::{self, row_from_json, row_to_json};
 use crate::params::{ParamValue, ParamValues};
 use crate::pool;
 use crate::registry::{run_single, spec_of, RunError, RunOpts};
 use ats_analyzer::{analyze, AnalyzerConfig};
 use ats_core::catalog::PropertySpec;
+use ats_store::{Cache, Json};
 use ats_trace::{PoolStats, TracePool};
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -101,6 +103,27 @@ pub struct ExperimentStats {
     /// Event-buffer pool counters for the sweep (reuse hits/misses and
     /// buffers recycled). Capacity reuse only — rows are unaffected.
     pub trace_pool: PoolStats,
+    /// Result-cache mode label (`"off"`, `"ro"`, `"rw"`).
+    pub cache_mode: &'static str,
+    /// Configurations replayed from the artifact store instead of
+    /// executed. Replayed rows are byte-identical to executed ones — the
+    /// determinism guarantee is what licenses the shortcut.
+    pub cache_hits: usize,
+    /// Configurations executed because no valid cache entry existed.
+    pub cache_misses: usize,
+    /// Artifact bytes loaded for replayed configurations.
+    pub cache_bytes_read: u64,
+    /// Artifact bytes published for newly executed configurations
+    /// (`rw` mode only).
+    pub cache_bytes_written: u64,
+}
+
+/// Per-configuration cache accounting, folded into [`ExperimentStats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheOutcome {
+    hit: bool,
+    bytes_read: u64,
+    bytes_written: u64,
 }
 
 /// A family of runs over one property.
@@ -117,6 +140,10 @@ pub struct Experiment {
     pub opts: RunOpts,
     /// Analyzer configuration.
     pub analyzer: AnalyzerConfig,
+    /// Result cache (`None` = no caching). In `ro`/`rw` modes each
+    /// configuration's key is computed *before* simulating; hits replay
+    /// the stored row, only misses execute (and, in `rw`, publish).
+    pub cache: Option<Cache>,
 }
 
 impl Experiment {
@@ -129,6 +156,7 @@ impl Experiment {
             procs_grid: Vec::new(),
             opts: RunOpts::default(),
             analyzer: AnalyzerConfig::default(),
+            cache: None,
         }
     }
 
@@ -153,6 +181,12 @@ impl Experiment {
     /// Builder: set the analyzer configuration.
     pub fn analyzer(mut self, analyzer: AnalyzerConfig) -> Self {
         self.analyzer = analyzer;
+        self
+    }
+
+    /// Builder: attach a result cache.
+    pub fn cache(mut self, cache: Cache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -214,8 +248,15 @@ impl Experiment {
         let wall_secs = started.elapsed().as_secs_f64();
         let mut rows = Vec::with_capacity(outcomes.len());
         let mut config_wall_secs = Vec::with_capacity(outcomes.len());
+        let mut cache_hits = 0usize;
+        let mut cache_bytes_read = 0u64;
+        let mut cache_bytes_written = 0u64;
         for (row, secs) in outcomes {
-            rows.push(row?);
+            let (row, outcome) = row?;
+            cache_hits += outcome.hit as usize;
+            cache_bytes_read += outcome.bytes_read;
+            cache_bytes_written += outcome.bytes_written;
+            rows.push(row);
             config_wall_secs.push(secs);
         }
         let stats = ExperimentStats {
@@ -233,21 +274,61 @@ impl Experiment {
             },
             config_wall_secs,
             trace_pool: trace_pool.stats(),
+            cache_mode: self
+                .cache
+                .as_ref()
+                .map_or("off", |c| c.mode.label()),
+            cache_hits,
+            cache_misses: rows.len() - cache_hits,
+            cache_bytes_read,
+            cache_bytes_written,
         };
         Ok((rows, stats))
     }
 
-    /// Run and score one configuration: run → trace → analyze → row.
+    /// Run and score one configuration: consult the cache, else
+    /// run → trace → analyze → row (→ publish).
     fn run_config(
         &self,
         spec: &'static PropertySpec,
         nprocs: usize,
         combo: &[(String, ParamValue)],
         trace_pool: &TracePool,
-    ) -> Result<ExperimentRow, RunError> {
+    ) -> Result<(ExperimentRow, CacheOutcome), RunError> {
         let mut params = ParamValues::defaults(spec);
         for (name, value) in combo {
             params.set(name, value.clone());
+        }
+        let params_cli = params.to_cli();
+        // The key is computed *before* simulating: a hit replays the
+        // stored row without paying for the run at all.
+        let key = self
+            .cache
+            .as_ref()
+            .map(|_| cache::config_key(&self.property, &params_cli, nprocs, &self.opts, &self.analyzer));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(entry) = cache
+                .lookup(key)
+                .map_err(|e| e.in_config(&self.property, &params_cli))?
+            {
+                // A verified entry missing or corrupting its row document
+                // degrades to a miss (re-execute; `rw` re-publishes).
+                let cached_row = entry
+                    .file(cache::ROW_FILE)
+                    .and_then(|bytes| std::str::from_utf8(bytes).ok())
+                    .and_then(|text| Json::parse(text).ok())
+                    .and_then(|doc| row_from_json(&doc).ok());
+                if let Some(row) = cached_row {
+                    return Ok((
+                        row,
+                        CacheOutcome {
+                            hit: true,
+                            bytes_read: entry.bytes,
+                            bytes_written: 0,
+                        },
+                    ));
+                }
+            }
         }
         let opts = self
             .opts
@@ -258,7 +339,7 @@ impl Experiment {
         // combo inside a pool-parallel sweep is identifiable from the
         // error alone.
         let trace = run_single(&self.property, &params, &opts)
-            .map_err(|e| e.in_config(&self.property, &params.to_cli()))?;
+            .map_err(|e| e.in_config(&self.property, &params_cli))?;
         let report = analyze(&trace, &self.analyzer);
         let total_alloc = trace.total_alloc_time().as_secs();
         let (detected_severity, localized, unexpected) = match spec.expected_property {
@@ -277,19 +358,55 @@ impl Experiment {
             None => (0.0, report.is_clean(), report.findings.len()),
         };
         let events = trace.num_events();
-        // The trace has been fully scored; donate its event buffers to the
-        // next configuration.
-        trace_pool.recycle(trace);
-        Ok(ExperimentRow {
+        let row = ExperimentRow {
             property: self.property.clone(),
-            params: params.to_cli(),
+            params: params_cli,
             nprocs,
             detected_severity,
             detected_wait_secs: detected_severity * total_alloc,
             localized,
             unexpected_findings: unexpected,
             events,
-        })
+        };
+        let mut bytes_written = 0;
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if cache.mode.writes() {
+                // Persist the full result set: the replayable row, the
+                // analyzer report (the byte-identity artifact) and the
+                // binary trace. Encoding costs are only paid in `rw` mode.
+                let row_bytes = row_to_json(&row).render();
+                let report_bytes = report.to_json();
+                let trace_bytes = ats_trace::binfmt::encode(&trace);
+                bytes_written = cache
+                    .publish(
+                        key,
+                        &cache::config_key_doc(
+                            &row.property,
+                            &row.params,
+                            nprocs,
+                            &self.opts,
+                            &self.analyzer,
+                        ),
+                        &[
+                            (cache::ROW_FILE, row_bytes.as_bytes()),
+                            (cache::REPORT_FILE, report_bytes.as_bytes()),
+                            (cache::TRACE_FILE, &trace_bytes),
+                        ],
+                    )
+                    .map_err(|e| e.in_config(&row.property, &row.params))?;
+            }
+        }
+        // The trace has been fully scored (and, in `rw` mode, persisted);
+        // donate its event buffers to the next configuration.
+        trace_pool.recycle(trace);
+        Ok((
+            row,
+            CacheOutcome {
+                hit: false,
+                bytes_read: 0,
+                bytes_written,
+            },
+        ))
     }
 }
 
@@ -533,6 +650,87 @@ mod tests {
             serde_json::to_string(&baseline).unwrap(),
             "pooling must not change any row"
         );
+    }
+
+    /// Cold `rw` sweep publishes every configuration; the warm re-run
+    /// replays all of them with byte-identical rows and writes nothing.
+    #[test]
+    fn warm_sweeps_replay_from_the_store() {
+        use ats_store::{Cache, CacheMode};
+        let dir = std::env::temp_dir().join(format!("ats-exp-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exp = |mode: CacheMode| {
+            Experiment::new("late_sender")
+                .sweep(Sweep::seconds("extrawork", [0.005, 0.01]))
+                .procs_grid([2, 4])
+                .opts(RunOpts::default().jobs(1))
+                .cache(Cache::open(&dir, mode).unwrap())
+        };
+        let (cold_rows, cold) = exp(CacheMode::ReadWrite).run_with_stats().unwrap();
+        assert_eq!(cold.cache_mode, "rw");
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 4));
+        assert!(cold.cache_bytes_written > 0, "cold rw publishes");
+        let (warm_rows, warm) = exp(CacheMode::ReadWrite).run_with_stats().unwrap();
+        assert_eq!((warm.cache_hits, warm.cache_misses), (4, 0));
+        assert!(warm.cache_bytes_read > 0);
+        assert_eq!(warm.cache_bytes_written, 0, "hits are never re-published");
+        let render = |rows: &[ExperimentRow]| -> Vec<String> {
+            rows.iter().map(|r| row_to_json(r).render()).collect()
+        };
+        assert_eq!(render(&cold_rows), render(&warm_rows), "replay is byte-identical");
+        // `ro` replays what `rw` left behind; `off` ignores the store.
+        let (_, ro) = exp(CacheMode::Read).run_with_stats().unwrap();
+        assert_eq!((ro.cache_mode, ro.cache_hits), ("ro", 4));
+        let (_, off) = exp(CacheMode::Off).run_with_stats().unwrap();
+        assert_eq!((off.cache_mode, off.cache_hits), ("off", 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Changing one sweep value invalidates only the combos that use it:
+    /// shared values still hit, new ones miss.
+    #[test]
+    fn single_parameter_change_invalidates_only_affected_combos() {
+        use ats_store::{Cache, CacheMode};
+        let dir = std::env::temp_dir().join(format!("ats-exp-inval-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exp = |extras: [f64; 2]| {
+            Experiment::new("late_sender")
+                .sweep(Sweep::seconds("extrawork", extras))
+                .opts(RunOpts::default().procs(2).jobs(1))
+                .cache(Cache::open(&dir, CacheMode::ReadWrite).unwrap())
+        };
+        let (_, cold) = exp([0.005, 0.01]).run_with_stats().unwrap();
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 2));
+        let (_, shifted) = exp([0.005, 0.02]).run_with_stats().unwrap();
+        assert_eq!(
+            (shifted.cache_hits, shifted.cache_misses),
+            (1, 1),
+            "the shared value hits, the changed one misses"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Scheduling knobs are not key ingredients: a warm run at a different
+    /// `jobs` count still replays everything.
+    #[test]
+    fn cache_hits_survive_jobs_changes() {
+        use ats_store::{Cache, CacheMode};
+        let dir = std::env::temp_dir().join(format!("ats-exp-jobs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exp = |jobs: usize| {
+            Experiment::new("late_sender")
+                .sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02]))
+                .opts(RunOpts::default().procs(2).jobs(jobs))
+                .cache(Cache::open(&dir, CacheMode::ReadWrite).unwrap())
+        };
+        let (cold_rows, _) = exp(1).run_with_stats().unwrap();
+        let (warm_rows, warm) = exp(4).run_with_stats().unwrap();
+        assert_eq!((warm.cache_hits, warm.cache_misses), (3, 0));
+        let render = |rows: &[ExperimentRow]| -> Vec<String> {
+            rows.iter().map(|r| row_to_json(r).render()).collect()
+        };
+        assert_eq!(render(&cold_rows), render(&warm_rows));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A pool shared across parallel workers keeps rows byte-identical —

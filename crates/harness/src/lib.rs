@@ -12,6 +12,10 @@
 //!   role in the paper's tooling sketch), executed concurrently on the
 //!   [`pool`] worker pool with an oversubscription guard and
 //!   deterministic (combo-ordered) results;
+//! * [`cache`]: the incremental half of the experiment engine — stable
+//!   cache keys over everything that determines a result (and nothing
+//!   that merely schedules it), so sweeps replay known configurations
+//!   from the [`ats_store`] artifact store and execute only new ones;
 //! * [`timeline`]: Vampir-style timeline rendering (text and SVG) used to
 //!   regenerate the paper's Figures 3.2–3.4;
 //! * [`validation`]: the semantics-preservation procedure from the
@@ -21,6 +25,7 @@
 //! * [`correctness`]: positive/negative correctness scoring of an
 //!   analyzer against the catalog's expectations.
 
+pub mod cache;
 pub mod correctness;
 pub mod experiment;
 pub mod generate;

@@ -27,7 +27,9 @@ use crate::params::ParamValues;
 use crate::registry::{run_single, RunError, RunOpts};
 use ats_analyzer::{analyze, AnalysisReport, AnalyzerConfig};
 use ats_obs::{build_manifest, prometheus, Handle, ObsConfig, RunManifest};
+use ats_store::{Cache, CacheMode, Store};
 use ats_trace::Trace;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Builder for a [`Session`]. Every knob the old three-struct surface
@@ -38,6 +40,8 @@ pub struct SessionBuilder {
     opts: RunOpts,
     analyzer: AnalyzerConfig,
     obs: ObsConfig,
+    cache_mode: CacheMode,
+    cache_dir: Option<PathBuf>,
 }
 
 impl SessionBuilder {
@@ -111,18 +115,52 @@ impl SessionBuilder {
         self
     }
 
+    /// Set the result-cache mode (default [`CacheMode::Off`]). In `ro`
+    /// and `rw` modes, experiments launched through the session replay
+    /// already-stored configurations from the artifact store; `rw`
+    /// additionally publishes newly executed ones.
+    pub fn cache(mut self, mode: CacheMode) -> Self {
+        self.cache_mode = mode;
+        self
+    }
+
+    /// Override the store root (default [`ats_store::DEFAULT_DIR`],
+    /// relative to the working directory). Only meaningful with a
+    /// non-`off` [`SessionBuilder::cache`] mode.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Materialize the session: resolve the observability handle once and
-    /// inject it into the run options and the analyzer config.
+    /// inject it into the run options, the analyzer config and the
+    /// result cache. Opening the store cannot fail the build: an
+    /// unopenable store root degrades to cache-off (campaigns must run
+    /// even when the cache directory is unavailable).
     pub fn build(self) -> Session {
         let handle = self.obs.handle();
         let mut opts = self.opts;
         let mut analyzer = self.analyzer;
         opts.obs = handle.clone();
         analyzer.obs = handle.clone();
+        let cache = if self.cache_mode == CacheMode::Off {
+            None
+        } else {
+            let root = self
+                .cache_dir
+                .unwrap_or_else(|| PathBuf::from(ats_store::DEFAULT_DIR));
+            Store::open(&root)
+                .ok()
+                .map(|store| Cache {
+                    store: store.with_obs(handle.clone()),
+                    mode: self.cache_mode,
+                })
+        };
         Session {
             opts,
             analyzer,
             handle,
+            cache,
             started: Instant::now(),
         }
     }
@@ -136,6 +174,7 @@ pub struct Session {
     opts: RunOpts,
     analyzer: AnalyzerConfig,
     handle: Option<Handle>,
+    cache: Option<Cache>,
     started: Instant,
 }
 
@@ -168,6 +207,12 @@ impl Session {
         self.handle.as_ref()
     }
 
+    /// The result cache experiments launched from this session consult
+    /// (`None` when caching is off or the store root was unopenable).
+    pub fn result_cache(&self) -> Option<&Cache> {
+        self.cache.as_ref()
+    }
+
     /// Execute the single-property test program `name` with `params`.
     pub fn run(&self, name: &str, params: &ParamValues) -> Result<Trace, RunError> {
         run_single(name, params, &self.opts)
@@ -190,11 +235,15 @@ impl Session {
     }
 
     /// An [`Experiment`] over `property` pre-seeded with this session's
-    /// run options and analyzer configuration.
+    /// run options, analyzer configuration and result cache.
     pub fn experiment(&self, property: &str) -> Experiment {
-        Experiment::new(property)
+        let exp = Experiment::new(property)
             .opts(self.opts.clone())
-            .analyzer(self.analyzer.clone())
+            .analyzer(self.analyzer.clone());
+        match &self.cache {
+            Some(c) => exp.cache(c.clone()),
+            None => exp,
+        }
     }
 
     /// The session's workload configuration as JSON for manifests:
@@ -331,6 +380,34 @@ mod tests {
         assert_eq!(cfg["backend"], "event");
         assert!(cfg.get("jobs").is_none());
         assert!(cfg.get("thread_budget").is_none());
+    }
+
+    #[test]
+    fn session_cache_wires_into_experiments() {
+        let dir = std::env::temp_dir().join(format!("ats-session-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = |mode: CacheMode| {
+            Session::builder()
+                .procs(2)
+                .cache(mode)
+                .cache_dir(&dir)
+                .build()
+        };
+        let off = Session::builder().procs(2).build();
+        assert!(off.result_cache().is_none(), "caching defaults to off");
+        let cold = session(CacheMode::ReadWrite);
+        assert_eq!(cold.result_cache().unwrap().mode, CacheMode::ReadWrite);
+        let (_, stats) = cold
+            .experiment("late_sender")
+            .run_with_stats()
+            .unwrap();
+        assert_eq!((stats.cache_mode, stats.cache_misses), ("rw", 1));
+        let (_, warm) = session(CacheMode::Read)
+            .experiment("late_sender")
+            .run_with_stats()
+            .unwrap();
+        assert_eq!((warm.cache_mode, warm.cache_hits), ("ro", 1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

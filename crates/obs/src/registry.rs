@@ -124,6 +124,25 @@ pub struct FuzzMetrics {
     pub scenario_time: Histogram,
 }
 
+/// `store`: the content-addressed artifact store. All store counters are
+/// runtime-classified — hits and misses depend on what previous runs left
+/// on disk, not on the workload alone.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    /// Lookups satisfied from the store (integrity-verified).
+    pub hits: Counter,
+    /// Lookups that found nothing usable.
+    pub misses: Counter,
+    /// Entries committed.
+    pub puts: Counter,
+    /// Entries rejected because size or checksum verification failed.
+    pub integrity_failures: Counter,
+    /// Artifact bytes read back on hits.
+    pub bytes_read: Counter,
+    /// Artifact bytes written on puts.
+    pub bytes_written: Counter,
+}
+
 /// All subsystem metric groups under one roof.
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -132,6 +151,7 @@ pub struct Registry {
     pub pool: PoolMetrics,
     pub analyzer: AnalyzerMetrics,
     pub fuzz: FuzzMetrics,
+    pub store: StoreMetrics,
 }
 
 /// An enumerated counter: name, help, deterministic flag, current value.
@@ -316,6 +336,42 @@ impl Registry {
                 "Shrink re-runs",
                 true,
                 &self.fuzz.shrink_iterations,
+            ),
+            c(
+                "ats_store_hits_total",
+                "Artifact-store verified hits",
+                false,
+                &self.store.hits,
+            ),
+            c(
+                "ats_store_misses_total",
+                "Artifact-store misses",
+                false,
+                &self.store.misses,
+            ),
+            c(
+                "ats_store_puts_total",
+                "Artifact-store entries committed",
+                false,
+                &self.store.puts,
+            ),
+            c(
+                "ats_store_integrity_failures_total",
+                "Artifact-store checksum rejections",
+                false,
+                &self.store.integrity_failures,
+            ),
+            c(
+                "ats_store_bytes_read_total",
+                "Artifact bytes replayed from the store",
+                false,
+                &self.store.bytes_read,
+            ),
+            c(
+                "ats_store_bytes_written_total",
+                "Artifact bytes persisted to the store",
+                false,
+                &self.store.bytes_written,
             ),
         ]
     }
@@ -511,6 +567,7 @@ mod tests {
             "ats_pool_",
             "ats_analyzer_",
             "ats_fuzz_",
+            "ats_store_",
         ] {
             assert!(
                 names.iter().any(|n| n.starts_with(prefix)),

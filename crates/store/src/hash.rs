@@ -1,0 +1,134 @@
+//! Stable, seedable 64-bit hashing (the XXH64 algorithm).
+//!
+//! Cache keys must be reproducible across processes, platforms and
+//! compiler releases — `std::hash::DefaultHasher` explicitly is not — so
+//! the store carries its own implementation of XXH64, a public,
+//! frozen-by-specification algorithm. Two lanes with different seeds give
+//! the store a 128-bit key: collisions would silently alias two distinct
+//! configurations onto one cache slot, so the key space is sized to make
+//! that astronomically unlikely rather than merely rare.
+
+const PRIME64_1: u64 = 0x9E3779B185EBCA87;
+const PRIME64_2: u64 = 0xC2B2AE3D27D4EB4F;
+const PRIME64_3: u64 = 0x165667B19E3779F9;
+const PRIME64_4: u64 = 0x85EBCA77C2B2AE63;
+const PRIME64_5: u64 = 0x27D4EB2F165667C5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME64_1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME64_1)
+        .wrapping_add(PRIME64_4)
+}
+
+#[inline]
+fn read_u64(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn read_u32(data: &[u8], at: usize) -> u64 {
+    u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes")) as u64
+}
+
+/// XXH64 of `data` under `seed`.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut h: u64;
+    let mut i = 0usize;
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+        let mut v2 = seed.wrapping_add(PRIME64_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME64_1);
+        while i + 32 <= len {
+            v1 = round(v1, read_u64(data, i));
+            v2 = round(v2, read_u64(data, i + 8));
+            v3 = round(v3, read_u64(data, i + 16));
+            v4 = round(v4, read_u64(data, i + 24));
+            i += 32;
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME64_5);
+    }
+    h = h.wrapping_add(len as u64);
+    while i + 8 <= len {
+        h = (h ^ round(0, read_u64(data, i)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
+        i += 8;
+    }
+    if i + 4 <= len {
+        h = (h ^ read_u32(data, i).wrapping_mul(PRIME64_1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
+        i += 4;
+    }
+    while i < len {
+        h = (h ^ (data[i] as u64).wrapping_mul(PRIME64_5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME64_1);
+        i += 1;
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME64_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME64_3);
+    h ^= h >> 32;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from the published XXH64 specification
+    /// (xxhash.com, `XSUM_XXH64` sanity checks).
+    #[test]
+    fn matches_published_test_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46DB3751D8E999);
+        assert_eq!(xxh64(b"", 1), 0xD5AFBA1336A3BE4B);
+        assert_eq!(xxh64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC2CF5AD770999);
+        assert_eq!(
+            xxh64(b"Nobody inspects the spammish repetition", 0),
+            0xFBCEA83C8A378BF1
+        );
+    }
+
+    #[test]
+    fn seed_and_content_both_matter() {
+        assert_ne!(xxh64(b"payload", 0), xxh64(b"payload", 1));
+        assert_ne!(xxh64(b"payload", 0), xxh64(b"payloae", 0));
+        assert_eq!(xxh64(b"payload", 7), xxh64(b"payload", 7));
+    }
+
+    #[test]
+    fn covers_every_length_class() {
+        // 0, tail-only, 4-byte lane, 8-byte lane, stripe, stripe+tail —
+        // each exercises a different branch of the finalizer.
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in [0, 1, 3, 4, 7, 8, 15, 31, 32, 33, 63, 64, 100, 256] {
+            assert!(seen.insert(xxh64(&data[..len], 0)), "collision at {len}");
+        }
+    }
+}

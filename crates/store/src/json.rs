@@ -1,0 +1,584 @@
+//! A small, self-contained JSON value — the store's canonical document
+//! representation.
+//!
+//! The store's on-disk documents (`entry.json`, `index.json`) and the
+//! key-ingredient documents that [`crate::CacheKey`] hashes must render
+//! *canonically*: the same content always produces the same bytes, on
+//! every platform, forever — a cache key is only as stable as its
+//! serializer. Rather than pin that guarantee on an external crate's
+//! formatting choices, the store owns a deliberately tiny JSON model:
+//!
+//! * objects are [`BTreeMap`]s, so members always render in sorted key
+//!   order regardless of insertion order;
+//! * integers ([`Json::Int`], an `i128` covering all of `i64` and `u64`)
+//!   render exactly, never through floating point;
+//! * floats render via Rust's shortest-round-trip `Display`, so
+//!   `parse(render(x)) == x` for every finite `f64`;
+//! * rendering is compact (no whitespace) for hashing, with a pretty
+//!   variant for the human-inspected manifests.
+//!
+//! The parser accepts standard JSON (objects, arrays, strings with
+//! escapes and surrogate pairs, numbers, booleans, null) and is the read
+//! path for store manifests — entries written by one process are
+//! re-verified by another without any serde machinery in between.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON document node. Construct with [`Json::obj`]/[`Json::arr`] and
+/// the `From` impls; render with [`Json::render`]; read back with
+/// [`Json::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, exact over the full `i64` ∪ `u64` range.
+    Int(i128),
+    /// A floating-point number (finite; NaN/∞ are unrepresentable in
+    /// JSON and render as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; `BTreeMap` keeps members canonically sorted.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v as i128)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v as i128)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(v as i128)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i128)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
+    /// An empty array.
+    pub fn arr() -> Json {
+        Json::Arr(Vec::new())
+    }
+
+    /// Builder-style member insertion; panics if `self` is not an object
+    /// (a construction bug, not a data condition).
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Insert or replace a member; panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        match self {
+            Json::Obj(map) => {
+                map.insert(key.to_owned(), value.into());
+            }
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+    }
+
+    /// Append an element; panics if `self` is not an array.
+    pub fn push(&mut self, value: impl Into<Json>) {
+        match self {
+            Json::Arr(items) => items.push(value.into()),
+            other => panic!("Json::push on non-array {other:?}"),
+        }
+    }
+
+    /// Member lookup on objects (`None` elsewhere).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload as `u64`, if this is a non-negative integer in
+    /// range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer payload as `i64`, if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(f) => Some(*f),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Canonical compact rendering: sorted object keys, no whitespace,
+    /// exact integers, shortest-round-trip floats. This is the byte
+    /// stream cache keys are hashed over.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Human-oriented rendering (two-space indent), same canonical member
+    /// order. Used for on-disk manifests.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => write_f64(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, items.len(), '[', ']', |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(map) => {
+                let members: Vec<(&String, &Json)> = map.iter().collect();
+                write_seq(out, indent, depth, members.len(), '{', '}', |out, i| {
+                    write_escaped(out, members[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    members[i].1.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+
+    /// Parse standard JSON text. Errors carry a byte offset and reason.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's Display is the shortest string that round-trips; force a
+    // decimal point so the value stays number-typed when re-read by
+    // strict tooling expecting a float.
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+    out.push(close);
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                map.insert(key, parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require the low half.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err("lone high surrogate".into());
+                            }
+                            let lo = parse_hex4(bytes, *pos + 3)?;
+                            *pos += 6;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("invalid low surrogate".into());
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid code point {code:#x}"))?,
+                        );
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => return Err("raw control character in string".into()),
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is &str, so boundaries
+                // are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let chunk = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| "truncated \\u escape".to_owned())?;
+    let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+    u32::from_str_radix(s, 16).map_err(|e| format!("bad \\u escape: {e}"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected number at byte {start}"));
+    }
+    if float {
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    } else {
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_canonical_and_sorted() {
+        let a = Json::obj()
+            .with("zulu", 1u64)
+            .with("alpha", "x")
+            .with("mid", Json::arr());
+        let b = Json::obj()
+            .with("mid", Json::arr())
+            .with("alpha", "x")
+            .with("zulu", 1u64);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.render(), r#"{"alpha":"x","mid":[],"zulu":1}"#);
+    }
+
+    #[test]
+    fn numbers_render_exactly() {
+        assert_eq!(Json::from(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::from(-42i64).render(), "-42");
+        assert_eq!(Json::from(0.005f64).render(), "0.005");
+        assert_eq!(Json::from(1.0f64).render(), "1.0");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.005, 1.0 / 3.0, 1e-12, 123456.789e300, -0.0, 2.2250738585072014e-308] {
+            let rendered = Json::from(f).render();
+            let back = Json::parse(&rendered).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), f.to_bits(), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = "quote\" slash\\ newline\n tab\t nul\u{0} émoji🙂";
+        let rendered = Json::from(s).render();
+        assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some(s));
+        // Surrogate-pair escapes parse to the astral character.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude42""#).unwrap().as_str(),
+            Some("🙂")
+        );
+    }
+
+    #[test]
+    fn documents_round_trip_via_parse() {
+        let doc = Json::obj()
+            .with("schema", "test/1")
+            .with("count", 3u64)
+            .with("ratio", 0.25f64)
+            .with("flags", vec![true, false])
+            .with("inner", Json::obj().with("deep", Json::Null));
+        for text in [doc.render(), doc.render_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), doc, "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "\"unterminated", "01x", "nul", "{\"a\":1}]",
+            "\"\\ud800\"", "-",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn accessors_read_expected_payloads() {
+        let doc = Json::parse(r#"{"n": 7, "s": "x", "f": 1.5, "b": true, "a": [1], "big": 18446744073709551615}"#)
+            .unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("n").and_then(Json::as_i64), Some(7));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("f").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(doc.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert_eq!(doc.get("big").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(doc.get("big").and_then(Json::as_i64), None);
+        assert_eq!(doc.get("missing"), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Cache modes: how a campaign is allowed to touch the store.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// What a caching-aware engine may do with the store. The command-line
+/// spelling (`--cache {off,ro,rw}`) parses into this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Never touch the store: every configuration executes.
+    #[default]
+    Off,
+    /// Replay hits, execute misses, never write (`ro`): safe against a
+    /// read-only artifact volume, and the mode CI uses to prove a store
+    /// is complete.
+    Read,
+    /// Replay hits, execute misses, persist what was executed (`rw`).
+    ReadWrite,
+}
+
+impl CacheMode {
+    /// May the engine consult the store before executing?
+    pub fn reads(self) -> bool {
+        self != CacheMode::Off
+    }
+
+    /// May the engine persist freshly-executed results?
+    pub fn writes(self) -> bool {
+        self == CacheMode::ReadWrite
+    }
+
+    /// The stable command-line spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheMode::Off => "off",
+            CacheMode::Read => "ro",
+            CacheMode::ReadWrite => "rw",
+        }
+    }
+}
+
+impl fmt::Display for CacheMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for CacheMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(CacheMode::Off),
+            "ro" => Ok(CacheMode::Read),
+            "rw" => Ok(CacheMode::ReadWrite),
+            other => Err(format!(
+                "unknown cache mode `{other}` (expected off, ro or rw)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        for mode in [CacheMode::Off, CacheMode::Read, CacheMode::ReadWrite] {
+            assert_eq!(mode.label().parse::<CacheMode>().unwrap(), mode);
+        }
+        assert!("on".parse::<CacheMode>().is_err());
+    }
+
+    #[test]
+    fn permissions_follow_the_mode() {
+        assert!(!CacheMode::Off.reads() && !CacheMode::Off.writes());
+        assert!(CacheMode::Read.reads() && !CacheMode::Read.writes());
+        assert!(CacheMode::ReadWrite.reads() && CacheMode::ReadWrite.writes());
+    }
+}

@@ -1,0 +1,624 @@
+//! The on-disk content-addressed store.
+//!
+//! Layout under the store root (by convention `artifacts/store/`):
+//!
+//! ```text
+//! <root>/
+//!   index.json                      # acceleration + stats (rebuildable)
+//!   objects/<kk>/<key-hex>/         # kk = first hex byte of the key
+//!     report.json  trace.atsb  …    # the entry's artifacts
+//!     entry.json                    # manifest: ingredients + checksums
+//! ```
+//!
+//! Commit protocol: artifacts are written first (each atomically, temp +
+//! rename), `entry.json` last. An entry *exists* iff its `entry.json`
+//! does, so a reader can never observe a half-written entry: either the
+//! manifest is absent (miss) or it names only fully-renamed files.
+//!
+//! Integrity: `entry.json` records the size and 128-bit checksum of every
+//! artifact; [`Store::get`] re-hashes what it reads and treats any
+//! mismatch as a miss (counted in the observability registry), never as
+//! silently-trusted data. The index is an acceleration structure only —
+//! lookups go straight to the object tree, so a stale or deleted
+//! `index.json` can cost statistics but never correctness.
+
+use crate::atomic::{write_atomic, write_atomic_json};
+use crate::json::Json;
+use crate::key::CacheKey;
+use ats_core::Error;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Schema tag of `entry.json` documents.
+const ENTRY_SCHEMA: &str = "ats-store-entry/1";
+/// Schema tag of `index.json`.
+const INDEX_SCHEMA: &str = "ats-store-index/1";
+
+/// Size and checksum of one stored artifact, as recorded in `entry.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Artifact size in bytes.
+    pub bytes: u64,
+    /// 128-bit content checksum ([`CacheKey::of_bytes`] of the artifact).
+    pub checksum: String,
+}
+
+/// The per-entry manifest (`entry.json`): what the entry caches and how
+/// to verify it.
+#[derive(Debug, Clone)]
+pub struct EntryDoc {
+    /// The entry's cache key (hex).
+    pub key: String,
+    /// The full key-ingredients document the key was derived from, kept
+    /// verbatim so an entry is self-describing (and collisions, however
+    /// unlikely, are detectable).
+    pub ingredients: Json,
+    /// Artifact name → size + checksum.
+    pub files: BTreeMap<String, FileMeta>,
+}
+
+impl EntryDoc {
+    fn to_json(&self) -> Json {
+        let mut files = Json::obj();
+        for (name, meta) in &self.files {
+            files.set(
+                name,
+                Json::obj()
+                    .with("bytes", meta.bytes)
+                    .with("checksum", meta.checksum.as_str()),
+            );
+        }
+        Json::obj()
+            .with("schema", ENTRY_SCHEMA)
+            .with("key", self.key.as_str())
+            .with("ingredients", self.ingredients.clone())
+            .with("files", files)
+    }
+
+    fn from_text(text: &str) -> Result<EntryDoc, String> {
+        let doc = Json::parse(text)?;
+        if doc.get("schema").and_then(Json::as_str) != Some(ENTRY_SCHEMA) {
+            return Err("unrecognized entry schema".into());
+        }
+        let key = doc
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or("missing key")?
+            .to_owned();
+        let ingredients = doc.get("ingredients").cloned().unwrap_or(Json::Null);
+        let mut files = BTreeMap::new();
+        for (name, meta) in doc.get("files").and_then(Json::as_obj).ok_or("missing files")? {
+            files.insert(
+                name.clone(),
+                FileMeta {
+                    bytes: meta.get("bytes").and_then(Json::as_u64).ok_or("missing bytes")?,
+                    checksum: meta
+                        .get("checksum")
+                        .and_then(Json::as_str)
+                        .ok_or("missing checksum")?
+                        .to_owned(),
+                },
+            );
+        }
+        Ok(EntryDoc {
+            key,
+            ingredients,
+            files,
+        })
+    }
+}
+
+/// One verified, fully-loaded store entry.
+#[derive(Debug, Clone)]
+pub struct StoredEntry {
+    /// The entry's key.
+    pub key: CacheKey,
+    /// The ingredients document recorded at put time.
+    pub ingredients: Json,
+    /// Artifact name → verified content.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Total artifact bytes loaded.
+    pub bytes: u64,
+}
+
+impl StoredEntry {
+    /// The named artifact's bytes, if present.
+    pub fn file(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(|v| v.as_slice())
+    }
+}
+
+/// Aggregate store statistics (from the index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of committed entries.
+    pub entries: usize,
+    /// Total artifact bytes across all entries.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    bytes: u64,
+    files: Vec<String>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Index {
+    entries: BTreeMap<String, IndexEntry>,
+}
+
+impl Index {
+    fn to_json(&self) -> Json {
+        let mut entries = Json::obj();
+        for (key, e) in &self.entries {
+            entries.set(
+                key,
+                Json::obj()
+                    .with("bytes", e.bytes)
+                    .with("files", e.files.iter().map(|f| Json::from(f.as_str())).collect::<Vec<_>>()),
+            );
+        }
+        Json::obj()
+            .with("schema", INDEX_SCHEMA)
+            .with("entries", entries)
+    }
+
+    fn from_text(text: &str) -> Result<Index, String> {
+        let doc = Json::parse(text)?;
+        if doc.get("schema").and_then(Json::as_str) != Some(INDEX_SCHEMA) {
+            return Err("unrecognized index schema".into());
+        }
+        let mut index = Index::default();
+        for (key, e) in doc.get("entries").and_then(Json::as_obj).ok_or("missing entries")? {
+            let files = e
+                .get("files")
+                .and_then(Json::as_arr)
+                .ok_or("missing files")?
+                .iter()
+                .filter_map(|f| f.as_str().map(str::to_owned))
+                .collect();
+            index.entries.insert(
+                key.clone(),
+                IndexEntry {
+                    bytes: e.get("bytes").and_then(Json::as_u64).ok_or("missing bytes")?,
+                    files,
+                },
+            );
+        }
+        Ok(index)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    root: PathBuf,
+    index: Mutex<Index>,
+}
+
+/// A handle to one on-disk store. Cloning shares the same root and
+/// in-process index; all methods are safe to call from pool workers
+/// concurrently.
+#[derive(Debug, Clone)]
+pub struct Store {
+    inner: Arc<Inner>,
+    obs: Option<ats_obs::Handle>,
+}
+
+impl Store {
+    /// Open (creating if needed) the store rooted at `root`. An existing
+    /// `index.json` is loaded; if it is missing or unreadable but
+    /// committed objects exist (say, after a crash between commit and
+    /// index update), the index is rebuilt by scanning the object tree.
+    pub fn open(root: impl AsRef<Path>) -> Result<Store, Error> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("objects"))
+            .map_err(|e| Error::store(format!("create {}: {e}", root.display())))?;
+        let index_path = root.join("index.json");
+        let index = match fs::read_to_string(&index_path) {
+            Ok(text) => match Index::from_text(&text) {
+                Ok(index) => index,
+                // A torn or stale index is repairable, not fatal.
+                Err(_) => rebuild_index(&root)?,
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => rebuild_index(&root)?,
+            Err(e) => return Err(Error::store(format!("read {}: {e}", index_path.display()))),
+        };
+        Ok(Store {
+            inner: Arc::new(Inner {
+                root,
+                index: Mutex::new(index),
+            }),
+            obs: None,
+        })
+    }
+
+    /// This store, recording hit/miss/byte counters into `obs` (`None`
+    /// detaches). The underlying root and index stay shared.
+    pub fn with_obs(mut self, obs: Option<ats_obs::Handle>) -> Store {
+        self.obs = obs;
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.inner.root
+    }
+
+    fn entry_dir(&self, key: &CacheKey) -> PathBuf {
+        self.inner
+            .root
+            .join("objects")
+            .join(key.shard())
+            .join(key.hex())
+    }
+
+    /// Is an entry committed under `key`? (Manifest presence only — no
+    /// integrity verification; use [`Store::get`] before trusting it.)
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entry_dir(key).join("entry.json").is_file()
+    }
+
+    /// Load and verify the entry under `key`. `Ok(None)` means *miss*:
+    /// absent, or present but failing size/checksum verification (the
+    /// latter is counted as an integrity failure in the observability
+    /// registry — a caching engine re-executes and, in `rw` mode,
+    /// overwrites the damaged entry).
+    pub fn get(&self, key: &CacheKey) -> Result<Option<StoredEntry>, Error> {
+        let dir = self.entry_dir(key);
+        let doc_text = match fs::read_to_string(dir.join("entry.json")) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if let Some(obs) = &self.obs {
+                    obs.store.misses.inc();
+                }
+                return Ok(None);
+            }
+            Err(e) => return Err(Error::store(format!("read {}: {e}", dir.display()))),
+        };
+        let doc = match EntryDoc::from_text(&doc_text) {
+            Ok(d) => d,
+            Err(_) => return Ok(self.integrity_failure()),
+        };
+        if doc.key != key.hex() {
+            return Ok(self.integrity_failure());
+        }
+        let mut files = BTreeMap::new();
+        let mut bytes = 0u64;
+        for (name, meta) in &doc.files {
+            let content = match fs::read(dir.join(name)) {
+                Ok(c) => c,
+                Err(_) => return Ok(self.integrity_failure()),
+            };
+            if content.len() as u64 != meta.bytes
+                || CacheKey::of_bytes(&content).hex() != meta.checksum
+            {
+                return Ok(self.integrity_failure());
+            }
+            bytes += content.len() as u64;
+            files.insert(name.clone(), content);
+        }
+        if let Some(obs) = &self.obs {
+            obs.store.hits.inc();
+            obs.store.bytes_read.add(bytes);
+        }
+        Ok(Some(StoredEntry {
+            key: *key,
+            ingredients: doc.ingredients,
+            files,
+            bytes,
+        }))
+    }
+
+    fn integrity_failure(&self) -> Option<StoredEntry> {
+        if let Some(obs) = &self.obs {
+            obs.store.integrity_failures.inc();
+            obs.store.misses.inc();
+        }
+        None
+    }
+
+    /// Commit `files` under `key`. Artifacts are written atomically, the
+    /// `entry.json` manifest last (the commit point), then the index is
+    /// updated. Re-putting an existing key replaces it. Returns total
+    /// artifact bytes written.
+    pub fn put(
+        &self,
+        key: &CacheKey,
+        ingredients: &Json,
+        files: &[(&str, &[u8])],
+    ) -> Result<u64, Error> {
+        let dir = self.entry_dir(key);
+        let mut metas = BTreeMap::new();
+        let mut total = 0u64;
+        for (name, content) in files {
+            if name.is_empty() || name.contains(['/', '\\']) || *name == "entry.json" {
+                return Err(Error::store(format!("invalid artifact name `{name}`")));
+            }
+            write_atomic(&dir.join(name), content)?;
+            metas.insert(
+                (*name).to_owned(),
+                FileMeta {
+                    bytes: content.len() as u64,
+                    checksum: CacheKey::of_bytes(content).hex(),
+                },
+            );
+            total += content.len() as u64;
+        }
+        let doc = EntryDoc {
+            key: key.hex(),
+            ingredients: ingredients.clone(),
+            files: metas,
+        };
+        write_atomic_json(&dir.join("entry.json"), &doc.to_json())?;
+        {
+            let mut index = self.inner.index.lock().expect("index lock");
+            index.entries.insert(
+                key.hex(),
+                IndexEntry {
+                    bytes: total,
+                    files: doc.files.keys().cloned().collect(),
+                },
+            );
+            write_atomic_json(&self.inner.root.join("index.json"), &index.to_json())?;
+        }
+        if let Some(obs) = &self.obs {
+            obs.store.puts.inc();
+            obs.store.bytes_written.add(total);
+        }
+        Ok(total)
+    }
+
+    /// Remove the entry under `key` (from disk and index). Returns
+    /// whether anything was removed.
+    pub fn remove(&self, key: &CacheKey) -> Result<bool, Error> {
+        let dir = self.entry_dir(key);
+        let existed = dir.is_dir();
+        if existed {
+            fs::remove_dir_all(&dir)
+                .map_err(|e| Error::store(format!("remove {}: {e}", dir.display())))?;
+        }
+        let mut index = self.inner.index.lock().expect("index lock");
+        if index.entries.remove(&key.hex()).is_some() || existed {
+            write_atomic_json(&self.inner.root.join("index.json"), &index.to_json())?;
+        }
+        Ok(existed)
+    }
+
+    /// Committed entry count (from the index).
+    pub fn len(&self) -> usize {
+        self.inner.index.lock().expect("index lock").entries.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All committed keys, sorted (from the index).
+    pub fn keys(&self) -> Vec<CacheKey> {
+        self.inner
+            .index
+            .lock()
+            .expect("index lock")
+            .entries
+            .keys()
+            .filter_map(|k| CacheKey::from_hex(k))
+            .collect()
+    }
+
+    /// Aggregate statistics (from the index).
+    pub fn stats(&self) -> StoreStats {
+        let index = self.inner.index.lock().expect("index lock");
+        StoreStats {
+            entries: index.entries.len(),
+            bytes: index.entries.values().map(|e| e.bytes).sum(),
+        }
+    }
+
+    /// Re-scan the object tree and rewrite the index from what is
+    /// actually committed — the repair path for a crashed writer or an
+    /// externally-modified store.
+    pub fn rebuild_index(&self) -> Result<StoreStats, Error> {
+        let rebuilt = rebuild_index(&self.inner.root)?;
+        let stats = StoreStats {
+            entries: rebuilt.entries.len(),
+            bytes: rebuilt.entries.values().map(|e| e.bytes).sum(),
+        };
+        let mut index = self.inner.index.lock().expect("index lock");
+        *index = rebuilt;
+        write_atomic_json(&self.inner.root.join("index.json"), &index.to_json())?;
+        Ok(stats)
+    }
+}
+
+/// Scan `objects/` for committed entries (those with a parseable
+/// `entry.json`) and build a fresh index.
+fn rebuild_index(root: &Path) -> Result<Index, Error> {
+    let mut index = Index::default();
+    let objects = root.join("objects");
+    let shards = match fs::read_dir(&objects) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(index),
+        Err(e) => return Err(Error::store(format!("read {}: {e}", objects.display()))),
+    };
+    for shard in shards.filter_map(|e| e.ok()) {
+        let Ok(entries) = fs::read_dir(shard.path()) else {
+            continue;
+        };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let Ok(text) = fs::read_to_string(entry.path().join("entry.json")) else {
+                continue;
+            };
+            let Ok(doc) = EntryDoc::from_text(&text) else {
+                continue;
+            };
+            index.entries.insert(
+                doc.key.clone(),
+                IndexEntry {
+                    bytes: doc.files.values().map(|m| m.bytes).sum(),
+                    files: doc.files.keys().cloned().collect(),
+                },
+            );
+        }
+    }
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> (PathBuf, Store) {
+        let dir = std::env::temp_dir().join(format!("ats-store-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn ingredients(n: u64) -> Json {
+        Json::obj().with("schema", "test").with("n", n)
+    }
+
+    #[test]
+    fn put_get_round_trip_with_integrity() {
+        let (dir, store) = tmp_store("roundtrip");
+        let key = CacheKey::of_value(&ingredients(1));
+        assert!(store.get(&key).unwrap().is_none());
+        assert!(!store.contains(&key));
+
+        let written = store
+            .put(
+                &key,
+                &ingredients(1),
+                &[("report.json", b"{}".as_slice()), ("trace.atsb", b"ATSB\x01")],
+            )
+            .unwrap();
+        assert_eq!(written, 2 + 5);
+        assert!(store.contains(&key));
+
+        let entry = store.get(&key).unwrap().expect("hit");
+        assert_eq!(entry.file("report.json"), Some(b"{}".as_slice()));
+        assert_eq!(entry.file("trace.atsb"), Some(b"ATSB\x01".as_slice()));
+        assert_eq!(entry.bytes, 7);
+        assert_eq!(entry.ingredients, ingredients(1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats(), StoreStats { entries: 1, bytes: 7 });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_artifacts_are_misses_not_data() {
+        let (dir, store) = tmp_store("corrupt");
+        let obs = ats_obs::Handle::new();
+        let store = store.with_obs(Some(obs.clone()));
+        let key = CacheKey::of_value(&ingredients(2));
+        store
+            .put(&key, &ingredients(2), &[("report.json", b"payload")])
+            .unwrap();
+        // Flip a byte on disk.
+        let path = dir
+            .join("objects")
+            .join(key.shard())
+            .join(key.hex())
+            .join("report.json");
+        fs::write(&path, b"pAyload").unwrap();
+        assert!(store.get(&key).unwrap().is_none(), "corruption must miss");
+        assert_eq!(obs.store.integrity_failures.get(), 1);
+        // Truncation misses too.
+        fs::write(&path, b"pay").unwrap();
+        assert!(store.get(&key).unwrap().is_none());
+        assert_eq!(obs.store.integrity_failures.get(), 2);
+        // A fresh put repairs the entry.
+        store
+            .put(&key, &ingredients(2), &[("report.json", b"payload")])
+            .unwrap();
+        assert!(store.get(&key).unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_and_rebuilding_preserve_entries() {
+        let (dir, store) = tmp_store("reopen");
+        let keys: Vec<CacheKey> = (0..4)
+            .map(|n| {
+                let key = CacheKey::of_value(&ingredients(n));
+                store
+                    .put(&key, &ingredients(n), &[("row.json", format!("{n}").as_bytes())])
+                    .unwrap();
+                key
+            })
+            .collect();
+        drop(store);
+
+        // Reopen with the index present.
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 4);
+        // Delete the index: open() rebuilds from the object tree.
+        fs::remove_file(dir.join("index.json")).unwrap();
+        let rebuilt = Store::open(&dir).unwrap();
+        assert_eq!(rebuilt.len(), 4);
+        let mut expected: Vec<CacheKey> = keys.clone();
+        expected.sort();
+        assert_eq!(rebuilt.keys(), expected);
+        for key in &keys {
+            assert!(rebuilt.get(key).unwrap().is_some());
+        }
+        // A torn index is repaired on open, not fatal.
+        fs::write(dir.join("index.json"), b"{\"schema\": \"ats-st").unwrap();
+        assert_eq!(Store::open(&dir).unwrap().len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_entry_and_index_row() {
+        let (dir, store) = tmp_store("remove");
+        let key = CacheKey::of_value(&ingredients(9));
+        store
+            .put(&key, &ingredients(9), &[("row.json", b"x")])
+            .unwrap();
+        assert!(store.remove(&key).unwrap());
+        assert!(!store.contains(&key));
+        assert!(store.get(&key).unwrap().is_none());
+        assert_eq!(store.len(), 0);
+        assert!(!store.remove(&key).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_artifact_names_are_rejected() {
+        let (dir, store) = tmp_store("names");
+        let key = CacheKey::of_bytes(b"k");
+        for bad in ["", "a/b", "entry.json", "..\\x"] {
+            assert!(
+                store.put(&key, &ingredients(0), &[(bad, b"x")]).is_err(),
+                "{bad:?} accepted"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets_stay_consistent() {
+        let (dir, store) = tmp_store("parallel");
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for n in 0..10u64 {
+                        let ing = Json::obj().with("t", t).with("n", n);
+                        let key = CacheKey::of_value(&ing);
+                        let body = format!("{t}:{n}");
+                        store.put(&key, &ing, &[("row.json", body.as_bytes())]).unwrap();
+                        let got = store.get(&key).unwrap().expect("own put visible");
+                        assert_eq!(got.file("row.json"), Some(body.as_bytes()));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 40);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -15,4 +15,5 @@ pub use ats_mpi as mpi;
 pub use ats_obs as obs;
 pub use ats_omp as omp;
 pub use ats_runtime as runtime;
+pub use ats_store as store;
 pub use ats_trace as trace;

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Offline test driver: compiles every crate's unit tests and the facade
+# integration tests against the rlibs produced by build.sh, then runs
+# them single-threaded. Known offline failures (the serde_json stub
+# returns empty/err for everything) are expected; compare against a
+# pristine checkout before blaming a change.
+set -u
+REPO=/root/repo
+cd "$REPO"
+DEPS=$REPO/target/debug/deps
+OUT=$REPO/target/manual
+dep() { ls -t "$DEPS"/lib$1-*.rlib 2>/dev/null | head -1; }
+
+R="rustc --edition 2021 -L dependency=$DEPS -L dependency=$OUT --test"
+X_runtime="--extern ats_runtime=$OUT/libats_runtime.rlib"
+X_obs="--extern ats_obs=$OUT/libats_obs.rlib"
+X_trace="--extern ats_trace=$OUT/libats_trace.rlib"
+X_mpi="--extern ats_mpi=$OUT/libats_mpi.rlib"
+X_omp="--extern ats_omp=$OUT/libats_omp.rlib"
+X_core="--extern ats_core=$OUT/libats_core.rlib"
+X_analyzer="--extern ats_analyzer=$OUT/libats_analyzer.rlib"
+X_store="--extern ats_store=$OUT/libats_store.rlib"
+X_harness="--extern ats_harness=$OUT/libats_harness.rlib"
+X_fuzz="--extern ats_fuzz=$OUT/libats_fuzz.rlib"
+X_apps="--extern ats_apps=$OUT/libats_apps.rlib"
+X_ats="--extern ats=$OUT/libats.rlib"
+X_serde="--extern serde=$(dep serde)"
+X_sj="--extern serde_json=$(dep serde_json)"
+X_pl="--extern parking_lot=$(dep parking_lot)"
+X_cb="--extern crossbeam=$(dep crossbeam)"
+X_bytes="--extern bytes=$(dep bytes)"
+X_pt="--extern proptest=$(dep proptest)"
+X_all="$X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_store $X_harness $X_fuzz $X_apps $X_serde $X_sj $X_pl $X_cb $X_bytes"
+
+PASS=0; FAIL=0; FAILED=""
+run() {
+  local out
+  out=$("$OUT/$1" --test-threads=1 2>&1 | grep "^test result:" | tail -1)
+  echo "$1: ${out:-NO RESULT}"
+  case "$out" in
+    *" 0 failed"*) PASS=$((PASS+1));;
+    *) FAIL=$((FAIL+1)); FAILED="$FAILED $1";;
+  esac
+}
+build() { # name srcfile externs...
+  local name=$1 src=$2; shift 2
+  $R --crate-name $name "$src" -C metadata=$name -o "$OUT/$name" "$@" 2>/dev/null \
+    || { echo "$name: COMPILE FAILED"; FAIL=$((FAIL+1)); FAILED="$FAILED $name"; return 1; }
+  run $name
+}
+
+build runtime_t crates/runtime/src/lib.rs $X_serde $X_sj $X_pl
+build obs_t crates/obs/src/lib.rs $X_serde $X_sj $X_pl
+build trace_t crates/trace/src/lib.rs $X_runtime $X_obs $X_serde $X_sj $X_pl $X_bytes
+build mpi_t crates/mpisim/src/lib.rs $X_runtime $X_obs $X_trace $X_pl $X_cb $X_bytes
+build omp_t crates/ompsim/src/lib.rs $X_runtime $X_trace $X_pl $X_cb
+build core_t crates/core/src/lib.rs $X_runtime $X_trace $X_mpi $X_omp $X_serde $X_sj $X_bytes
+build analyzer_t crates/analyzer/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_serde $X_sj
+build store_t crates/store/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_serde $X_sj
+build harness_t crates/harness/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_store $X_serde $X_sj $X_pl $X_cb
+build fuzz_t crates/fuzz/src/lib.rs $X_runtime $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_harness $X_store $X_serde $X_sj
+build apps_t crates/apps/src/lib.rs $X_runtime $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_serde
+build bench_t crates/bench/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_harness $X_store $X_fuzz $X_apps $X_serde $X_sj
+
+for it in determinism end_to_end fuzz_oracle obs_metrics parallel_engine \
+          scale_stress severity_accuracy trace_formats store_incremental; do
+  build ${it}_t tests/$it.rs $X_ats $X_all
+done
+# tests/proptests.rs needs the real proptest macros; the offline stub
+# rlib has no macro export, so the suite cannot compile here. Covered
+# by `cargo test` in CI.
+echo "proptests_t: SKIPPED (proptest stub rlib has no macros)"
+
+echo
+echo "suites passed: $PASS, suites with failures: $FAIL"
+[ -n "$FAILED" ] && echo "failing suites:$FAILED"
+exit 0
