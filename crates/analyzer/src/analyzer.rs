@@ -74,7 +74,23 @@ pub fn analyze(trace: &Trace, config: &AnalyzerConfig) -> AnalysisReport {
         m.events_ingested.add(trace.num_events() as u64);
     }
     let ex = timed(m.map(|m| &m.extract_time), || extract(trace));
-    let mut cube = SeverityCube::new(trace.total_alloc_time());
+    detect_and_report(ex, trace, trace.total_alloc_time(), config)
+}
+
+/// Run the pattern detectors over an [`Extract`] and build the ranked
+/// report. Shared by [`analyze`] and the streaming ingest path
+/// ([`crate::ingest::analyze_stream`]): given equal extracts and equal
+/// `total_alloc`, both produce byte-identical reports. `trace` only
+/// supplies the region and communicator tables (for call-path rendering
+/// and collective-root resolution), so a locationless shell trace works.
+pub(crate) fn detect_and_report(
+    ex: crate::extract::Extract,
+    trace: &Trace,
+    total_alloc: ats_runtime::VDur,
+    config: &AnalyzerConfig,
+) -> AnalysisReport {
+    let m = config.obs.as_ref().map(|o| &o.analyzer);
+    let mut cube = SeverityCube::new(total_alloc);
 
     let pairs = patterns::match_messages(&ex);
     cube.extend(timed(m.map(|m| &m.late_sender_time), || {

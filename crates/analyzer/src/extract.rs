@@ -3,7 +3,7 @@
 
 use crate::callpath::{PathId, PathTable};
 use ats_runtime::{VDur, VTime};
-use ats_trace::{CollOp, EventKind, LocationId, RegionId, Trace};
+use ats_trace::{CollOp, Event, EventKind, LocationId, RegionId, RegionMeta, Trace};
 use std::collections::HashMap;
 
 /// A completed send call.
@@ -151,74 +151,102 @@ pub struct Extract {
     pub paths: PathTable,
 }
 
-/// Scan the trace and build the [`Extract`].
-pub fn extract(trace: &Trace) -> Extract {
-    let mut ex = Extract::default();
-    // Pre-size the record vectors from a cheap tag-counting pass so the
-    // hot loop below never reallocates.
-    let (mut n_sends, mut n_recvs, mut n_collends) = (0usize, 0usize, 0usize);
-    for lt in &trace.locations {
-        for ev in &lt.events {
-            match ev.kind {
-                EventKind::Send { .. } => n_sends += 1,
-                EventKind::Recv { .. } => n_recvs += 1,
-                EventKind::CollEnd { .. } => n_collends += 1,
-                _ => {}
-            }
-        }
-    }
-    ex.sends.reserve(n_sends);
-    ex.recvs.reserve(n_recvs);
-    let n_locs = trace.num_locations().max(1);
-    let mut coll_groups: HashMap<(u32, u64, CollOp), CollInstance> =
-        HashMap::with_capacity(n_collends / n_locs + 1);
-
-    let r_init = trace.find_region("MPI_Init");
-    let r_fin = trace.find_region("MPI_Finalize");
-    // Critical sections and explicit locks share the visit shape; track
-    // both (construct region, body region) pairs.
-    let crit_pairs = [
-        (
-            trace.find_region("omp_critical"),
-            trace.find_region("omp_critical_body"),
-        ),
-        (
-            trace.find_region("omp_lock"),
-            trace.find_region("omp_lock_body"),
-        ),
-    ];
-    let is_crit = |r: ats_trace::RegionId| crit_pairs.iter().any(|(c, _)| *c == Some(r));
-    let is_crit_body = |r: ats_trace::RegionId| crit_pairs.iter().any(|(_, b)| *b == Some(r));
-
+/// Incremental extraction: feed one location's event stream at a time and
+/// collect the [`Extract`] at the end. Both analysis paths are built on
+/// this — [`extract`] drives it from a materialized [`Trace`], the
+/// streaming ingest drives it straight from decoded column blocks — so
+/// the two produce identical records (and, because locations arrive in
+/// the same sorted order, identical [`PathId`] interning).
+pub struct StreamExtractor {
+    ex: Extract,
+    coll_groups: HashMap<(u32, u64, CollOp), CollInstance>,
+    r_init: Option<RegionId>,
+    r_fin: Option<RegionId>,
+    /// (construct region, body region) pairs sharing the visit shape:
+    /// critical sections and explicit locks.
+    crit_pairs: [(Option<RegionId>, Option<RegionId>); 2],
+    /// Capacity hint for collective member vectors (= location count).
+    n_locs: usize,
+    // Per-location scratch, reused across `scan_events` calls.
+    stack: Vec<(RegionId, VTime)>,
     // Mirrors `stack`'s regions contiguously so call paths intern straight
     // from a slice — no per-event Vec allocation on this hot path.
-    let mut path_stack: Vec<RegionId> = Vec::new();
-    for lt in &trace.locations {
-        let loc = lt.location;
-        let mut stack: Vec<(RegionId, VTime)> = Vec::new();
-        path_stack.clear();
-        // Sends posted in a still-open frame, waiting for the frame's exit
-        // time: (depth of owning frame, partially-filled record).
-        let mut open_sends: Vec<(usize, SendRec)> = Vec::new();
-        // Receives completed in a still-open frame.
-        let mut open_recvs: Vec<(usize, RecvRec)> = Vec::new();
-        // Critical visits awaiting body entry/exit.
-        let mut open_criticals: Vec<(usize, CriticalVisit)> = Vec::new();
+    path_stack: Vec<RegionId>,
+    // Sends posted in a still-open frame, waiting for the frame's exit
+    // time: (depth of owning frame, partially-filled record).
+    open_sends: Vec<(usize, SendRec)>,
+    // Receives completed in a still-open frame.
+    open_recvs: Vec<(usize, RecvRec)>,
+    // Critical visits awaiting body entry/exit.
+    open_criticals: Vec<(usize, CriticalVisit)>,
+}
 
-        for ev in &lt.events {
+impl StreamExtractor {
+    /// Start an extraction over a trace whose region table is `regions`
+    /// and which holds (about) `n_locations` locations.
+    pub fn new(regions: &[RegionMeta], n_locations: usize) -> Self {
+        let find = |name: &str| {
+            regions
+                .iter()
+                .position(|m| m.name == name)
+                .map(|i| RegionId(i as u32))
+        };
+        StreamExtractor {
+            ex: Extract::default(),
+            coll_groups: HashMap::new(),
+            r_init: find("MPI_Init"),
+            r_fin: find("MPI_Finalize"),
+            crit_pairs: [
+                (find("omp_critical"), find("omp_critical_body")),
+                (find("omp_lock"), find("omp_lock_body")),
+            ],
+            n_locs: n_locations.max(1),
+            stack: Vec::new(),
+            path_stack: Vec::new(),
+            open_sends: Vec::new(),
+            open_recvs: Vec::new(),
+            open_criticals: Vec::new(),
+        }
+    }
+
+    /// Pre-size the record containers from known event-kind counts, so the
+    /// hot scan never reallocates.
+    pub fn reserve(&mut self, n_sends: usize, n_recvs: usize, n_collends: usize) {
+        self.ex.sends.reserve(n_sends);
+        self.ex.recvs.reserve(n_recvs);
+        self.coll_groups.reserve(n_collends / self.n_locs + 1);
+    }
+
+    /// Scan one location's events (in stream order). Locations must be fed
+    /// in ascending `LocationId` order for record and path-interning order
+    /// to match [`extract`] over the equivalent materialized trace.
+    pub fn scan_events(&mut self, loc: LocationId, events: impl IntoIterator<Item = Event>) {
+        let is_crit = |pairs: &[(Option<RegionId>, Option<RegionId>); 2], r: RegionId| {
+            pairs.iter().any(|(c, _)| *c == Some(r))
+        };
+        let is_crit_body = |pairs: &[(Option<RegionId>, Option<RegionId>); 2], r: RegionId| {
+            pairs.iter().any(|(_, b)| *b == Some(r))
+        };
+        self.stack.clear();
+        self.path_stack.clear();
+        self.open_sends.clear();
+        self.open_recvs.clear();
+        self.open_criticals.clear();
+
+        for ev in events {
             match ev.kind {
                 EventKind::Enter { region } => {
-                    stack.push((region, ev.time));
-                    path_stack.push(region);
-                    if is_crit_body(region) {
-                        if let Some((_, visit)) = open_criticals.last_mut() {
+                    self.stack.push((region, ev.time));
+                    self.path_stack.push(region);
+                    if is_crit_body(&self.crit_pairs, region) {
+                        if let Some((_, visit)) = self.open_criticals.last_mut() {
                             visit.acquired = ev.time;
                         }
                     }
-                    if is_crit(region) {
-                        let path = ex.paths.intern(&path_stack);
-                        open_criticals.push((
-                            stack.len(),
+                    if is_crit(&self.crit_pairs, region) {
+                        let path = self.ex.paths.intern(&self.path_stack);
+                        self.open_criticals.push((
+                            self.stack.len(),
                             CriticalVisit {
                                 loc,
                                 path,
@@ -230,36 +258,36 @@ pub fn extract(trace: &Trace) -> Extract {
                     }
                 }
                 EventKind::Exit { region } => {
-                    let depth = stack.len();
+                    let depth = self.stack.len();
                     // Intern before popping: the current path (ending at
                     // `region`) is exactly the setup-record path below.
-                    let exit_path = (r_init == Some(region) || r_fin == Some(region))
-                        .then(|| ex.paths.intern(&path_stack));
-                    let (top, entered) = stack.pop().expect("wellformed trace");
-                    path_stack.pop();
+                    let exit_path = (self.r_init == Some(region) || self.r_fin == Some(region))
+                        .then(|| self.ex.paths.intern(&self.path_stack));
+                    let (top, entered) = self.stack.pop().expect("wellformed trace");
+                    self.path_stack.pop();
                     debug_assert_eq!(top, region);
                     // Flush operations owned by this frame.
-                    while open_sends.last().is_some_and(|(d, _)| *d == depth) {
-                        let (_, mut s) = open_sends.pop().expect("just checked");
+                    while self.open_sends.last().is_some_and(|(d, _)| *d == depth) {
+                        let (_, mut s) = self.open_sends.pop().expect("just checked");
                         s.enter = entered;
                         s.exit = ev.time;
-                        ex.sends.push(s);
+                        self.ex.sends.push(s);
                     }
-                    while open_recvs.last().is_some_and(|(d, _)| *d == depth) {
-                        let (_, mut r) = open_recvs.pop().expect("just checked");
+                    while self.open_recvs.last().is_some_and(|(d, _)| *d == depth) {
+                        let (_, mut r) = self.open_recvs.pop().expect("just checked");
                         r.enter = entered;
                         r.exit = ev.time;
-                        ex.recvs.push(r);
+                        self.ex.recvs.push(r);
                     }
-                    if is_crit(region) {
-                        if let Some((d, mut visit)) = open_criticals.pop() {
+                    if is_crit(&self.crit_pairs, region) {
+                        if let Some((d, mut visit)) = self.open_criticals.pop() {
                             debug_assert_eq!(d, depth);
                             visit.released = ev.time;
-                            ex.criticals.push(visit);
+                            self.ex.criticals.push(visit);
                         }
                     }
                     if let Some(path) = exit_path {
-                        ex.setup.push(SetupRec {
+                        self.ex.setup.push(SetupRec {
                             loc,
                             path,
                             time: ev.time - entered,
@@ -272,9 +300,9 @@ pub fn extract(trace: &Trace) -> Extract {
                     tag,
                     bytes,
                 } => {
-                    let path = ex.paths.intern(&path_stack);
-                    open_sends.push((
-                        stack.len(),
+                    let path = self.ex.paths.intern(&self.path_stack);
+                    self.open_sends.push((
+                        self.stack.len(),
                         SendRec {
                             loc,
                             path,
@@ -295,9 +323,9 @@ pub fn extract(trace: &Trace) -> Extract {
                     bytes,
                     posted,
                 } => {
-                    let path = ex.paths.intern(&path_stack);
-                    open_recvs.push((
-                        stack.len(),
+                    let path = self.ex.paths.intern(&self.path_stack);
+                    self.open_recvs.push((
+                        self.stack.len(),
                         RecvRec {
                             loc,
                             path,
@@ -320,8 +348,10 @@ pub fn extract(trace: &Trace) -> Extract {
                     bytes,
                     entered,
                 } => {
-                    let path = ex.paths.intern(&path_stack);
-                    let inst = coll_groups
+                    let path = self.ex.paths.intern(&self.path_stack);
+                    let n_locs = self.n_locs;
+                    let inst = self
+                        .coll_groups
                         .entry((comm, seq, op))
                         .or_insert_with(|| CollInstance {
                             op,
@@ -342,32 +372,61 @@ pub fn extract(trace: &Trace) -> Extract {
         }
     }
 
-    // Unstable sorts: cheaper than the stable ones (no temp allocation),
-    // and safe because every key is a total order — (comm, seq) and
-    // member locations are unique by construction, and the p2p keys
-    // carry enough trailing fields that ties only occur between fully
-    // identical records.
-    let mut colls: Vec<CollInstance> = coll_groups.into_values().collect();
-    for c in &mut colls {
-        c.members.sort_unstable_by_key(|m| m.loc);
+    /// Finalize: canonically sort the records and hand over the
+    /// [`Extract`]. Sort keys are independent of the per-location feed
+    /// order, so equal record sets yield equal extracts.
+    pub fn finish(self) -> Extract {
+        let mut ex = self.ex;
+        // Unstable sorts: cheaper than the stable ones (no temp
+        // allocation), and safe because every key is a total order —
+        // (comm, seq) and member locations are unique by construction, and
+        // the p2p keys carry enough trailing fields that ties only occur
+        // between fully identical records.
+        let mut colls: Vec<CollInstance> = self.coll_groups.into_values().collect();
+        for c in &mut colls {
+            c.members.sort_unstable_by_key(|m| m.loc);
+        }
+        colls.sort_unstable_by_key(|c| (c.comm, c.seq));
+        ex.colls = colls;
+        ex.sends
+            .sort_unstable_by_key(|s| (s.comm, s.loc, s.to, s.tag, s.post, s.exit, s.bytes, s.path));
+        ex.recvs.sort_unstable_by_key(|r| {
+            (
+                r.comm,
+                r.from,
+                r.loc,
+                r.tag,
+                r.posted,
+                r.completion,
+                r.bytes,
+                r.path,
+            )
+        });
+        ex
     }
-    colls.sort_unstable_by_key(|c| (c.comm, c.seq));
-    ex.colls = colls;
-    ex.sends
-        .sort_unstable_by_key(|s| (s.comm, s.loc, s.to, s.tag, s.post, s.exit, s.bytes, s.path));
-    ex.recvs.sort_unstable_by_key(|r| {
-        (
-            r.comm,
-            r.from,
-            r.loc,
-            r.tag,
-            r.posted,
-            r.completion,
-            r.bytes,
-            r.path,
-        )
-    });
-    ex
+}
+
+/// Scan the trace and build the [`Extract`].
+pub fn extract(trace: &Trace) -> Extract {
+    let mut sx = StreamExtractor::new(&trace.regions, trace.num_locations());
+    // Pre-size the record vectors from a cheap tag-counting pass so the
+    // hot loop never reallocates.
+    let (mut n_sends, mut n_recvs, mut n_collends) = (0usize, 0usize, 0usize);
+    for lt in &trace.locations {
+        for ev in &lt.events {
+            match ev.kind {
+                EventKind::Send { .. } => n_sends += 1,
+                EventKind::Recv { .. } => n_recvs += 1,
+                EventKind::CollEnd { .. } => n_collends += 1,
+                _ => {}
+            }
+        }
+    }
+    sx.reserve(n_sends, n_recvs, n_collends);
+    for lt in &trace.locations {
+        sx.scan_events(lt.location, lt.events.iter().copied());
+    }
+    sx.finish()
 }
 
 #[cfg(test)]

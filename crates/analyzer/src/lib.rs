@@ -36,7 +36,7 @@
 /// model, report layout). Any change that can alter a report for the same
 /// trace must bump this — cached analyzer outputs are keyed on it, so a
 /// bump invalidates every cached report without touching the store.
-pub const ANALYSIS_VERSION: u32 = 1;
+pub const ANALYSIS_VERSION: u32 = 2;
 
 pub mod analyzer;
 pub mod asl;
@@ -51,7 +51,9 @@ pub mod severity;
 
 pub use analyzer::{analyze, AnalyzerConfig};
 pub use callpath::{PathId, PathTable};
-pub use ingest::{analyze_path, analyze_reader, load_trace};
+pub use ingest::{
+    analyze_path, analyze_path_streaming, analyze_reader, analyze_stream, load_trace, StreamStats,
+};
 pub use phases::{analyze_phases, PhaseReport, PhaseSeries};
 pub use property::PropertyKind;
 pub use report::{diff, AnalysisReport, DiffEntry, Finding};

@@ -119,16 +119,24 @@ pub fn late_receiver(pairs: &[MatchedPair]) -> Vec<Located> {
 /// "available but unread" interval `[Q.send.post, Q.recv.posted]`, for `Q`
 /// on the same receiver with `Q.recv.posted > P.recv.posted`.
 pub fn wrong_order(pairs: &[MatchedPair]) -> Vec<Located> {
+    // Only pairs on the same receiver can interact, so group pair indices
+    // per receiver up front: the scan is then quadratic in the per-receiver
+    // pair count instead of the global one. The outer loop stays in
+    // original pair order, so the output is unchanged.
+    let mut by_receiver: HashMap<LocationId, Vec<usize>> =
+        HashMap::with_capacity(pairs.len().min(64));
+    for (i, p) in pairs.iter().enumerate() {
+        by_receiver.entry(p.recv.loc).or_default().push(i);
+    }
     let mut out = Vec::new();
     for p in pairs {
         if p.recv.completion <= p.recv.posted {
             continue; // no blocking at all
         }
         let mut overlap = VDur::ZERO;
-        for q in pairs {
-            if q.recv.loc != p.recv.loc
-                || (q.recv.posted, q.recv.from, q.recv.tag)
-                    == (p.recv.posted, p.recv.from, p.recv.tag)
+        for q in by_receiver[&p.recv.loc].iter().map(|&i| &pairs[i]) {
+            if (q.recv.posted, q.recv.from, q.recv.tag)
+                == (p.recv.posted, p.recv.from, p.recv.tag)
                 || q.recv.posted <= p.recv.posted
             {
                 continue;

@@ -51,7 +51,15 @@ impl AnalysisReport {
             .into_iter()
             .map(|((p, path), w)| (p, path, w))
             .collect();
-        ranked.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        // Full tie-break down to the path id: the ranking source is a hash
+        // map, so without it equal (wait, property) entries would surface
+        // in nondeterministic order and byte-stable reports (differential
+        // streaming-vs-materializing tests, the result cache) would flake.
+        ranked.sort_by(|a, b| {
+            b.2.cmp(&a.2)
+                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.1.cmp(&b.1))
+        });
         let findings = ranked
             .into_iter()
             .filter(|(_, _, w)| cube.fraction(*w) >= threshold)

@@ -1,12 +1,22 @@
 //! Trace-codec benchmark: sizes and encode/decode throughput of the ATSB
 //! columnar binary format against the JSONL text format, measured on the
-//! Figure 3.4 composite trace. Emits a machine-readable `BENCH_trace.json`
-//! (override the path with `ATS_BENCH_JSON`) so codec performance is
-//! tracked across revisions, and fails if the binary form loses the ≥5×
-//! size advantage the format exists for — or worse, stops round-tripping.
+//! Figure 3.4 composite trace — plus a streaming-analysis stress section
+//! that generates a large synthetic ATSB file and compares the streaming
+//! ingest path against the materializing one (events/second and peak
+//! RSS). Emits a machine-readable `BENCH_trace.json` (override the path
+//! with `ATS_BENCH_JSON`) so codec and ingest performance are tracked
+//! across revisions. Fails if the binary form loses the ≥5× size
+//! advantage, stops round-tripping, the streaming and materializing
+//! reports diverge, or streaming analysis drops below the throughput
+//! floor (`ATS_STRESS_EPS_FLOOR` events/s, `ATS_STRESS_MIN_SPEEDUP` ×
+//! materializing).
 //!
-//! Usage: `trace_bench [nprocs] [reps]`   (defaults: 16 ranks, 5 reps)
+//! Usage: `trace_bench [nprocs] [reps] [--stress-ranks N] [--stress-mb N]`
+//! (defaults: 16 ranks, 5 reps, 64 stress ranks, 8 MB stress trace;
+//! `--stress-mb 0` skips the stress section).
 
+use ats_analyzer::{analyze_path, analyze_path_streaming, AnalyzerConfig};
+use ats_bench::stress::{peak_rss_bytes, write_stress, StressConfig};
 use ats_trace::{binfmt, io};
 use serde::Serialize;
 use std::time::Instant;
@@ -33,6 +43,29 @@ struct TraceBenchDoc {
     /// `jsonl_secs / binary_secs` — the wall-clock advantage.
     encode_speedup: f64,
     decode_speedup: f64,
+    /// Streaming-analysis stress measurement, absent under `--stress-mb 0`.
+    stress: Option<StressDoc>,
+}
+
+#[derive(Serialize)]
+struct StressDoc {
+    ranks: u32,
+    events: u64,
+    file_bytes: u64,
+    generate_secs: f64,
+    streaming_secs: f64,
+    streaming_events_per_sec: f64,
+    /// Peak RSS sampled after the streaming pass (which runs first).
+    streaming_peak_rss_bytes: Option<u64>,
+    materializing_secs: f64,
+    materializing_events_per_sec: f64,
+    /// Peak RSS sampled after the materializing pass (process-wide high
+    /// water, so it subsumes the streaming peak).
+    materializing_peak_rss_bytes: Option<u64>,
+    /// `streaming_events_per_sec / materializing_events_per_sec`.
+    streaming_speedup: f64,
+    /// Do the two paths produce identical findings?
+    reports_identical: bool,
 }
 
 /// Best-of-`reps` wall time for `f`, plus its (last) result.
@@ -56,10 +89,91 @@ fn mb_per_sec(bytes: usize, secs: f64) -> f64 {
     }
 }
 
+/// Field-by-field findings equality (byte-identity of the reports).
+fn same_findings(a: &ats_analyzer::AnalysisReport, b: &ats_analyzer::AnalysisReport) -> bool {
+    a.findings.len() == b.findings.len()
+        && a.findings.iter().zip(&b.findings).all(|(x, y)| {
+            x.property == y.property
+                && x.call_path == y.call_path
+                && x.wait == y.wait
+                && x.severity.to_bits() == y.severity.to_bits()
+                && x.locations == y.locations
+        })
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_stress(ranks: u32, mb: u64) -> StressDoc {
+    let cfg = StressConfig::sized_mb(ranks, mb);
+    let path = std::env::temp_dir().join(format!(
+        "ats-trace-bench-stress-{}.atsb",
+        std::process::id()
+    ));
+    let file = std::fs::File::create(&path).expect("create stress trace");
+    let start = Instant::now();
+    let file_bytes = write_stress(&cfg, std::io::BufWriter::new(file)).expect("write stress");
+    let generate_secs = start.elapsed().as_secs_f64();
+
+    // Streaming first: VmHWM is a process-wide high water, so sampling in
+    // ascending-cost order attributes each phase's peak correctly.
+    let analyzer_cfg = AnalyzerConfig::default();
+    let start = Instant::now();
+    let (streamed, stats) = analyze_path_streaming(&path, &analyzer_cfg).expect("stream analysis");
+    let streaming_secs = start.elapsed().as_secs_f64();
+    let streaming_peak_rss_bytes = peak_rss_bytes();
+
+    let start = Instant::now();
+    let (trace, materialized) = analyze_path(&path, &analyzer_cfg).expect("materializing analysis");
+    let materializing_secs = start.elapsed().as_secs_f64();
+    let materializing_peak_rss_bytes = peak_rss_bytes();
+    assert_eq!(stats.events, trace.num_events() as u64);
+    let reports_identical = same_findings(&streamed, &materialized);
+    drop(trace);
+    let _ = std::fs::remove_file(&path);
+
+    let eps = |secs: f64| stats.events as f64 / secs.max(1e-9);
+    StressDoc {
+        ranks: cfg.ranks,
+        events: stats.events,
+        file_bytes,
+        generate_secs,
+        streaming_secs,
+        streaming_events_per_sec: eps(streaming_secs),
+        streaming_peak_rss_bytes,
+        materializing_secs,
+        materializing_events_per_sec: eps(materializing_secs),
+        materializing_peak_rss_bytes,
+        streaming_speedup: eps(streaming_secs) / eps(materializing_secs),
+        reports_identical,
+    }
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let nprocs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
-    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5).max(1);
+    let (positionals, flags) = ats_bench::split_flags(std::env::args().skip(1).collect());
+    let pos = |i: usize, default: usize| {
+        positionals
+            .get(i)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(default)
+    };
+    let num_flag = |name: &str, default: u64| -> u64 {
+        match ats_bench::flag(&flags, name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{name} needs an integer, got {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let nprocs = pos(0, 16);
+    let reps = pos(1, 5).max(1);
+    let stress_ranks = num_flag("stress-ranks", 64).clamp(2, 1 << 16) as u32;
+    let stress_mb = num_flag("stress-mb", 8);
     println!("=== trace codec: ATSB binary vs JSONL on the figure-3.4 composite ===\n");
     let trace = ats_bench::figure34_trace(nprocs);
     let events = trace.num_events();
@@ -80,6 +194,8 @@ fn main() {
     let lossless = serde_json::to_string(&from_binary).expect("trace serializes") == original
         && serde_json::to_string(&from_jsonl).expect("trace serializes") == original;
 
+    let stress = (stress_mb > 0).then(|| run_stress(stress_ranks, stress_mb));
+
     let doc = TraceBenchDoc {
         experiment: "trace-codec",
         nprocs,
@@ -98,6 +214,7 @@ fn main() {
         jsonl_decode_mb_per_sec: mb_per_sec(jsonl.len(), jsonl_decode_secs),
         encode_speedup: jsonl_encode_secs / binary_encode_secs.max(1e-12),
         decode_speedup: jsonl_decode_secs / binary_decode_secs.max(1e-12),
+        stress,
     };
     println!(
         "{nprocs} ranks, {events} events: jsonl {} B, binary {} B ({:.1}x smaller)",
@@ -118,6 +235,35 @@ fn main() {
         doc.binary_decode_mb_per_sec
     );
     println!("round-trip lossless (both formats): {lossless}");
+    if let Some(s) = &doc.stress {
+        let gb = |b: Option<u64>| {
+            b.map(|b| format!("{:.0} MB", b as f64 / 1e6))
+                .unwrap_or_else(|| "n/a".to_owned())
+        };
+        println!(
+            "\nstress: {} ranks, {} events, {:.1} MB file (generated in {:.2} s)",
+            s.ranks,
+            s.events,
+            s.file_bytes as f64 / 1e6,
+            s.generate_secs
+        );
+        println!(
+            "streaming:     {:.3} s, {:.2}M events/s, peak RSS {}",
+            s.streaming_secs,
+            s.streaming_events_per_sec / 1e6,
+            gb(s.streaming_peak_rss_bytes)
+        );
+        println!(
+            "materializing: {:.3} s, {:.2}M events/s, peak RSS {}",
+            s.materializing_secs,
+            s.materializing_events_per_sec / 1e6,
+            gb(s.materializing_peak_rss_bytes)
+        );
+        println!(
+            "streaming speedup: {:.2}x, reports identical: {}",
+            s.streaming_speedup, s.reports_identical
+        );
+    }
 
     let json_path =
         std::env::var("ATS_BENCH_JSON").unwrap_or_else(|_| "BENCH_trace.json".to_owned());
@@ -129,15 +275,38 @@ fn main() {
         Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
     }
 
-    // Losslessness and the size floor are structural properties of the
-    // codec and gate the exit code; the wall-clock speedups are reported
-    // but not gated (CI machines are too noisy for hard timing asserts).
-    let ok = lossless && doc.size_ratio >= 5.0;
+    // Losslessness, the size floor, report identity, and the streaming
+    // throughput floors are structural gates; raw wall-clock numbers are
+    // reported but only gated as ratios/floors loose enough for noisy CI
+    // machines.
+    let mut ok = lossless && doc.size_ratio >= 5.0;
     if !ok {
         eprintln!(
             "FAIL: lossless={lossless}, size_ratio={:.2} (need >= 5)",
             doc.size_ratio
         );
+    }
+    if let Some(s) = &doc.stress {
+        let eps_floor = env_f64("ATS_STRESS_EPS_FLOOR", 1e6);
+        let min_speedup = env_f64("ATS_STRESS_MIN_SPEEDUP", 2.0);
+        if !s.reports_identical {
+            eprintln!("FAIL: streaming and materializing reports diverge");
+            ok = false;
+        }
+        if s.streaming_events_per_sec < eps_floor {
+            eprintln!(
+                "FAIL: streaming analysis {:.0} events/s below floor {:.0}",
+                s.streaming_events_per_sec, eps_floor
+            );
+            ok = false;
+        }
+        if s.streaming_speedup < min_speedup {
+            eprintln!(
+                "FAIL: streaming speedup {:.2}x below required {min_speedup:.2}x",
+                s.streaming_speedup
+            );
+            ok = false;
+        }
     }
     std::process::exit(if ok { 0 } else { 1 });
 }

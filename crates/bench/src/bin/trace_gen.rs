@@ -1,0 +1,54 @@
+//! Stress-trace generator: emit an arbitrarily large synthetic composite
+//! ATSB trace for exercising the streaming analysis path. The trace is
+//! generated block by block (peak memory is one rank's events), so
+//! multi-hundred-MB files are routine:
+//!
+//! ```text
+//! trace_gen out.atsb --ranks 64 --mb 256
+//! ```
+//!
+//! Flags: `--ranks N` (default 64), `--mb N` target size (default 32),
+//! `--inner N` compute bursts per repetition (default 128).
+
+use ats_bench::stress::{write_stress, StressConfig};
+use std::time::Instant;
+
+fn main() {
+    let (positionals, flags) = ats_bench::split_flags(std::env::args().skip(1).collect());
+    let Some(path) = positionals.first() else {
+        eprintln!("usage: trace_gen OUT.atsb [--ranks N] [--mb N] [--inner N]");
+        std::process::exit(2);
+    };
+    let num = |name: &str, default: u64| -> u64 {
+        match ats_bench::flag(&flags, name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{name} needs an integer, got {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let ranks = num("ranks", 64).clamp(2, u32::MAX as u64) as u32;
+    let mb = num("mb", 32).max(1);
+    let mut cfg = StressConfig::sized_mb(ranks, mb);
+    cfg.inner = num("inner", cfg.inner).max(1);
+
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    });
+    let start = Instant::now();
+    let bytes = write_stress(&cfg, std::io::BufWriter::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{path}: {} ranks, {} events, {:.1} MB in {:.2} s ({:.0} MB/s)",
+        cfg.ranks,
+        cfg.events_total(),
+        bytes as f64 / 1e6,
+        secs,
+        bytes as f64 / 1e6 / secs.max(1e-9),
+    );
+}

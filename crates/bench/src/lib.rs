@@ -20,6 +20,7 @@
 //! and analysis throughput.
 
 pub mod cli;
+pub mod stress;
 
 use ats_core::CompositeParams;
 use ats_harness::registry::{run_composite_all_mpi, run_composite_two_comms};

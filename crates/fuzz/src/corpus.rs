@@ -236,24 +236,22 @@ mod tests {
     use crate::generator::{generate, GenConfig};
     use ats_harness::RunOpts;
 
-    /// Unique temp dir per test (no tempfile crate in the workspace).
-    fn tmp_dir(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("ats-fuzz-corpus-{}-{tag}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        dir
+    /// Unique temp dir per test, removed on drop.
+    fn tmp_dir(tag: &str) -> ats_testutil::TempDir {
+        ats_testutil::TempDir::new(&format!("ats-fuzz-corpus-{tag}"))
     }
 
     #[test]
     fn persist_load_replay_round_trip() {
-        let dir = tmp_dir("roundtrip");
+        let tmp = tmp_dir("roundtrip");
+        let dir = tmp.path();
         let sc = generate(11, &GenConfig::default());
         let cfg = OracleConfig::default();
         let opts = RunOpts::default();
         let run = oracle::check(&sc, &cfg, &opts).unwrap();
-        persist(&dir, &sc, &run.violations, &run.trace).unwrap();
+        persist(dir, &sc, &run.violations, &run.trace).unwrap();
 
-        let entries = load(&dir).unwrap();
+        let entries = load(dir).unwrap();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].scenario, sc);
 
@@ -263,20 +261,19 @@ mod tests {
         assert_eq!(decoded.num_events(), run.trace.num_events());
 
         // Replaying under the honest oracle stays clean.
-        let results = replay(&dir, &cfg, &opts).unwrap();
+        let results = replay(dir, &cfg, &opts).unwrap();
         assert_eq!(results.len(), 1);
         assert!(results[0].violations.is_empty());
-
-        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn persist_leaves_no_temp_files() {
-        let dir = tmp_dir("atomic");
+        let tmp = tmp_dir("atomic");
+        let dir = tmp.path();
         let sc = generate(7, &GenConfig::default());
         let run = oracle::check(&sc, &OracleConfig::default(), &RunOpts::default()).unwrap();
-        persist(&dir, &sc, &[], &run.trace).unwrap();
-        let names: Vec<String> = fs::read_dir(&dir)
+        persist(dir, &sc, &[], &run.trace).unwrap();
+        let names: Vec<String> = fs::read_dir(dir)
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .collect();
@@ -285,13 +282,13 @@ mod tests {
             names.iter().all(|n| !n.ends_with(".tmp")),
             "temp files left behind: {names:?}"
         );
-        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn store_publication_round_trips() {
         use ats_store::{Cache, CacheMode};
-        let dir = tmp_dir("store");
+        let tmp = tmp_dir("store");
+        let dir = tmp.path();
         let sc = generate(11, &GenConfig::default());
         let run = oracle::check(&sc, &OracleConfig::default(), &RunOpts::default()).unwrap();
         // A fabricated violation exercises the spec round trip.
@@ -302,7 +299,7 @@ mod tests {
             property: "late_sender".to_owned(),
             detail: "unit".to_owned(),
         };
-        let cache = Cache::open(&dir, CacheMode::ReadWrite).unwrap();
+        let cache = Cache::open(dir, CacheMode::ReadWrite).unwrap();
         let bytes =
             persist_to_store(&cache, &sc, std::slice::from_ref(&v), &run.trace).unwrap();
         assert!(bytes > 0, "first publication writes");
@@ -323,18 +320,17 @@ mod tests {
         let decoded = binfmt::decode(entry.file(TRACE_FILE).unwrap()).unwrap();
         assert_eq!(decoded.num_events(), run.trace.num_events());
         // Read-only caches never publish.
-        let ro = Cache::open(&dir, CacheMode::Read).unwrap();
+        let ro = Cache::open(dir, CacheMode::Read).unwrap();
         let other = generate(12, &GenConfig::default());
         let run2 = oracle::check(&other, &OracleConfig::default(), &RunOpts::default()).unwrap();
         assert_eq!(persist_to_store(&ro, &other, &[], &run2.trace).unwrap(), 0);
         assert!(ro.lookup(&store_key(&other)).unwrap().is_none());
-        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn missing_directory_is_an_empty_corpus() {
-        let dir = tmp_dir("missing");
-        assert!(load(&dir).unwrap().is_empty());
+        let tmp = tmp_dir("missing");
+        assert!(load(&tmp.file("never-created")).unwrap().is_empty());
     }
 
     #[test]

@@ -657,8 +657,8 @@ mod tests {
     #[test]
     fn warm_sweeps_replay_from_the_store() {
         use ats_store::{Cache, CacheMode};
-        let dir = std::env::temp_dir().join(format!("ats-exp-cache-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = ats_testutil::TempDir::new("ats-exp-cache");
+        let dir = dir.path();
         let exp = |mode: CacheMode| {
             Experiment::new("late_sender")
                 .sweep(Sweep::seconds("extrawork", [0.005, 0.01]))
@@ -683,7 +683,6 @@ mod tests {
         assert_eq!((ro.cache_mode, ro.cache_hits), ("ro", 4));
         let (_, off) = exp(CacheMode::Off).run_with_stats().unwrap();
         assert_eq!((off.cache_mode, off.cache_hits), ("off", 0));
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Changing one sweep value invalidates only the combos that use it:
@@ -691,8 +690,8 @@ mod tests {
     #[test]
     fn single_parameter_change_invalidates_only_affected_combos() {
         use ats_store::{Cache, CacheMode};
-        let dir = std::env::temp_dir().join(format!("ats-exp-inval-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = ats_testutil::TempDir::new("ats-exp-inval");
+        let dir = dir.path();
         let exp = |extras: [f64; 2]| {
             Experiment::new("late_sender")
                 .sweep(Sweep::seconds("extrawork", extras))
@@ -707,7 +706,6 @@ mod tests {
             (1, 1),
             "the shared value hits, the changed one misses"
         );
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Scheduling knobs are not key ingredients: a warm run at a different
@@ -715,8 +713,8 @@ mod tests {
     #[test]
     fn cache_hits_survive_jobs_changes() {
         use ats_store::{Cache, CacheMode};
-        let dir = std::env::temp_dir().join(format!("ats-exp-jobs-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = ats_testutil::TempDir::new("ats-exp-jobs");
+        let dir = dir.path();
         let exp = |jobs: usize| {
             Experiment::new("late_sender")
                 .sweep(Sweep::seconds("extrawork", [0.005, 0.01, 0.02]))
@@ -730,7 +728,6 @@ mod tests {
             rows.iter().map(|r| row_to_json(r).render()).collect()
         };
         assert_eq!(render(&cold_rows), render(&warm_rows));
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A pool shared across parallel workers keeps rows byte-identical —

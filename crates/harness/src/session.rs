@@ -384,8 +384,8 @@ mod tests {
 
     #[test]
     fn session_cache_wires_into_experiments() {
-        let dir = std::env::temp_dir().join(format!("ats-session-cache-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = ats_testutil::TempDir::new("ats-session-cache");
+        let dir = dir.path();
         let session = |mode: CacheMode| {
             Session::builder()
                 .procs(2)
@@ -407,7 +407,6 @@ mod tests {
             .run_with_stats()
             .unwrap();
         assert_eq!((warm.cache_mode, warm.cache_hits), ("ro", 1));
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! # ats-testutil
+//!
+//! Shared test support for the ATS-RS workspace. The one export that
+//! matters is [`TempDir`]: a scratch directory that is unique per test
+//! (process id *and* an in-process counter, so parallel tests and
+//! parallel test binaries never collide) and removed on `Drop` — which
+//! runs during unwinding too, so a failing assertion no longer leaks
+//! files into the system temp directory the way ad-hoc
+//! `remove_file`-at-the-end cleanup did.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process sequence number distinguishing temp dirs within one test
+/// binary.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch directory removed (recursively) when dropped.
+///
+/// ```
+/// let dir = ats_testutil::TempDir::new("doc-example");
+/// let file = dir.file("data.txt");
+/// std::fs::write(&file, b"hello").unwrap();
+/// assert!(file.exists());
+/// let kept = dir.path().to_path_buf();
+/// drop(dir);
+/// assert!(!kept.exists());
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory under the system temp dir. `prefix`
+    /// should name the test site (e.g. `"ats-ingest-formats"`); the full
+    /// name also carries the process id and a per-process counter.
+    pub fn new(prefix: &str) -> Self {
+        let pid = std::process::id();
+        loop {
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!("{prefix}-{pid}-{seq}"));
+            // create_dir (not create_dir_all): refusing to adopt an
+            // existing directory means a stale leftover from a recycled
+            // pid can never leak foreign files into this test.
+            match std::fs::create_dir(&path) {
+                Ok(()) => return TempDir { path },
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => panic!("creating temp dir {}: {e}", path.display()),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the directory (not created).
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+
+    /// Consume the guard *without* deleting the directory — for debugging
+    /// a failing test's artifacts. Returns the path.
+    pub fn keep(self) -> PathBuf {
+        let this = std::mem::ManuallyDrop::new(self);
+        this.path.clone()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_per_call_and_cleaned_on_drop() {
+        let a = TempDir::new("ats-testutil-self");
+        let b = TempDir::new("ats-testutil-self");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.file("x"), b"1").unwrap();
+        std::fs::create_dir(a.file("sub")).unwrap();
+        std::fs::write(a.file("sub").join("y"), b"2").unwrap();
+        let pa = a.path().to_path_buf();
+        drop(a);
+        assert!(!pa.exists(), "dropped dir removed recursively");
+        assert!(b.path().is_dir(), "sibling untouched");
+    }
+
+    #[test]
+    fn keep_suppresses_cleanup() {
+        let d = TempDir::new("ats-testutil-keep");
+        let p = d.keep();
+        assert!(p.is_dir());
+        std::fs::remove_dir_all(&p).unwrap();
+    }
+}

@@ -35,9 +35,23 @@
 //! future artifacts. The `flags` word is reserved (writers emit 0, readers
 //! ignore it) to leave room for backwards-compatible extensions.
 //!
-//! Decoding is strict: every read is bounds-checked, counts are validated
-//! against the remaining buffer before any allocation, unknown tags / kinds
-//! / ops and trailing garbage are format errors.
+//! Decoding is strict: every read is bounds-checked, speculative
+//! allocations driven by untrusted counts are clamped (a corrupt count can
+//! only cost a bounded pre-allocation before the byte stream runs dry),
+//! unknown tags / kinds / ops and trailing garbage are format errors.
+//!
+//! Two access paths share one decoding core:
+//!
+//! * [`decode`] / [`read_binary`] materialize a full [`Trace`] — the
+//!   differential oracle and the default for small artifacts;
+//! * [`BlockReader`] iterates per-location column blocks into one reused
+//!   [`LocationBlock`] whose [`events`](LocationBlock::events) iterator
+//!   assembles events on the fly, so a consumer that folds each block into
+//!   partial state (the streaming analyzer) holds one location's columns
+//!   in memory at a time, never the whole event vector. [`BlockWriter`]
+//!   is the producing mirror: it emits a trace location-by-location and is
+//!   byte-identical to [`encode`], which lets generators write traces far
+//!   larger than memory.
 
 use crate::event::{CollOp, Event, EventKind, LocationId};
 use crate::io::TraceIoError;
@@ -155,28 +169,33 @@ fn op_from_code(code: u8) -> Option<CollOp> {
     })
 }
 
+/// Write the file header: magic, version, flags, region and comm tables.
+fn encode_tables(buf: &mut BytesMut, regions: &[RegionMeta], comms: &[CommDef]) {
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0); // flags, reserved
+    put_varint(buf, regions.len() as u64);
+    for meta in regions {
+        put_varint(buf, meta.name.len() as u64);
+        buf.put_slice(meta.name.as_bytes());
+        buf.put_u8(kind_code(meta.kind));
+    }
+    put_varint(buf, comms.len() as u64);
+    for comm in comms {
+        put_varint(buf, comm.id as u64);
+        put_varint(buf, comm.members.len() as u64);
+        for &m in &comm.members {
+            put_varint(buf, m as u64);
+        }
+    }
+}
+
 /// Encode a trace into an owned binary buffer.
 pub fn encode(trace: &Trace) -> Bytes {
     // ~4 bytes/event after delta+varint compression; headroom avoids one
     // realloc on the common figure-sized traces.
     let mut buf = BytesMut::with_capacity(256 + trace.num_events() * 6);
-    buf.put_slice(&MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u16_le(0); // flags, reserved
-    put_varint(&mut buf, trace.regions.len() as u64);
-    for meta in &trace.regions {
-        put_varint(&mut buf, meta.name.len() as u64);
-        buf.put_slice(meta.name.as_bytes());
-        buf.put_u8(kind_code(meta.kind));
-    }
-    put_varint(&mut buf, trace.comms.len() as u64);
-    for comm in &trace.comms {
-        put_varint(&mut buf, comm.id as u64);
-        put_varint(&mut buf, comm.members.len() as u64);
-        for &m in &comm.members {
-            put_varint(&mut buf, m as u64);
-        }
-    }
+    encode_tables(&mut buf, &trace.regions, &trace.comms);
     put_varint(&mut buf, trace.locations.len() as u64);
     for loc in &trace.locations {
         encode_location(&mut buf, loc);
@@ -282,52 +301,111 @@ fn encode_location(buf: &mut BytesMut, loc: &LocationTrace) {
     }
 }
 
-/// A bounds-checked cursor over the encoded buffer. Every primitive read
-/// reports *where* and *what* failed, so corrupt-input errors are
-/// actionable.
-struct Reader<'a> {
-    data: &'a [u8],
-    pos: usize,
+/// Upper bound on any single pre-allocation driven by an untrusted varint
+/// count. Counts in a well-formed file are redundant with the byte stream
+/// (every counted element occupies at least one encoded byte), but a
+/// corrupt or adversarial header can claim arbitrarily many elements; the
+/// reader therefore never reserves more than this many bytes up front and
+/// lets the vectors grow organically — a bogus count then runs the stream
+/// dry (a clean [`TraceIoError::Format`]) long before memory is at risk.
+const MAX_PREALLOC_BYTES: usize = 1 << 20;
+
+/// Capacity to pre-reserve for `n` untrusted elements of `elem` bytes.
+fn clamped_cap(n: usize, elem: usize) -> usize {
+    n.min(MAX_PREALLOC_BYTES / elem.max(1))
 }
 
-impl<'a> Reader<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        Reader { data, pos: 0 }
-    }
+/// A bounds-checked buffered cursor over any byte source. Every primitive
+/// read reports *where* and *what* failed, so corrupt-input errors are
+/// actionable; running out of bytes is a format error (truncation), never
+/// a panic.
+struct StreamCursor<R> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    /// Absolute offset of the next unconsumed byte.
+    consumed: u64,
+}
 
-    fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+const CURSOR_BUF: usize = 64 * 1024;
+
+impl<R: Read> StreamCursor<R> {
+    fn new(inner: R) -> Self {
+        StreamCursor {
+            inner,
+            buf: vec![0; CURSOR_BUF],
+            start: 0,
+            end: 0,
+            consumed: 0,
+        }
     }
 
     fn fail(&self, what: &str) -> TraceIoError {
         TraceIoError::Format(format!(
             "binary trace: truncated or corrupt at byte {}: {what}",
-            self.pos
+            self.consumed
         ))
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, TraceIoError> {
-        match self.data.get(self.pos) {
-            Some(&b) => {
-                self.pos += 1;
-                Ok(b)
+    /// Ensure at least one buffered byte; `Ok(false)` at end of input.
+    fn refill(&mut self) -> Result<bool, TraceIoError> {
+        if self.start < self.end {
+            return Ok(true);
+        }
+        self.start = 0;
+        self.end = 0;
+        loop {
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => return Ok(false),
+                Ok(n) => {
+                    self.end = n;
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceIoError::Io(e)),
             }
-            None => Err(self.fail(what)),
         }
     }
 
-    fn slice(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceIoError> {
-        if self.remaining() < n {
+    fn u8(&mut self, what: &str) -> Result<u8, TraceIoError> {
+        if !self.refill()? {
             return Err(self.fail(what));
         }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+        let b = self.buf[self.start];
+        self.start += 1;
+        self.consumed += 1;
+        Ok(b)
     }
 
     fn u16_le(&mut self, what: &str) -> Result<u16, TraceIoError> {
-        let s = self.slice(2, what)?;
-        Ok(u16::from_le_bytes([s[0], s[1]]))
+        let lo = self.u8(what)?;
+        let hi = self.u8(what)?;
+        Ok(u16::from_le_bytes([lo, hi]))
+    }
+
+    /// Append exactly `n` bytes to `out` (cleared first), clamping the
+    /// speculative reservation.
+    fn read_bytes_into(
+        &mut self,
+        out: &mut Vec<u8>,
+        n: usize,
+        what: &str,
+    ) -> Result<(), TraceIoError> {
+        out.clear();
+        out.reserve(clamped_cap(n, 1));
+        let mut left = n;
+        while left > 0 {
+            if !self.refill()? {
+                return Err(self.fail(what));
+            }
+            let take = left.min(self.end - self.start);
+            out.extend_from_slice(&self.buf[self.start..self.start + take]);
+            self.start += take;
+            self.consumed += take as u64;
+            left -= take;
+        }
+        Ok(())
     }
 
     fn varint(&mut self, what: &str) -> Result<u64, TraceIoError> {
@@ -356,167 +434,248 @@ impl<'a> Reader<'a> {
         i32::try_from(v).map_err(|_| self.fail(what))
     }
 
-    /// A varint element count, validated against the remaining buffer
-    /// (every counted element occupies at least one byte), so a corrupted
-    /// count cannot trigger a giant allocation.
+    /// A varint element count. Unlike elements, counts cannot be validated
+    /// against "bytes remaining" on a stream; allocation sites clamp with
+    /// [`clamped_cap`] instead.
     fn count(&mut self, what: &str) -> Result<usize, TraceIoError> {
         let v = self.varint(what)?;
-        if v > self.remaining() as u64 {
-            return Err(self.fail(what));
-        }
-        Ok(v as usize)
-    }
-}
-
-/// Decode a binary trace from an in-memory buffer.
-pub fn decode(data: &[u8]) -> Result<Trace, TraceIoError> {
-    if let Some(obs) = ats_obs::global_if_enabled() {
-        obs.trace.binary_bytes_decoded.add(data.len() as u64);
-    }
-    let mut r = Reader::new(data);
-    if r.slice(4, "magic")? != &MAGIC[..] {
-        return Err(TraceIoError::Format(
-            "binary trace: bad magic (not an ATSB file)".to_owned(),
-        ));
-    }
-    let version = r.u16_le("version")?;
-    if version == 0 || version > VERSION {
-        return Err(TraceIoError::Format(format!(
-            "binary trace: unsupported format version {version} (this reader understands 1..={VERSION})"
-        )));
-    }
-    let _flags = r.u16_le("flags")?;
-
-    let n_regions = r.count("region count")?;
-    let mut regions = Vec::with_capacity(n_regions);
-    for i in 0..n_regions {
-        let len = r.count("region name length")?;
-        let name = std::str::from_utf8(r.slice(len, "region name")?)
-            .map_err(|_| {
-                TraceIoError::Format(format!("binary trace: region {i} name is not UTF-8"))
-            })?
-            .to_owned();
-        let code = r.u8("region kind")?;
-        let kind = kind_from_code(code).ok_or_else(|| {
-            TraceIoError::Format(format!("binary trace: unknown region kind code {code}"))
-        })?;
-        regions.push(RegionMeta { name, kind });
+        usize::try_from(v).map_err(|_| self.fail(what))
     }
 
-    let n_comms = r.count("communicator count")?;
-    let mut comms = Vec::with_capacity(n_comms);
-    for _ in 0..n_comms {
-        let id = r.varint_u32("communicator id")?;
-        let n_members = r.count("communicator member count")?;
-        let mut members = Vec::with_capacity(n_members);
-        for _ in 0..n_members {
-            members.push(r.varint_u32("communicator member")?);
-        }
-        comms.push(CommDef { id, members });
-    }
-
-    let n_locs = r.count("location count")?;
-    let mut locations = Vec::with_capacity(n_locs);
-    for _ in 0..n_locs {
-        locations.push(decode_location(&mut r)?);
-    }
-    if r.remaining() != 0 {
-        return Err(TraceIoError::Format(format!(
-            "binary trace: {} trailing bytes after last location block",
-            r.remaining()
-        )));
-    }
-    Ok(Trace::with_comms(regions, comms, locations))
-}
-
-fn decode_location(r: &mut Reader<'_>) -> Result<LocationTrace, TraceIoError> {
-    let rank = r.varint_u32("location rank")?;
-    let thread = r.varint_u32("location thread")?;
-    let n = r.count("event count")?;
-
-    let tags = r.slice(n, "event tag column")?;
-    let (mut n_region, mut n_send, mut n_recv, mut n_coll) = (0usize, 0usize, 0usize, 0usize);
-    for &t in tags {
-        match t {
-            TAG_ENTER | TAG_EXIT => n_region += 1,
-            TAG_SEND => n_send += 1,
-            TAG_RECV => n_recv += 1,
-            TAG_COLL => n_coll += 1,
-            _ => {
-                return Err(TraceIoError::Format(format!(
-                    "binary trace: unknown event tag {t}"
-                )))
+    /// Consume to end of input, returning how many bytes were left.
+    fn count_trailing(&mut self) -> Result<u64, TraceIoError> {
+        let mut n = (self.end - self.start) as u64;
+        self.start = self.end;
+        loop {
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => return Ok(n),
+                Ok(k) => n += k as u64,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceIoError::Io(e)),
             }
         }
     }
+}
 
-    let mut times = Vec::with_capacity(n);
-    let mut prev = 0u64;
-    for _ in 0..n {
-        prev = prev.wrapping_add(unzigzag(r.varint("time column")?) as u64);
-        times.push(prev);
-    }
+/// One decoded per-location column block. [`BlockReader`] reuses a single
+/// instance across blocks, so the column vectors stop reallocating once
+/// they reach the size of the largest block.
+#[derive(Debug, Default)]
+pub struct LocationBlock {
+    location: Option<LocationId>,
+    tags: Vec<u8>,
+    times: Vec<u64>,
+    regions: Vec<u32>,
+    send_to: Vec<u32>,
+    send_comm: Vec<u32>,
+    send_tag: Vec<i32>,
+    send_bytes: Vec<u64>,
+    recv_from: Vec<u32>,
+    recv_comm: Vec<u32>,
+    recv_tag: Vec<i32>,
+    recv_bytes: Vec<u64>,
+    recv_posted: Vec<i64>,
+    coll_op: Vec<CollOp>,
+    coll_comm: Vec<u32>,
+    coll_root: Vec<Option<u32>>,
+    coll_seq: Vec<u64>,
+    coll_bytes: Vec<u64>,
+    coll_entered: Vec<i64>,
+}
 
-    fn column_u32(r: &mut Reader<'_>, n: usize, what: &str) -> Result<Vec<u32>, TraceIoError> {
-        let mut col = Vec::with_capacity(n);
-        for _ in 0..n {
-            col.push(r.varint_u32(what)?);
-        }
-        Ok(col)
-    }
-    fn column_u64(r: &mut Reader<'_>, n: usize, what: &str) -> Result<Vec<u64>, TraceIoError> {
-        let mut col = Vec::with_capacity(n);
-        for _ in 0..n {
-            col.push(r.varint(what)?);
-        }
-        Ok(col)
-    }
-    fn column_i32(r: &mut Reader<'_>, n: usize, what: &str) -> Result<Vec<i32>, TraceIoError> {
-        let mut col = Vec::with_capacity(n);
-        for _ in 0..n {
-            col.push(r.varint_i32(what)?);
-        }
-        Ok(col)
-    }
-    fn column_delta(r: &mut Reader<'_>, n: usize, what: &str) -> Result<Vec<i64>, TraceIoError> {
-        let mut col = Vec::with_capacity(n);
-        for _ in 0..n {
-            col.push(unzigzag(r.varint(what)?));
-        }
-        Ok(col)
+impl LocationBlock {
+    /// The location this block belongs to.
+    pub fn location(&self) -> LocationId {
+        self.location.unwrap_or(LocationId { rank: 0, thread: 0 })
     }
 
-    let regions = column_u32(r, n_region, "region column")?;
-    let send_to = column_u32(r, n_send, "send-to column")?;
-    let send_comm = column_u32(r, n_send, "send-comm column")?;
-    let send_tag = column_i32(r, n_send, "send-tag column")?;
-    let send_bytes = column_u64(r, n_send, "send-bytes column")?;
-    let recv_from = column_u32(r, n_recv, "recv-from column")?;
-    let recv_comm = column_u32(r, n_recv, "recv-comm column")?;
-    let recv_tag = column_i32(r, n_recv, "recv-tag column")?;
-    let recv_bytes = column_u64(r, n_recv, "recv-bytes column")?;
-    let recv_posted = column_delta(r, n_recv, "recv-posted column")?;
-    let mut coll_op = Vec::with_capacity(n_coll);
-    for _ in 0..n_coll {
-        let code = r.u8("coll-op column")?;
-        coll_op.push(op_from_code(code).ok_or_else(|| {
-            TraceIoError::Format(format!("binary trace: unknown collective op code {code}"))
-        })?);
+    /// Number of events in the block.
+    pub fn len(&self) -> usize {
+        self.tags.len()
     }
-    let coll_comm = column_u32(r, n_coll, "coll-comm column")?;
-    let coll_root = column_u64(r, n_coll, "coll-root column")?;
-    let coll_seq = column_u64(r, n_coll, "coll-seq column")?;
-    let coll_bytes = column_u64(r, n_coll, "coll-bytes column")?;
-    let coll_entered = column_delta(r, n_coll, "coll-entered column")?;
 
-    let (mut ir, mut is, mut iv, mut ic) = (0usize, 0usize, 0usize, 0usize);
-    let mut events = Vec::with_capacity(n);
-    for (i, &t) in tags.iter().enumerate() {
-        let time = VTime(times[i]);
+    /// True if the block holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Timestamp of the first event, if any.
+    pub fn start_time(&self) -> Option<VTime> {
+        self.times.first().map(|&t| VTime(t))
+    }
+
+    /// Timestamp of the last event, if any.
+    pub fn end_time(&self) -> Option<VTime> {
+        self.times.last().map(|&t| VTime(t))
+    }
+
+    /// Iterate the block's events in order, assembling each [`Event`] from
+    /// the columns on the fly. Infallible: tags, ops and roots were
+    /// validated during the block read.
+    pub fn events(&self) -> BlockEvents<'_> {
+        BlockEvents {
+            b: self,
+            i: 0,
+            ir: 0,
+            is: 0,
+            iv: 0,
+            ic: 0,
+        }
+    }
+
+    /// Materialize the block as an owned [`LocationTrace`].
+    pub fn to_location_trace(&self) -> LocationTrace {
+        LocationTrace {
+            location: self.location(),
+            events: self.events().collect(),
+        }
+    }
+
+    /// Decode the next block from `cur` into `self`, reusing buffers.
+    fn read_from<R: Read>(&mut self, cur: &mut StreamCursor<R>) -> Result<(), TraceIoError> {
+        let rank = cur.varint_u32("location rank")?;
+        let thread = cur.varint_u32("location thread")?;
+        self.location = Some(LocationId::new(rank, thread));
+        let n = cur.count("event count")?;
+
+        cur.read_bytes_into(&mut self.tags, n, "event tag column")?;
+        let (mut n_region, mut n_send, mut n_recv, mut n_coll) = (0usize, 0usize, 0usize, 0usize);
+        for &t in &self.tags {
+            match t {
+                TAG_ENTER | TAG_EXIT => n_region += 1,
+                TAG_SEND => n_send += 1,
+                TAG_RECV => n_recv += 1,
+                TAG_COLL => n_coll += 1,
+                _ => {
+                    return Err(TraceIoError::Format(format!(
+                        "binary trace: unknown event tag {t}"
+                    )))
+                }
+            }
+        }
+
+        self.times.clear();
+        self.times.reserve(clamped_cap(n, 8));
+        let mut prev = 0u64;
+        for _ in 0..n {
+            prev = prev.wrapping_add(unzigzag(cur.varint("time column")?) as u64);
+            self.times.push(prev);
+        }
+
+        fn col_u32<R: Read>(
+            cur: &mut StreamCursor<R>,
+            out: &mut Vec<u32>,
+            n: usize,
+            what: &str,
+        ) -> Result<(), TraceIoError> {
+            out.clear();
+            out.reserve(clamped_cap(n, 4));
+            for _ in 0..n {
+                out.push(cur.varint_u32(what)?);
+            }
+            Ok(())
+        }
+        fn col_u64<R: Read>(
+            cur: &mut StreamCursor<R>,
+            out: &mut Vec<u64>,
+            n: usize,
+            what: &str,
+        ) -> Result<(), TraceIoError> {
+            out.clear();
+            out.reserve(clamped_cap(n, 8));
+            for _ in 0..n {
+                out.push(cur.varint(what)?);
+            }
+            Ok(())
+        }
+        fn col_i32<R: Read>(
+            cur: &mut StreamCursor<R>,
+            out: &mut Vec<i32>,
+            n: usize,
+            what: &str,
+        ) -> Result<(), TraceIoError> {
+            out.clear();
+            out.reserve(clamped_cap(n, 4));
+            for _ in 0..n {
+                out.push(cur.varint_i32(what)?);
+            }
+            Ok(())
+        }
+        fn col_delta<R: Read>(
+            cur: &mut StreamCursor<R>,
+            out: &mut Vec<i64>,
+            n: usize,
+            what: &str,
+        ) -> Result<(), TraceIoError> {
+            out.clear();
+            out.reserve(clamped_cap(n, 8));
+            for _ in 0..n {
+                out.push(unzigzag(cur.varint(what)?));
+            }
+            Ok(())
+        }
+
+        col_u32(cur, &mut self.regions, n_region, "region column")?;
+        col_u32(cur, &mut self.send_to, n_send, "send-to column")?;
+        col_u32(cur, &mut self.send_comm, n_send, "send-comm column")?;
+        col_i32(cur, &mut self.send_tag, n_send, "send-tag column")?;
+        col_u64(cur, &mut self.send_bytes, n_send, "send-bytes column")?;
+        col_u32(cur, &mut self.recv_from, n_recv, "recv-from column")?;
+        col_u32(cur, &mut self.recv_comm, n_recv, "recv-comm column")?;
+        col_i32(cur, &mut self.recv_tag, n_recv, "recv-tag column")?;
+        col_u64(cur, &mut self.recv_bytes, n_recv, "recv-bytes column")?;
+        col_delta(cur, &mut self.recv_posted, n_recv, "recv-posted column")?;
+        self.coll_op.clear();
+        self.coll_op.reserve(clamped_cap(n_coll, 1));
+        for _ in 0..n_coll {
+            let code = cur.u8("coll-op column")?;
+            self.coll_op.push(op_from_code(code).ok_or_else(|| {
+                TraceIoError::Format(format!("binary trace: unknown collective op code {code}"))
+            })?);
+        }
+        col_u32(cur, &mut self.coll_comm, n_coll, "coll-comm column")?;
+        self.coll_root.clear();
+        self.coll_root.reserve(clamped_cap(n_coll, 8));
+        for _ in 0..n_coll {
+            self.coll_root.push(match cur.varint("coll-root column")? {
+                0 => None,
+                v => Some(u32::try_from(v - 1).map_err(|_| {
+                    TraceIoError::Format(format!(
+                        "binary trace: collective root {} exceeds u32",
+                        v - 1
+                    ))
+                })?),
+            });
+        }
+        col_u64(cur, &mut self.coll_seq, n_coll, "coll-seq column")?;
+        col_u64(cur, &mut self.coll_bytes, n_coll, "coll-bytes column")?;
+        col_delta(cur, &mut self.coll_entered, n_coll, "coll-entered column")?;
+        Ok(())
+    }
+}
+
+/// Iterator over a [`LocationBlock`]'s events. See
+/// [`LocationBlock::events`].
+pub struct BlockEvents<'a> {
+    b: &'a LocationBlock,
+    i: usize,
+    ir: usize,
+    is: usize,
+    iv: usize,
+    ic: usize,
+}
+
+impl Iterator for BlockEvents<'_> {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        let t = *self.b.tags.get(self.i)?;
+        let time = VTime(self.b.times[self.i]);
+        self.i += 1;
         let kind = match t {
             TAG_ENTER | TAG_EXIT => {
-                let region = RegionId(regions[ir]);
-                ir += 1;
+                let region = RegionId(self.b.regions[self.ir]);
+                self.ir += 1;
                 if t == TAG_ENTER {
                     EventKind::Enter { region }
                 } else {
@@ -525,53 +684,207 @@ fn decode_location(r: &mut Reader<'_>) -> Result<LocationTrace, TraceIoError> {
             }
             TAG_SEND => {
                 let k = EventKind::Send {
-                    to: send_to[is],
-                    comm: send_comm[is],
-                    tag: send_tag[is],
-                    bytes: send_bytes[is],
+                    to: self.b.send_to[self.is],
+                    comm: self.b.send_comm[self.is],
+                    tag: self.b.send_tag[self.is],
+                    bytes: self.b.send_bytes[self.is],
                 };
-                is += 1;
+                self.is += 1;
                 k
             }
             TAG_RECV => {
                 let k = EventKind::Recv {
-                    from: recv_from[iv],
-                    comm: recv_comm[iv],
-                    tag: recv_tag[iv],
-                    bytes: recv_bytes[iv],
-                    posted: VTime(time.0.wrapping_add(recv_posted[iv] as u64)),
+                    from: self.b.recv_from[self.iv],
+                    comm: self.b.recv_comm[self.iv],
+                    tag: self.b.recv_tag[self.iv],
+                    bytes: self.b.recv_bytes[self.iv],
+                    posted: VTime(time.0.wrapping_add(self.b.recv_posted[self.iv] as u64)),
                 };
-                iv += 1;
+                self.iv += 1;
                 k
             }
             _ => {
-                let root = match coll_root[ic] {
-                    0 => None,
-                    v => Some(u32::try_from(v - 1).map_err(|_| {
-                        TraceIoError::Format(format!(
-                            "binary trace: collective root {} exceeds u32",
-                            v - 1
-                        ))
-                    })?),
-                };
                 let k = EventKind::CollEnd {
-                    op: coll_op[ic],
-                    comm: coll_comm[ic],
-                    root,
-                    seq: coll_seq[ic],
-                    bytes: coll_bytes[ic],
-                    entered: VTime(time.0.wrapping_add(coll_entered[ic] as u64)),
+                    op: self.b.coll_op[self.ic],
+                    comm: self.b.coll_comm[self.ic],
+                    root: self.b.coll_root[self.ic],
+                    seq: self.b.coll_seq[self.ic],
+                    bytes: self.b.coll_bytes[self.ic],
+                    entered: VTime(time.0.wrapping_add(self.b.coll_entered[self.ic] as u64)),
                 };
-                ic += 1;
+                self.ic += 1;
                 k
             }
         };
-        events.push(Event::new(time, kind));
+        Some(Event::new(time, kind))
     }
-    Ok(LocationTrace {
-        location: LocationId::new(rank, thread),
-        events,
-    })
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.b.tags.len() - self.i;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for BlockEvents<'_> {}
+
+/// Streaming reader over an ATSB byte source: parses the header and the
+/// region/communicator tables eagerly, then yields one [`LocationBlock`]
+/// at a time from a reused buffer. Peak memory is one block's columns, not
+/// the whole trace.
+pub struct BlockReader<R: Read> {
+    cur: StreamCursor<R>,
+    regions: Vec<RegionMeta>,
+    comms: Vec<CommDef>,
+    n_locations: u64,
+    read_locations: u64,
+    trailing_checked: bool,
+    block: LocationBlock,
+}
+
+impl<R: Read> BlockReader<R> {
+    /// Parse the file header and tables; fails on bad magic, unsupported
+    /// versions, or corrupt tables.
+    pub fn new(r: R) -> Result<Self, TraceIoError> {
+        let mut cur = StreamCursor::new(r);
+        let magic = [
+            cur.u8("magic")?,
+            cur.u8("magic")?,
+            cur.u8("magic")?,
+            cur.u8("magic")?,
+        ];
+        if magic != MAGIC {
+            return Err(TraceIoError::Format(
+                "binary trace: bad magic (not an ATSB file)".to_owned(),
+            ));
+        }
+        let version = cur.u16_le("version")?;
+        if version == 0 || version > VERSION {
+            return Err(TraceIoError::Format(format!(
+                "binary trace: unsupported format version {version} (this reader understands 1..={VERSION})"
+            )));
+        }
+        let _flags = cur.u16_le("flags")?;
+
+        let n_regions = cur.count("region count")?;
+        let mut regions = Vec::with_capacity(clamped_cap(
+            n_regions,
+            std::mem::size_of::<RegionMeta>(),
+        ));
+        let mut namebuf = Vec::new();
+        for i in 0..n_regions {
+            let len = cur.count("region name length")?;
+            cur.read_bytes_into(&mut namebuf, len, "region name")?;
+            let name = std::str::from_utf8(&namebuf)
+                .map_err(|_| {
+                    TraceIoError::Format(format!("binary trace: region {i} name is not UTF-8"))
+                })?
+                .to_owned();
+            let code = cur.u8("region kind")?;
+            let kind = kind_from_code(code).ok_or_else(|| {
+                TraceIoError::Format(format!("binary trace: unknown region kind code {code}"))
+            })?;
+            regions.push(RegionMeta { name, kind });
+        }
+
+        let n_comms = cur.count("communicator count")?;
+        let mut comms = Vec::with_capacity(clamped_cap(n_comms, std::mem::size_of::<CommDef>()));
+        for _ in 0..n_comms {
+            let id = cur.varint_u32("communicator id")?;
+            let n_members = cur.count("communicator member count")?;
+            let mut members = Vec::with_capacity(clamped_cap(n_members, 4));
+            for _ in 0..n_members {
+                members.push(cur.varint_u32("communicator member")?);
+            }
+            comms.push(CommDef { id, members });
+        }
+
+        let n_locations = cur.count("location count")? as u64;
+        Ok(BlockReader {
+            cur,
+            regions,
+            comms,
+            n_locations,
+            read_locations: 0,
+            trailing_checked: false,
+            block: LocationBlock::default(),
+        })
+    }
+
+    /// The decoded region table.
+    pub fn regions(&self) -> &[RegionMeta] {
+        &self.regions
+    }
+
+    /// The decoded communicator table.
+    pub fn comms(&self) -> &[CommDef] {
+        &self.comms
+    }
+
+    /// Move the region and communicator tables out of the reader (e.g. to
+    /// build a locationless shell [`Trace`] for name lookups) without
+    /// cloning; subsequent [`regions`](Self::regions)/[`comms`](Self::comms)
+    /// calls see empty tables.
+    pub fn take_tables(&mut self) -> (Vec<RegionMeta>, Vec<CommDef>) {
+        (
+            std::mem::take(&mut self.regions),
+            std::mem::take(&mut self.comms),
+        )
+    }
+
+    /// Number of location blocks the header declares.
+    pub fn n_locations(&self) -> u64 {
+        self.n_locations
+    }
+
+    /// Bytes consumed from the source so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.cur.consumed
+    }
+
+    /// Decode the next location block, or `None` after the last one. The
+    /// final call verifies the stream is exhausted, so trailing garbage is
+    /// an error exactly as in [`decode`].
+    pub fn next_block(&mut self) -> Result<Option<&LocationBlock>, TraceIoError> {
+        if self.read_locations == self.n_locations {
+            if !self.trailing_checked {
+                let extra = self.cur.count_trailing()?;
+                self.trailing_checked = true;
+                if extra > 0 {
+                    return Err(TraceIoError::Format(format!(
+                        "binary trace: {extra} trailing bytes after last location block"
+                    )));
+                }
+            }
+            return Ok(None);
+        }
+        self.block.read_from(&mut self.cur)?;
+        self.read_locations += 1;
+        Ok(Some(&self.block))
+    }
+
+    /// Drain any remaining blocks (performing the trailing-garbage check)
+    /// and return the total bytes consumed.
+    pub fn finish(mut self) -> Result<u64, TraceIoError> {
+        while self.next_block()?.is_some() {}
+        Ok(self.cur.consumed)
+    }
+}
+
+/// Decode a binary trace from an in-memory buffer.
+pub fn decode(data: &[u8]) -> Result<Trace, TraceIoError> {
+    if let Some(obs) = ats_obs::global_if_enabled() {
+        obs.trace.binary_bytes_decoded.add(data.len() as u64);
+    }
+    let mut br = BlockReader::new(data)?;
+    let mut locations = Vec::with_capacity(clamped_cap(
+        br.n_locations() as usize,
+        std::mem::size_of::<LocationTrace>(),
+    ));
+    while let Some(block) = br.next_block()? {
+        locations.push(block.to_location_trace());
+    }
+    let (regions, comms) = br.take_tables();
+    Ok(Trace::with_comms(regions, comms, locations))
 }
 
 /// Write a trace in binary form, mirroring [`crate::io::write_jsonl`].
@@ -582,11 +895,97 @@ pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoErro
 }
 
 /// Read a trace written by [`write_binary`], mirroring
-/// [`crate::io::read_jsonl`].
-pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
-    let mut data = Vec::new();
-    r.read_to_end(&mut data)?;
-    decode(&data)
+/// [`crate::io::read_jsonl`]. Unlike [`decode`], this never buffers the
+/// whole file: blocks stream through one reused [`LocationBlock`].
+pub fn read_binary<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let mut br = BlockReader::new(r)?;
+    let mut locations = Vec::with_capacity(clamped_cap(
+        br.n_locations() as usize,
+        std::mem::size_of::<LocationTrace>(),
+    ));
+    while let Some(block) = br.next_block()? {
+        locations.push(block.to_location_trace());
+    }
+    let (regions, comms) = br.take_tables();
+    let bytes = br.finish()?;
+    if let Some(obs) = ats_obs::global_if_enabled() {
+        obs.trace.binary_bytes_decoded.add(bytes);
+    }
+    Ok(Trace::with_comms(regions, comms, locations))
+}
+
+/// Streaming writer mirroring [`BlockReader`]: emits the header and tables
+/// up front, then one location block per [`write_location`]
+/// (Self::write_location) call. The byte stream is identical to
+/// [`encode`] over the same trace, so readers cannot tell the two writers
+/// apart — which is what lets a generator produce traces far larger than
+/// memory.
+pub struct BlockWriter<W: Write> {
+    w: W,
+    /// Capacity hint for the next block buffer, tracking the largest block
+    /// seen so far.
+    cap: usize,
+    declared: u64,
+    written: u64,
+    bytes: u64,
+}
+
+impl<W: Write> BlockWriter<W> {
+    /// Write the header, tables and the declared location count.
+    pub fn new(
+        mut w: W,
+        regions: &[RegionMeta],
+        comms: &[CommDef],
+        n_locations: u64,
+    ) -> Result<Self, TraceIoError> {
+        let mut buf = BytesMut::with_capacity(4096);
+        encode_tables(&mut buf, regions, comms);
+        put_varint(&mut buf, n_locations);
+        w.write_all(&buf)?;
+        Ok(BlockWriter {
+            w,
+            cap: 4096,
+            declared: n_locations,
+            written: 0,
+            bytes: buf.len() as u64,
+        })
+    }
+
+    /// Append one location block. Locations must arrive sorted by
+    /// `LocationId` with no duplicates for the result to satisfy the
+    /// [`Trace`] invariants readers rely on; the writer itself only
+    /// enforces the declared count.
+    pub fn write_location(&mut self, loc: &LocationTrace) -> Result<(), TraceIoError> {
+        if self.written == self.declared {
+            return Err(TraceIoError::Format(format!(
+                "binary trace: more location blocks written than the {} declared",
+                self.declared
+            )));
+        }
+        let mut buf = BytesMut::with_capacity(self.cap);
+        encode_location(&mut buf, loc);
+        self.w.write_all(&buf)?;
+        self.cap = self.cap.max(buf.len());
+        self.bytes += buf.len() as u64;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flush and return the total bytes written. Fails if fewer blocks
+    /// were written than declared (the file would be unreadable).
+    pub fn finish(mut self) -> Result<u64, TraceIoError> {
+        if self.written != self.declared {
+            return Err(TraceIoError::Format(format!(
+                "binary trace: {} location blocks written but {} declared",
+                self.written, self.declared
+            )));
+        }
+        self.w.flush()?;
+        if let Some(obs) = ats_obs::global_if_enabled() {
+            obs.trace.binary_bytes_encoded.add(self.bytes);
+        }
+        Ok(self.bytes)
+    }
 }
 
 #[cfg(test)]
@@ -868,5 +1267,151 @@ mod tests {
         for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1234567, -7654321] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    /// Header-only buffer: magic, version, flags.
+    fn header() -> BytesMut {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(0);
+        buf
+    }
+
+    #[test]
+    fn absurd_region_count_is_a_clean_error() {
+        // A corrupt header claiming ~u64::MAX regions must fail with a
+        // format error when the stream runs dry, not attempt a giant
+        // allocation first.
+        let mut buf = header();
+        put_varint(&mut buf, u64::MAX / 2);
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "got {err}");
+    }
+
+    #[test]
+    fn absurd_comm_member_count_is_a_clean_error() {
+        let mut buf = header();
+        put_varint(&mut buf, 0); // regions
+        put_varint(&mut buf, 1); // one comm
+        put_varint(&mut buf, 0); // id
+        put_varint(&mut buf, u64::MAX / 2); // absurd member count
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "got {err}");
+    }
+
+    #[test]
+    fn absurd_event_count_is_a_clean_error() {
+        let mut buf = header();
+        put_varint(&mut buf, 0); // regions
+        put_varint(&mut buf, 0); // comms
+        put_varint(&mut buf, 1); // one location
+        put_varint(&mut buf, 0); // rank
+        put_varint(&mut buf, 0); // thread
+        put_varint(&mut buf, u64::MAX / 2); // absurd event count
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "got {err}");
+    }
+
+    #[test]
+    fn absurd_location_count_is_a_clean_error() {
+        let mut buf = header();
+        put_varint(&mut buf, 0); // regions
+        put_varint(&mut buf, 0); // comms
+        put_varint(&mut buf, u64::MAX / 2); // absurd location count
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "got {err}");
+    }
+
+    #[test]
+    fn absurd_region_name_length_is_a_clean_error() {
+        let mut buf = header();
+        put_varint(&mut buf, 1); // one region
+        put_varint(&mut buf, u64::MAX / 2); // absurd name length
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "got {err}");
+    }
+
+    #[test]
+    fn block_reader_yields_the_sample_locations_in_order() {
+        let tr = sample();
+        let data = encode(&tr);
+        let mut br = BlockReader::new(&data[..]).unwrap();
+        assert_eq!(br.regions(), &tr.regions[..]);
+        assert_eq!(br.comms(), &tr.comms[..]);
+        assert_eq!(br.n_locations(), tr.locations.len() as u64);
+        let mut got = Vec::new();
+        while let Some(block) = br.next_block().unwrap() {
+            assert_eq!(block.len(), block.events().len());
+            assert_eq!(block.start_time(), Some(block.to_location_trace().events[0].time));
+            got.push(block.to_location_trace());
+        }
+        assert_eq!(got, tr.locations);
+        assert_eq!(br.finish().unwrap(), data.len() as u64);
+    }
+
+    #[test]
+    fn block_reader_detects_trailing_garbage() {
+        let mut data = encode(&sample()).to_vec();
+        data.extend_from_slice(&[0, 0, 0]);
+        let mut br = BlockReader::new(&data[..]).unwrap();
+        let err = loop {
+            match br.next_block() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("trailing garbage must be rejected"),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("3 trailing bytes"), "got {err}");
+    }
+
+    #[test]
+    fn block_writer_is_byte_identical_to_encode() {
+        let tr = sample();
+        let mut out = Vec::new();
+        let mut bw =
+            BlockWriter::new(&mut out, &tr.regions, &tr.comms, tr.locations.len() as u64).unwrap();
+        for loc in &tr.locations {
+            bw.write_location(loc).unwrap();
+        }
+        let bytes = bw.finish().unwrap();
+        let whole = encode(&tr);
+        assert_eq!(out, whole.to_vec());
+        assert_eq!(bytes, whole.len() as u64);
+    }
+
+    #[test]
+    fn block_writer_enforces_the_declared_count() {
+        let tr = sample();
+        // Too few blocks: finish() refuses.
+        let mut out = Vec::new();
+        let bw = BlockWriter::new(&mut out, &tr.regions, &tr.comms, 2).unwrap();
+        assert!(bw.finish().unwrap_err().to_string().contains("declared"));
+        // Too many blocks: write_location refuses.
+        let mut out = Vec::new();
+        let mut bw = BlockWriter::new(&mut out, &tr.regions, &tr.comms, 0).unwrap();
+        let err = bw.write_location(&tr.locations[0]).unwrap_err();
+        assert!(err.to_string().contains("declared"), "got {err}");
+    }
+
+    /// A reader that hands out one byte per call, to hammer the cursor's
+    /// refill boundaries.
+    struct OneByte<R>(R);
+
+    impl<R: Read> Read for OneByte<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.read(&mut buf[..1])
+        }
+    }
+
+    #[test]
+    fn one_byte_at_a_time_stream_roundtrips() {
+        let tr = sample();
+        let data = encode(&tr);
+        let back = read_binary(OneByte(&data[..])).unwrap();
+        assert_traces_equal(&tr, &back);
     }
 }

@@ -211,36 +211,91 @@ impl<R: BufRead> JsonlLines<R> {
     }
 }
 
+/// Streaming reader over a JSONL trace: parses the two header lines
+/// eagerly, then yields one [`LocationTrace`] per [`next_location`]
+/// (Self::next_location) call, so peak memory is one location's events
+/// rather than the whole trace. [`read_jsonl`] is this plus collection.
+pub struct JsonlStream<R> {
+    lines: JsonlLines<R>,
+    regions: Vec<RegionMeta>,
+    comms: Vec<CommDef>,
+}
+
+impl<R: BufRead> JsonlStream<R> {
+    /// Parse the region-table and communicator-table header lines;
+    /// structural damage is a [`TraceIoError::Format`] naming the line.
+    pub fn new(r: R) -> Result<Self, TraceIoError> {
+        let mut lines = JsonlLines {
+            r,
+            buf: String::new(),
+            lineno: 0,
+            bytes: 0,
+        };
+        if !lines.advance()? {
+            return Err(TraceIoError::Format(
+                "truncated file: missing region-table header line".to_owned(),
+            ));
+        }
+        let regions: Vec<RegionMeta> = lines.parse("region-table header")?;
+        if !lines.advance()? {
+            return Err(TraceIoError::Format(
+                "truncated file: missing communicator-table header line".to_owned(),
+            ));
+        }
+        let comms: Vec<CommDef> = lines.parse("communicator-table header")?;
+        Ok(JsonlStream {
+            lines,
+            regions,
+            comms,
+        })
+    }
+
+    /// The decoded region table.
+    pub fn regions(&self) -> &[RegionMeta] {
+        &self.regions
+    }
+
+    /// The decoded communicator table.
+    pub fn comms(&self) -> &[CommDef] {
+        &self.comms
+    }
+
+    /// Move the tables out without cloning; subsequent accessor calls see
+    /// empty tables.
+    pub fn take_tables(&mut self) -> (Vec<RegionMeta>, Vec<CommDef>) {
+        (
+            std::mem::take(&mut self.regions),
+            std::mem::take(&mut self.comms),
+        )
+    }
+
+    /// Parse the next location stream line, or `None` at end of input.
+    pub fn next_location(&mut self) -> Result<Option<LocationTrace>, TraceIoError> {
+        if !self.lines.advance()? {
+            return Ok(None);
+        }
+        Ok(Some(self.lines.parse("location stream")?))
+    }
+
+    /// Bytes consumed from the source so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.lines.bytes
+    }
+}
+
 /// Read a trace written by [`write_jsonl`]. Structural damage (missing
 /// headers, CRLF translation, truncated or malformed lines) is reported as
 /// [`TraceIoError::Format`] naming the physical line.
 pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
-    let mut lines = JsonlLines {
-        r,
-        buf: String::new(),
-        lineno: 0,
-        bytes: 0,
-    };
-    if !lines.advance()? {
-        return Err(TraceIoError::Format(
-            "truncated file: missing region-table header line".to_owned(),
-        ));
-    }
-    let regions: Vec<RegionMeta> = lines.parse("region-table header")?;
-    if !lines.advance()? {
-        return Err(TraceIoError::Format(
-            "truncated file: missing communicator-table header line".to_owned(),
-        ));
-    }
-    let comms: Vec<CommDef> = lines.parse("communicator-table header")?;
+    let mut stream = JsonlStream::new(r)?;
     let mut locations = Vec::new();
-    while lines.advance()? {
-        let loc: LocationTrace = lines.parse("location stream")?;
+    while let Some(loc) = stream.next_location()? {
         locations.push(loc);
     }
     if let Some(obs) = ats_obs::global_if_enabled() {
-        obs.trace.jsonl_bytes_decoded.add(lines.bytes);
+        obs.trace.jsonl_bytes_decoded.add(stream.bytes_read());
     }
+    let (regions, comms) = stream.take_tables();
     Ok(Trace::with_comms(regions, comms, locations))
 }
 

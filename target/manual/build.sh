@@ -45,6 +45,7 @@ unit_test() {
 A() { echo "ats_runtime=$OUT/libats_runtime.rlib"; }
 
 set -e
+build_lib ats_testutil crates/testutil/src/lib.rs
 build_lib ats_runtime crates/runtime/src/lib.rs "serde=$EXT_serde" "parking_lot=$EXT_parking_lot"
 build_lib ats_obs crates/obs/src/lib.rs "serde=$EXT_serde" "serde_json=$EXT_serde_json" "parking_lot=$EXT_parking_lot"
 build_lib ats_trace crates/trace/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json" "parking_lot=$EXT_parking_lot" "bytes=$EXT_bytes"

@@ -30,7 +30,8 @@ X_pl="--extern parking_lot=$(dep parking_lot)"
 X_cb="--extern crossbeam=$(dep crossbeam)"
 X_bytes="--extern bytes=$(dep bytes)"
 X_pt="--extern proptest=$(dep proptest)"
-X_all="$X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_store $X_harness $X_fuzz $X_apps $X_serde $X_sj $X_pl $X_cb $X_bytes"
+X_testutil="--extern ats_testutil=$OUT/libats_testutil.rlib"
+X_all="$X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_store $X_harness $X_fuzz $X_apps $X_testutil $X_serde $X_sj $X_pl $X_cb $X_bytes"
 
 PASS=0; FAIL=0; FAILED=""
 run() {
@@ -49,21 +50,23 @@ build() { # name srcfile externs...
   run $name
 }
 
+build testutil_t crates/testutil/src/lib.rs
 build runtime_t crates/runtime/src/lib.rs $X_serde $X_sj $X_pl
 build obs_t crates/obs/src/lib.rs $X_serde $X_sj $X_pl
 build trace_t crates/trace/src/lib.rs $X_runtime $X_obs $X_serde $X_sj $X_pl $X_bytes
 build mpi_t crates/mpisim/src/lib.rs $X_runtime $X_obs $X_trace $X_pl $X_cb $X_bytes
 build omp_t crates/ompsim/src/lib.rs $X_runtime $X_trace $X_pl $X_cb
 build core_t crates/core/src/lib.rs $X_runtime $X_trace $X_mpi $X_omp $X_serde $X_sj $X_bytes
-build analyzer_t crates/analyzer/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_serde $X_sj
+build analyzer_t crates/analyzer/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_testutil $X_serde $X_sj
 build store_t crates/store/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_serde $X_sj
-build harness_t crates/harness/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_store $X_serde $X_sj $X_pl $X_cb
-build fuzz_t crates/fuzz/src/lib.rs $X_runtime $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_harness $X_store $X_serde $X_sj
+build harness_t crates/harness/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_store $X_testutil $X_serde $X_sj $X_pl $X_cb
+build fuzz_t crates/fuzz/src/lib.rs $X_runtime $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_harness $X_store $X_testutil $X_serde $X_sj
 build apps_t crates/apps/src/lib.rs $X_runtime $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_serde
 build bench_t crates/bench/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_harness $X_store $X_fuzz $X_apps $X_serde $X_sj
 
 for it in determinism end_to_end fuzz_oracle obs_metrics parallel_engine \
-          scale_stress severity_accuracy trace_formats store_incremental; do
+          scale_stress severity_accuracy trace_formats store_incremental \
+          stream_analysis; do
   build ${it}_t tests/$it.rs $X_ats $X_all
 done
 # tests/proptests.rs needs the real proptest macros; the offline stub
