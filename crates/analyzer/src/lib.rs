@@ -36,7 +36,8 @@
 /// model, report layout). Any change that can alter a report for the same
 /// trace must bump this — cached analyzer outputs are keyed on it, so a
 /// bump invalidates every cached report without touching the store.
-pub const ANALYSIS_VERSION: u32 = 2;
+/// (3: report export moved to the frozen `ats-report/1` wire layout.)
+pub const ANALYSIS_VERSION: u32 = 3;
 
 pub mod analyzer;
 pub mod asl;
@@ -48,6 +49,7 @@ pub mod phases;
 pub mod property;
 pub mod report;
 pub mod severity;
+pub mod wire;
 
 pub use analyzer::{analyze, AnalyzerConfig};
 pub use callpath::{PathId, PathTable};
@@ -58,6 +60,7 @@ pub use phases::{analyze_phases, PhaseReport, PhaseSeries};
 pub use property::PropertyKind;
 pub use report::{diff, AnalysisReport, DiffEntry, Finding};
 pub use severity::SeverityCube;
+pub use wire::{FindingDoc, ReportDoc, REPORT_SCHEMA};
 
 // Convenience re-exports for the ASL layer.
 pub use asl::{default_property_set, AslFinding, PropertySet};

@@ -125,21 +125,14 @@ impl AnalysisReport {
         locs
     }
 
-    /// Serialize the findings (with run totals) as a JSON document — the
-    /// machine-readable form EXPERIMENTS.md and external tools consume.
+    /// Serialize the findings (with run totals) as an `ats-report/1`
+    /// document — the machine-readable form EXPERIMENTS.md scripts, the
+    /// store's `report.json` and every `ats-serve` endpoint share. The
+    /// bytes are the canonical rendering defined by [`crate::wire`]; they
+    /// are required (and CI-gated) to be identical wherever the same
+    /// report is produced.
     pub fn to_json(&self) -> String {
-        #[derive(Serialize)]
-        struct Doc<'a> {
-            total_alloc_secs: f64,
-            threshold: f64,
-            findings: &'a [Finding],
-        }
-        serde_json::to_string_pretty(&Doc {
-            total_alloc_secs: self.cube.total_alloc().as_secs(),
-            threshold: self.threshold,
-            findings: &self.findings,
-        })
-        .expect("findings serialize")
+        crate::wire::ReportDoc::of(self).render()
     }
 
     /// Render the EXPERT-like tri-pane text view: property tree with
@@ -323,10 +316,12 @@ mod tests {
         });
         let report = analyze(&trace, &AnalyzerConfig::default());
         let json = report.to_json();
-        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert!(doc["total_alloc_secs"].as_f64().unwrap() > 0.0);
-        assert_eq!(doc["findings"][0]["property"], "LateSender");
-        assert!(doc["findings"][0]["severity"].as_f64().unwrap() > 0.0);
+        let doc = crate::wire::ReportDoc::parse(&json).unwrap();
+        assert_eq!(doc.schema, crate::wire::REPORT_SCHEMA);
+        assert!(doc.total_alloc_secs > 0.0);
+        assert_eq!(doc.findings[0].property, "LateSender");
+        assert!(doc.findings[0].severity > 0.0);
+        assert_eq!(doc.findings[0].wait_ns, report.findings[0].wait.as_nanos());
     }
 
     #[test]

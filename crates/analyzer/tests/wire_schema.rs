@@ -1,0 +1,60 @@
+//! The `ats-report/1` wire schema cannot drift silently.
+//!
+//! Two guards: a round-trip (export → parse → re-render is a byte-level
+//! fixed point) and a golden file (the exact bytes of a fixed
+//! deterministic run, checked into the tree). Any change to field names,
+//! ordering, or number formatting fails the golden comparison and forces
+//! a deliberate schema bump.
+
+use ats_analyzer::{analyze, AnalyzerConfig, ReportDoc, REPORT_SCHEMA};
+use ats_core::{properties::mpi_p2p, BaseComm};
+use ats_mpi::SimConfig;
+use ats_runtime::{MachineModel, VDur};
+
+/// The fixed scenario the golden file was generated from. Virtual-time
+/// simulation makes the trace — and therefore the report bytes —
+/// deterministic on every host and at any worker count.
+fn golden_report_json() -> String {
+    let cfg = SimConfig {
+        nprocs: 2,
+        model: MachineModel::zero(),
+        init_time: VDur::ZERO,
+        finalize_time: VDur::ZERO,
+        ..Default::default()
+    };
+    let trace = ats_mpi::run(cfg, |p| {
+        let world = p.comm_world();
+        mpi_p2p::late_sender(p, &BaseComm::default(), 0.001, 0.050, 2, &world);
+    });
+    analyze(&trace, &AnalyzerConfig::default()).to_json()
+}
+
+#[test]
+fn report_bytes_match_golden_file() {
+    let got = golden_report_json();
+    let want = include_str!("golden/report_v1.json");
+    assert_eq!(
+        got, want,
+        "ats-report/1 bytes drifted from tests/golden/report_v1.json — \
+         if the change is deliberate, bump the schema tag and regenerate"
+    );
+}
+
+#[test]
+fn report_round_trips_byte_identically() {
+    let json = golden_report_json();
+    let doc = ReportDoc::parse(&json).expect("canonical bytes parse");
+    assert_eq!(doc.schema, REPORT_SCHEMA);
+    assert_eq!(doc.render(), json, "parse → render is a fixed point");
+    assert_eq!(doc.findings[0].property, "LateSender");
+    assert_eq!(doc.findings_for("LateSender").len(), doc.findings.len());
+    assert!(doc.total_wait() > VDur::ZERO);
+}
+
+#[test]
+fn golden_file_itself_parses_as_v1() {
+    let doc = ReportDoc::parse(include_str!("golden/report_v1.json")).unwrap();
+    assert_eq!(doc.schema, REPORT_SCHEMA);
+    assert!(!doc.findings.is_empty());
+    assert!(doc.threshold > 0.0);
+}

@@ -41,6 +41,12 @@ pub enum ErrorKind {
     /// The content-addressed artifact store failed (I/O, index, or
     /// integrity verification).
     Store,
+    /// An analyzer report document that fails wire-schema validation
+    /// (unknown schema tag, missing or mistyped field).
+    Report,
+    /// A service request the campaign server rejects (bad route, body,
+    /// or protocol use).
+    Request,
 }
 
 impl ErrorKind {
@@ -57,6 +63,8 @@ impl ErrorKind {
             ErrorKind::Corpus => "corpus",
             ErrorKind::Campaign => "campaign",
             ErrorKind::Store => "store",
+            ErrorKind::Report => "report",
+            ErrorKind::Request => "request",
         }
     }
 }
@@ -124,6 +132,16 @@ impl Error {
     /// An artifact-store failure (I/O, index, or integrity verification).
     pub fn store(message: impl Into<String>) -> Self {
         Error::new(ErrorKind::Store, message)
+    }
+
+    /// A report document failing wire-schema validation.
+    pub fn report(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Report, message)
+    }
+
+    /// A service request the campaign server rejects.
+    pub fn request(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Request, message)
     }
 
     /// The stable failure category.

@@ -1,12 +1,14 @@
-//! A small, self-contained JSON value — the store's canonical document
+//! A small, self-contained JSON value — the suite's canonical document
 //! representation.
 //!
-//! The store's on-disk documents (`entry.json`, `index.json`) and the
-//! key-ingredient documents that [`crate::CacheKey`] hashes must render
-//! *canonically*: the same content always produces the same bytes, on
-//! every platform, forever — a cache key is only as stable as its
-//! serializer. Rather than pin that guarantee on an external crate's
-//! formatting choices, the store owns a deliberately tiny JSON model:
+//! The suite's wire and on-disk documents (the store's `entry.json` and
+//! `index.json`, the key-ingredient documents its cache keys hash, the
+//! `ats-report/1` analyzer wire schema, every `ats-serve` response body)
+//! must render *canonically*: the same content always produces the same
+//! bytes, on every platform, forever — a cache key is only as stable as
+//! its serializer, and a frozen wire schema is only as stable as its
+//! formatter. Rather than pin that guarantee on an external crate's
+//! formatting choices, the suite owns a deliberately tiny JSON model:
 //!
 //! * objects are [`BTreeMap`]s, so members always render in sorted key
 //!   order regardless of insertion order;
@@ -19,8 +21,11 @@
 //!
 //! The parser accepts standard JSON (objects, arrays, strings with
 //! escapes and surrogate pairs, numbers, booleans, null) and is the read
-//! path for store manifests — entries written by one process are
-//! re-verified by another without any serde machinery in between.
+//! path for store manifests and service requests — documents written by
+//! one process are re-verified by another without any serde machinery in
+//! between. (This module grew up in `ats-store` and moved here once the
+//! analyzer's wire schema and the campaign service needed it too;
+//! `ats_store::Json` remains a re-export.)
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -189,6 +194,22 @@ impl Json {
 
     /// The member map, if this is an object.
     pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Mutable element access, if this is an array.
+    pub fn as_arr_mut(&mut self) -> Option<&mut Vec<Json>> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Mutable member access, if this is an object.
+    pub fn as_obj_mut(&mut self) -> Option<&mut BTreeMap<String, Json>> {
         match self {
             Json::Obj(map) => Some(map),
             _ => None,

@@ -42,6 +42,7 @@ pub mod composite;
 pub mod distribution;
 pub mod error;
 pub mod hybrid;
+pub mod json;
 pub mod pattern;
 pub mod properties;
 pub mod work;
@@ -52,5 +53,6 @@ pub use composite::CompositeParams;
 pub use distribution::Distr;
 pub use error::{Error, ErrorKind};
 pub use hybrid::{with_omp, HybridMaster};
+pub use json::Json;
 pub use pattern::{sendrecv, shift, Dir, PatternMode};
 pub use work::{par_do_mpi_work, par_do_omp_work};

@@ -8,13 +8,18 @@
 //! barrier, so every slot starts from aligned clocks.
 //!
 //! Scenarios have two interchangeable wire forms: JSON (one object per
-//! line in JSONL corpora, via serde) and a compact single-line text form
+//! line in JSONL corpora, rendered through the canonical
+//! [`ats_core::json::Json`] model) and a compact single-line text form
 //! (`Display` / `FromStr`) for log output and quick manual authoring.
-//! Both round-trip exactly, and serialization is byte-stable: parameters
-//! live in a `BTreeMap`, so the same scenario value always serializes to
-//! the same bytes — the property the determinism gate in CI checks.
+//! [`Scenario::parse_line`] accepts either, so every spec-accepting
+//! surface (CLI flags, corpus replay, the campaign service) understands
+//! the same union. Both forms round-trip exactly, and serialization is
+//! byte-stable: parameters live in a `BTreeMap` and the canonical model
+//! sorts object keys, so the same scenario value always serializes to the
+//! same bytes — the property the determinism gate in CI checks.
 
 use ats_core::catalog::{self, Paradigm};
+use ats_core::json::Json;
 use ats_core::Error;
 use ats_harness::ParamValues;
 use serde::{Deserialize, Serialize};
@@ -68,6 +73,51 @@ impl Split {
             Split::Whole => nprocs,
             Split::Block { groups } => (g + 1) * nprocs / groups - g * nprocs / groups,
             Split::Stride { groups } => nprocs / groups + usize::from(g < nprocs % groups),
+        }
+    }
+}
+
+impl Split {
+    /// Canonical JSON value, matching the serde JSONL layout (`"whole"`,
+    /// `{"block":{"groups":n}}`, `{"stride":{"groups":n}}`).
+    pub fn to_json_value(&self) -> Json {
+        match self {
+            Split::Whole => Json::from("whole"),
+            Split::Block { groups } => {
+                Json::obj().with("block", Json::obj().with("groups", *groups))
+            }
+            Split::Stride { groups } => {
+                Json::obj().with("stride", Json::obj().with("groups", *groups))
+            }
+        }
+    }
+
+    /// Parse the canonical JSON layout back (string forms like `block2`
+    /// are accepted too, via [`FromStr`]).
+    pub fn from_json_value(v: &Json) -> Result<Split, Error> {
+        if let Some(s) = v.as_str() {
+            return s.parse();
+        }
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| Error::scenario("split must be a string or a tagged object"))?;
+        let groups = |tag: &str| {
+            obj.get(tag)
+                .and_then(|t| t.get("groups"))
+                .and_then(Json::as_u64)
+                .map(|g| g as usize)
+                .ok_or_else(|| Error::scenario(format!("split `{tag}` needs integer `groups`")))
+        };
+        if obj.contains_key("block") {
+            Ok(Split::Block {
+                groups: groups("block")?,
+            })
+        } else if obj.contains_key("stride") {
+            Ok(Split::Stride {
+                groups: groups("stride")?,
+            })
+        } else {
+            Err(Error::scenario("unknown split variant"))
         }
     }
 }
@@ -251,11 +301,117 @@ impl Scenario {
         Ok(())
     }
 
-    /// Serialize one scenario per line (JSONL).
+    /// The canonical JSON value of this scenario (the JSONL wire layout:
+    /// sorted keys, byte-stable for equal scenarios).
+    pub fn to_json_value(&self) -> Json {
+        let mut slots = Json::arr();
+        for slot in &self.slots {
+            let mut phases = Json::arr();
+            for ph in &slot.phases {
+                let mut params = Json::obj();
+                for (k, v) in &ph.params {
+                    params.set(k, v.clone());
+                }
+                phases.push(
+                    Json::obj()
+                        .with("group", ph.group)
+                        .with("params", params)
+                        .with("property", ph.property.clone()),
+                );
+            }
+            slots.push(
+                Json::obj()
+                    .with("phases", phases)
+                    .with("split", slot.split.to_json_value()),
+            );
+        }
+        Json::obj()
+            .with("nprocs", self.nprocs)
+            .with("seed", self.seed)
+            .with("slots", slots)
+    }
+
+    /// Parse the canonical JSON layout back (field lookup by name, so any
+    /// member order — including serde's — is accepted).
+    pub fn from_json_value(v: &Json) -> Result<Scenario, Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| Error::scenario(format!("scenario missing `{name}`")))
+        };
+        let mut slots = Vec::new();
+        for (si, sv) in field("slots")?
+            .as_arr()
+            .ok_or_else(|| Error::scenario("`slots` must be an array"))?
+            .iter()
+            .enumerate()
+        {
+            let split = Split::from_json_value(
+                sv.get("split")
+                    .ok_or_else(|| Error::scenario(format!("slot {si} missing `split`")))?,
+            )?;
+            let mut phases = Vec::new();
+            for pv in sv
+                .get("phases")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| Error::scenario(format!("slot {si} missing `phases` array")))?
+            {
+                let property = pv
+                    .get("property")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| Error::scenario(format!("slot {si}: phase without property")))?
+                    .to_owned();
+                let group = pv.get("group").and_then(Json::as_u64).ok_or_else(|| {
+                    Error::scenario(format!("slot {si}: phase `{property}` without group"))
+                })? as usize;
+                let mut params = BTreeMap::new();
+                if let Some(pobj) = pv.get("params").and_then(Json::as_obj) {
+                    for (k, val) in pobj {
+                        let s = val
+                            .as_str()
+                            .map(str::to_owned)
+                            .unwrap_or_else(|| val.render());
+                        params.insert(k.clone(), s);
+                    }
+                }
+                phases.push(Phase {
+                    group,
+                    property,
+                    params,
+                });
+            }
+            slots.push(Slot { split, phases });
+        }
+        Ok(Scenario {
+            seed: field("seed")?
+                .as_u64()
+                .ok_or_else(|| Error::scenario("`seed` must be an unsigned integer"))?,
+            nprocs: field("nprocs")?
+                .as_u64()
+                .ok_or_else(|| Error::scenario("`nprocs` must be an unsigned integer"))?
+                as usize,
+            slots,
+        })
+    }
+
+    /// Parse one spec line: a JSON object (the JSONL corpus form) or the
+    /// compact text form — the union every spec-accepting surface (CLI,
+    /// corpus replay, the campaign service) understands.
+    pub fn parse_line(line: &str) -> Result<Scenario, Error> {
+        let t = line.trim();
+        if t.starts_with('{') {
+            let v = Json::parse(t)
+                .map_err(|e| Error::scenario(format!("invalid scenario JSON: {e}")))?;
+            Scenario::from_json_value(&v)
+        } else {
+            t.parse()
+        }
+    }
+
+    /// Serialize one scenario per line (JSONL, canonical rendering).
     pub fn to_jsonl(scenarios: &[Scenario]) -> String {
         let mut out = String::new();
         for s in scenarios {
-            out.push_str(&serde_json::to_string(s).expect("scenario serializes"));
+            out.push_str(&s.to_json_value().render());
             out.push('\n');
         }
         out
@@ -267,7 +423,7 @@ impl Scenario {
             .enumerate()
             .filter(|(_, l)| !l.trim().is_empty())
             .map(|(i, l)| {
-                serde_json::from_str(l).map_err(|e| Error::scenario(format!("line {}: {e}", i + 1)))
+                Scenario::parse_line(l).map_err(|e| Error::scenario(format!("line {}: {e}", i + 1)))
             })
             .collect()
     }
@@ -453,11 +609,22 @@ mod tests {
     #[test]
     fn json_round_trip_is_byte_stable() {
         let s = sample();
-        let a = serde_json::to_string(&s).unwrap();
-        let back: Scenario = serde_json::from_str(&a).unwrap();
+        let a = s.to_json_value().render();
+        let back = Scenario::from_json_value(&Json::parse(&a).unwrap()).unwrap();
         assert_eq!(back, s);
-        let b = serde_json::to_string(&back).unwrap();
+        let b = back.to_json_value().render();
         assert_eq!(a, b, "serialization must be byte-stable");
+    }
+
+    #[test]
+    fn parse_line_accepts_both_wire_forms() {
+        let s = sample();
+        let from_json = Scenario::parse_line(&s.to_json_value().render()).unwrap();
+        assert_eq!(from_json, s);
+        let from_text = Scenario::parse_line(&s.to_string()).unwrap();
+        assert_eq!(from_text, s);
+        let err = Scenario::parse_line("{not json").unwrap_err();
+        assert_eq!(err.kind(), ats_core::ErrorKind::Scenario);
     }
 
     #[test]

@@ -93,8 +93,9 @@ fn work_mode_label(mode: WorkMode) -> &'static str {
 }
 
 /// Every [`MachineModel`] field, exactly (virtual durations in integer
-/// nanoseconds).
-fn model_json(m: &MachineModel) -> Json {
+/// nanoseconds). Public so other key-document producers (the campaign
+/// service) describe the model identically.
+pub fn model_json(m: &MachineModel) -> Json {
     Json::obj()
         .with("latency_ns", m.latency.0)
         .with("send_overhead_ns", m.send_overhead.0)

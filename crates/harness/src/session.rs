@@ -285,37 +285,6 @@ impl Session {
     }
 }
 
-/// Pre-Session spelling of the run-options half of the API surface.
-#[deprecated(note = "construct a `Session` via `Session::builder()`; it owns the run options")]
-pub type LegacyRunOpts = RunOpts;
-
-/// Pre-Session spelling of the analyzer-config half of the API surface.
-#[deprecated(note = "construct a `Session` via `Session::builder()`; it owns the analyzer config")]
-pub type LegacyAnalyzerConfig = AnalyzerConfig;
-
-/// Pre-Session spelling of the observability half of the API surface.
-#[deprecated(
-    note = "pass an `ObsConfig` to `Session::builder().obs(..)`; the session materializes the handle"
-)]
-pub type LegacyObsConfig = ObsConfig;
-
-/// The pre-Session free-function entry point: run one property from loose
-/// parts.
-#[deprecated(note = "use `Session::run`")]
-pub fn run_single_with(
-    name: &str,
-    params: &ParamValues,
-    opts: &RunOpts,
-) -> Result<Trace, RunError> {
-    run_single(name, params, opts)
-}
-
-/// The pre-Session free-function analysis entry point.
-#[deprecated(note = "use `Session::analyze`")]
-pub fn analyze_with(trace: &Trace, config: &AnalyzerConfig) -> AnalysisReport {
-    analyze(trace, config)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

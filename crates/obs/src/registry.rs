@@ -143,6 +143,28 @@ pub struct StoreMetrics {
     pub bytes_written: Counter,
 }
 
+/// `serve`: the campaign HTTP service. All serve metrics are
+/// runtime-classified — they measure traffic, not workload.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests accepted and answered (any status).
+    pub requests: Counter,
+    /// Connections shed with 429 at admission.
+    pub shed: Counter,
+    /// Responses with a 4xx/5xx status.
+    pub errors: Counter,
+    /// Response body bytes written.
+    pub bytes_out: Counter,
+    /// Campaign rows streamed across all responses.
+    pub rows_streamed: Counter,
+    /// Most requests ever in flight at once.
+    pub inflight_max: Gauge,
+    /// Live connections right now.
+    pub connections: Gauge,
+    /// Request latency, accept to last byte.
+    pub request_time: Histogram,
+}
+
 /// All subsystem metric groups under one roof.
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -152,6 +174,7 @@ pub struct Registry {
     pub analyzer: AnalyzerMetrics,
     pub fuzz: FuzzMetrics,
     pub store: StoreMetrics,
+    pub serve: ServeMetrics,
 }
 
 /// An enumerated counter: name, help, deterministic flag, current value.
@@ -373,6 +396,36 @@ impl Registry {
                 false,
                 &self.store.bytes_written,
             ),
+            c(
+                "ats_serve_requests_total",
+                "Service requests answered",
+                false,
+                &self.serve.requests,
+            ),
+            c(
+                "ats_serve_shed_total",
+                "Connections shed with 429 at admission",
+                false,
+                &self.serve.shed,
+            ),
+            c(
+                "ats_serve_errors_total",
+                "Service responses with an error status",
+                false,
+                &self.serve.errors,
+            ),
+            c(
+                "ats_serve_bytes_out_total",
+                "Response body bytes written",
+                false,
+                &self.serve.bytes_out,
+            ),
+            c(
+                "ats_serve_rows_streamed_total",
+                "Campaign rows streamed to clients",
+                false,
+                &self.serve.rows_streamed,
+            ),
         ]
     }
 
@@ -398,6 +451,16 @@ impl Registry {
                 "ats_pool_jobs_occupancy",
                 "Workers in the latest pool launch",
                 &self.pool.jobs_occupancy,
+            ),
+            g(
+                "ats_serve_inflight_max",
+                "Most requests ever in flight at once",
+                &self.serve.inflight_max,
+            ),
+            g(
+                "ats_serve_connections",
+                "Live service connections",
+                &self.serve.connections,
             ),
         ]
     }
@@ -460,6 +523,11 @@ impl Registry {
                 "ats_fuzz_scenario_seconds",
                 "Per-scenario latency",
                 &self.fuzz.scenario_time,
+            ),
+            h(
+                "ats_serve_request_seconds",
+                "Request latency, accept to last byte",
+                &self.serve.request_time,
             ),
         ]
     }
@@ -552,7 +620,7 @@ mod tests {
     }
 
     #[test]
-    fn enumeration_covers_all_five_subsystems() {
+    fn enumeration_covers_all_subsystems() {
         let r = Registry::default();
         let names: Vec<&str> = r
             .counters()
@@ -568,6 +636,7 @@ mod tests {
             "ats_analyzer_",
             "ats_fuzz_",
             "ats_store_",
+            "ats_serve_",
         ] {
             assert!(
                 names.iter().any(|n| n.starts_with(prefix)),

@@ -1,0 +1,84 @@
+//! `ats-serve` — run the campaign service from the command line.
+//!
+//! ```text
+//! ats_serve [--addr HOST:PORT] [--cache {off,ro,rw}] [--cache-dir DIR]
+//!           [--workers N] [--max-conns N] [--tenant-inflight N]
+//!           [--procs N] [--jobs N] [--threshold T] [--realistic]
+//! ```
+//!
+//! Observability is always on: `GET /metrics` serves the session
+//! registry. The process runs until killed; the artifact store defaults
+//! to read-write so campaigns warm it up.
+
+use ats_harness::Session;
+use ats_obs::ObsConfig;
+use ats_serve::{start, ServeConfig};
+use ats_store::CacheMode;
+
+fn value_of(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match value_of(args, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("{name} needs a valid value, got {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: ats_serve [--addr HOST:PORT] [--cache {{off,ro,rw}}] [--cache-dir DIR]\n\
+             \x20                [--workers N] [--max-conns N] [--tenant-inflight N]\n\
+             \x20                [--procs N] [--jobs N] [--threshold T] [--realistic]"
+        );
+        return;
+    }
+    let cache_mode: CacheMode = parsed_or(&args, "--cache", CacheMode::ReadWrite);
+
+    let mut builder = Session::builder()
+        .procs(parsed_or(&args, "--procs", 4))
+        .jobs(parsed_or(&args, "--jobs", 0))
+        .threshold(parsed_or(&args, "--threshold", 0.005))
+        .obs(ObsConfig::on())
+        .cache(cache_mode);
+    if let Some(dir) = value_of(&args, "--cache-dir") {
+        builder = builder.cache_dir(dir);
+    }
+    if args.iter().any(|a| a == "--realistic") {
+        builder = builder.realistic();
+    }
+    let session = builder.build();
+
+    let mut config = ServeConfig {
+        addr: value_of(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_owned()),
+        ..ServeConfig::default()
+    };
+    config.workers = parsed_or(&args, "--workers", config.workers);
+    config.max_conns = parsed_or(&args, "--max-conns", config.max_conns);
+    config.tenant_inflight = parsed_or(&args, "--tenant-inflight", config.tenant_inflight);
+
+    let handle = match start(session, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("ats-serve: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("ats-serve listening on http://{}", handle.addr());
+    println!("  POST /v1/analyze    one scenario spec line -> ats-report/1");
+    println!("  POST /v1/campaign   JSONL specs -> streamed ats-serve-row/1");
+    println!("  GET  /v1/artifacts/{{key}}/{{file}}");
+    println!("  GET  /metrics | /v1/version | /healthz");
+    loop {
+        std::thread::park();
+    }
+}

@@ -12,8 +12,9 @@
 //! re-executing it — so a campaign only needs to execute combinations
 //! whose key has never been seen. This crate provides the pieces:
 //!
-//! * [`Json`] — a self-contained canonical JSON model (sorted object
-//!   keys, exact integers, shortest-round-trip floats), so key bytes and
+//! * [`Json`] — the suite's self-contained canonical JSON model (sorted
+//!   object keys, exact integers, shortest-round-trip floats; it lives in
+//!   [`ats_core::json`] and is re-exported here), so key bytes and
 //!   manifests never depend on an external serializer's formatting;
 //! * [`CacheKey`] — a stable 128-bit hash (two-lane [`hash::xxh64`]) of a
 //!   canonical JSON ingredients document;
@@ -26,12 +27,17 @@
 
 pub mod atomic;
 pub mod hash;
-pub mod json;
 pub mod key;
 pub mod mode;
 pub mod store;
 
-pub use json::Json;
+/// The canonical JSON model (now `ats_core::json`; re-exported here for
+/// the store's original callers).
+pub mod json {
+    pub use ats_core::json::*;
+}
+
+pub use ats_core::json::Json;
 pub use key::CacheKey;
 pub use mode::CacheMode;
 pub use store::{EntryDoc, FileMeta, Store, StoreStats, StoredEntry};

@@ -15,5 +15,6 @@ pub use ats_mpi as mpi;
 pub use ats_obs as obs;
 pub use ats_omp as omp;
 pub use ats_runtime as runtime;
+pub use ats_serve as serve;
 pub use ats_store as store;
 pub use ats_trace as trace;

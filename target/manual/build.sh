@@ -56,7 +56,8 @@ build_lib ats_analyzer crates/analyzer/src/lib.rs "ats_runtime=$OUT/libats_runti
 build_lib ats_store crates/store/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json"
 build_lib ats_harness crates/harness/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_store=$OUT/libats_store.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json" "parking_lot=$EXT_parking_lot" "crossbeam=$EXT_crossbeam"
 build_lib ats_fuzz crates/fuzz/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_harness=$OUT/libats_harness.rlib" "ats_store=$OUT/libats_store.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json"
+build_lib ats_serve crates/serve/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_store=$OUT/libats_store.rlib" "ats_harness=$OUT/libats_harness.rlib" "ats_fuzz=$OUT/libats_fuzz.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json"
 build_lib ats_apps crates/apps/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "serde=$EXT_serde"
-build_lib ats src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_store=$OUT/libats_store.rlib" "ats_harness=$OUT/libats_harness.rlib" "ats_fuzz=$OUT/libats_fuzz.rlib" "ats_apps=$OUT/libats_apps.rlib"
-build_lib ats_bench crates/bench/src/lib.rs "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_harness=$OUT/libats_harness.rlib" "ats_store=$OUT/libats_store.rlib" "ats_fuzz=$OUT/libats_fuzz.rlib" "ats_apps=$OUT/libats_apps.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json" "criterion=$EXT_criterion"
+build_lib ats src/lib.rs "ats_serve=$OUT/libats_serve.rlib" "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_store=$OUT/libats_store.rlib" "ats_harness=$OUT/libats_harness.rlib" "ats_fuzz=$OUT/libats_fuzz.rlib" "ats_apps=$OUT/libats_apps.rlib"
+build_lib ats_bench crates/bench/src/lib.rs "ats_serve=$OUT/libats_serve.rlib" "ats_runtime=$OUT/libats_runtime.rlib" "ats_obs=$OUT/libats_obs.rlib" "ats_trace=$OUT/libats_trace.rlib" "ats_mpi=$OUT/libats_mpi.rlib" "ats_omp=$OUT/libats_omp.rlib" "ats_core=$OUT/libats_core.rlib" "ats_analyzer=$OUT/libats_analyzer.rlib" "ats_harness=$OUT/libats_harness.rlib" "ats_store=$OUT/libats_store.rlib" "ats_fuzz=$OUT/libats_fuzz.rlib" "ats_apps=$OUT/libats_apps.rlib" "serde=$EXT_serde" "serde_json=$EXT_serde_json" "criterion=$EXT_criterion"
 echo "ALL LIBS OK ($MODE)"

@@ -22,6 +22,7 @@ X_analyzer="--extern ats_analyzer=$OUT/libats_analyzer.rlib"
 X_store="--extern ats_store=$OUT/libats_store.rlib"
 X_harness="--extern ats_harness=$OUT/libats_harness.rlib"
 X_fuzz="--extern ats_fuzz=$OUT/libats_fuzz.rlib"
+X_serve="--extern ats_serve=$OUT/libats_serve.rlib"
 X_apps="--extern ats_apps=$OUT/libats_apps.rlib"
 X_ats="--extern ats=$OUT/libats.rlib"
 X_serde="--extern serde=$(dep serde)"
@@ -31,7 +32,7 @@ X_cb="--extern crossbeam=$(dep crossbeam)"
 X_bytes="--extern bytes=$(dep bytes)"
 X_pt="--extern proptest=$(dep proptest)"
 X_testutil="--extern ats_testutil=$OUT/libats_testutil.rlib"
-X_all="$X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_store $X_harness $X_fuzz $X_apps $X_testutil $X_serde $X_sj $X_pl $X_cb $X_bytes"
+X_all="$X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_store $X_harness $X_fuzz $X_serve $X_apps $X_testutil $X_serde $X_sj $X_pl $X_cb $X_bytes"
 
 PASS=0; FAIL=0; FAILED=""
 run() {
@@ -61,12 +62,13 @@ build analyzer_t crates/analyzer/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X
 build store_t crates/store/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_serde $X_sj
 build harness_t crates/harness/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_store $X_testutil $X_serde $X_sj $X_pl $X_cb
 build fuzz_t crates/fuzz/src/lib.rs $X_runtime $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_harness $X_store $X_testutil $X_serde $X_sj
+build serve_t crates/serve/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_harness $X_store $X_fuzz $X_testutil $X_serde $X_sj
 build apps_t crates/apps/src/lib.rs $X_runtime $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_serde
-build bench_t crates/bench/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_harness $X_store $X_fuzz $X_apps $X_serde $X_sj
+build bench_t crates/bench/src/lib.rs $X_runtime $X_obs $X_trace $X_mpi $X_omp $X_core $X_analyzer $X_harness $X_store $X_fuzz $X_serve $X_apps $X_serde $X_sj
 
 for it in determinism end_to_end fuzz_oracle obs_metrics parallel_engine \
           scale_stress severity_accuracy trace_formats store_incremental \
-          stream_analysis; do
+          stream_analysis serve_api; do
   build ${it}_t tests/$it.rs $X_ats $X_all
 done
 # tests/proptests.rs needs the real proptest macros; the offline stub
